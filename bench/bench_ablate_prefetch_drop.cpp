@@ -1,0 +1,50 @@
+// Ablation: the prefetch drop-when-busy rule (DESIGN.md Section 5).
+//
+// The paper: "many architectures discard prefetches when they are issued
+// while the bus is busy", which is why bus-bound kernels (swap, axpy) gain
+// little from prefetch.  This bench sweeps the drop threshold to show the
+// mechanism: an infinitely tolerant bus queue would let prefetch help even
+// saturated kernels; the realistic threshold suppresses it.
+#include <cstdio>
+
+#include "harness.h"
+
+int main() {
+  using namespace ifko;
+  auto sz = bench::sizes();
+  std::printf("=== Ablation: prefetch drop backlog threshold (P4E, ooc, "
+              "N=%lld) ===\n\n",
+              static_cast<long long>(sz.ooc));
+
+  TextTable t;
+  t.setHeader({"kernel", "backlog", "cycles", "pref issued", "pref dropped"});
+  for (auto op : {kernels::BlasOp::Dot, kernels::BlasOp::Swap}) {
+    kernels::KernelSpec spec{op, ir::Scal::F64};
+    for (int backlog : {0, 56, 280, 1 << 20}) {
+      arch::MachineConfig m = arch::p4e();
+      m.prefetchDropBacklog = backlog;
+      search::SearchConfig cfg;
+      cfg.n = sz.ooc;
+      cfg.fast = true;  // fixed parameters below; search not needed
+      auto rep = fko::analyzeKernel(spec.hilSource(), m);
+      auto params = search::fkoDefaults(rep, m);
+      for (auto& [name, pf] : params.prefetch) pf.distBytes = 1024;
+      fko::CompileOptions opts;
+      opts.tuning = params;
+      auto r = fko::compileKernel(spec.hilSource(), opts, m);
+      if (!r.ok) continue;
+      auto tr = sim::timeKernel(m, r.fn, spec, sz.ooc,
+                                sim::TimeContext::OutOfCache);
+      t.addRow({spec.name(),
+                backlog >= (1 << 20) ? "inf" : std::to_string(backlog),
+                std::to_string(tr.cycles), std::to_string(tr.mem.prefIssued),
+                std::to_string(tr.mem.prefDropped)});
+    }
+    t.addRule();
+  }
+  std::fputs(t.str().c_str(), stdout);
+  std::printf("\nExpected shape: dot (2 read streams) benefits from a tolerant"
+              "\nqueue; swap (2 read + 2 write streams + writebacks) saturates"
+              "\nthe bus, so its prefetches drop and cycles barely move.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Ablation: the bus read-after-write turnaround penalty — the mechanism
+// behind AMD's block-fetch technique (DESIGN.md Section 5).
+//
+// With no turnaround, interleaving reads and non-temporal writes costs
+// nothing and block fetch degenerates to plain copy + WNT; the larger the
+// penalty, the bigger the win from grouping reads before writes.
+#include <cstdio>
+
+#include "harness.h"
+#include "atlas/handkernels.h"
+
+int main() {
+  using namespace ifko;
+  auto sz = bench::sizes();
+  std::printf("=== Ablation: bus read-after-write turnaround (dcopy, ooc, "
+              "N=%lld) ===\n\n",
+              static_cast<long long>(sz.ooc));
+
+  kernels::KernelSpec spec{kernels::BlasOp::Copy, ir::Scal::F64};
+  TextTable t;
+  t.setHeader({"machine", "turnaround", "copy+WNT cyc", "blockfetch cyc",
+               "blockfetch gain"});
+  for (const auto& base : arch::allMachines()) {
+    for (int ta : {0, 8, 24, 48}) {
+      arch::MachineConfig m = base;
+      m.busTurnaround = ta;
+      // Plain vectorized copy with non-temporal stores.
+      auto rep = fko::analyzeKernel(spec.hilSource(), m);
+      auto params = search::fkoDefaults(rep, m);
+      params.nonTemporalWrites = true;
+      fko::CompileOptions opts;
+      opts.tuning = params;
+      auto r = fko::compileKernel(spec.hilSource(), opts, m);
+      if (!r.ok) continue;
+      auto plain = sim::timeKernel(m, r.fn, spec, sz.ooc,
+                                   sim::TimeContext::OutOfCache);
+      auto bf = atlas::copyBlockFetch(spec.prec);
+      auto block =
+          sim::timeKernel(m, bf, spec, sz.ooc, sim::TimeContext::OutOfCache);
+      double gain = block.cycles
+                        ? static_cast<double>(plain.cycles) /
+                              static_cast<double>(block.cycles)
+                        : 0;
+      t.addRow({base.name, std::to_string(ta), std::to_string(plain.cycles),
+                std::to_string(block.cycles), fmtFixed(gain, 2) + "x"});
+    }
+    t.addRule();
+  }
+  std::fputs(t.str().c_str(), stdout);
+  return 0;
+}

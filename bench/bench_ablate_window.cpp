@@ -1,0 +1,50 @@
+// Ablation: out-of-order window (ROB) size vs. the benefit of accumulator
+// expansion (DESIGN.md Section 5).
+//
+// AE breaks the FP-add dependence chain of reductions.  A huge window
+// cannot help a true data dependence, so AE's in-cache benefit persists;
+// a tiny window starves memory-level parallelism and AE's relative effect
+// shrinks under the memory stalls.
+#include <cstdio>
+
+#include "harness.h"
+
+int main() {
+  using namespace ifko;
+  auto sz = bench::sizes();
+  std::printf("=== Ablation: ROB size vs accumulator expansion (sasum, P4E, "
+              "in-L2, N=%lld) ===\n\n",
+              static_cast<long long>(sz.inl2));
+
+  kernels::KernelSpec spec{kernels::BlasOp::Asum, ir::Scal::F32};
+  TextTable t;
+  t.setHeader({"ROB", "AE=1 cycles", "AE=4 cycles", "AE gain"});
+  for (int rob : {16, 48, 126, 512}) {
+    arch::MachineConfig m = arch::p4e();
+    m.robSize = rob;
+    auto rep = fko::analyzeKernel(spec.hilSource(), m);
+    uint64_t cyc[2] = {0, 0};
+    int idx = 0;
+    for (int ae : {1, 4}) {
+      auto params = search::fkoDefaults(rep, m);
+      params.unroll = 8;
+      params.accumExpand = ae;
+      fko::CompileOptions opts;
+      opts.tuning = params;
+      auto r = fko::compileKernel(spec.hilSource(), opts, m);
+      if (!r.ok) continue;
+      cyc[idx++] = sim::timeKernel(m, r.fn, spec, sz.inl2,
+                                   sim::TimeContext::InL2)
+                       .cycles;
+    }
+    if (cyc[0] && cyc[1])
+      t.addRow({std::to_string(rob), std::to_string(cyc[0]),
+                std::to_string(cyc[1]),
+                fmtFixed(static_cast<double>(cyc[0]) /
+                             static_cast<double>(cyc[1]),
+                         2) +
+                    "x"});
+  }
+  std::fputs(t.str().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Figure 3: relative speedups of various tuning methods on the
+// Opteron-class machine, N=80000, out-of-cache.
+#include <cstdio>
+
+#include "harness.h"
+
+int main() {
+  using namespace ifko;
+  auto sz = bench::sizes();
+  std::printf("=== Figure 3: Opteron, N=%lld, out-of-cache ===\n",
+              static_cast<long long>(sz.ooc));
+  auto rows = bench::compareAll(arch::opteron(), sz.ooc,
+                                sim::TimeContext::OutOfCache, sz.fast);
+  std::fputs(bench::renderPercentOfBest(rows, "").c_str(), stdout);
+  return 0;
+}

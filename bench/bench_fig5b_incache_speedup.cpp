@@ -1,0 +1,42 @@
+// Figure 5(b): speedup of in-L2 over out-of-cache performance on the
+// P4E-class machine, per routine (ifko-tuned in each context).
+//
+// Per the paper, this measures how bus-bound each operation remains after
+// prefetch is applied: a small ratio means memory was never the bottleneck.
+#include <cstdio>
+
+#include "harness.h"
+
+int main() {
+  using namespace ifko;
+  auto sz = bench::sizes();
+  std::printf(
+      "=== Figure 5(b): P4E in-L2 (N=%lld) speedup over out-of-cache "
+      "(N=%lld), ifko-tuned ===\n\n",
+      static_cast<long long>(sz.inl2), static_cast<long long>(sz.ooc));
+
+  TextTable t;
+  t.setHeader({"kernel", "ooc cyc/elem", "inL2 cyc/elem", "speedup"});
+  arch::MachineConfig m = arch::p4e();
+  for (const auto& spec : kernels::allKernels()) {
+    search::SearchConfig ooc, inl2;
+    ooc.n = sz.ooc;
+    ooc.fast = sz.fast;
+    inl2.n = sz.inl2;
+    inl2.context = sim::TimeContext::InL2;
+    inl2.fast = sz.fast;
+    auto a = search::tuneKernel(spec, m, ooc);
+    auto b = search::tuneKernel(spec, m, inl2);
+    if (!a.ok || !b.ok) continue;
+    double oocPer = static_cast<double>(a.bestCycles) / static_cast<double>(sz.ooc);
+    double inPer = static_cast<double>(b.bestCycles) / static_cast<double>(sz.inl2);
+    t.addRow({spec.name(), fmtFixed(oocPer, 2), fmtFixed(inPer, 2),
+              fmtFixed(oocPer / inPer, 2)});
+  }
+  std::fputs(t.str().c_str(), stdout);
+  std::printf(
+      "\nShape check: bus-bound routines (swap, copy, axpy) show the\n"
+      "largest in-cache speedups; compute-bound ones (in-cache asum/dot\n"
+      "after AE) the smallest.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// google-benchmark microbenchmarks of the toolchain itself: front-end,
+// full compile pipeline, functional+timing co-simulation throughput, and
+// one complete line-search evaluation.  These bound the cost of the
+// empirical search ("a simple but intelligently designed search reduces
+// the problem of search to a low order term").
+#include <benchmark/benchmark.h>
+
+#include "fko/compiler.h"
+#include "hil/lower.h"
+#include "kernels/registry.h"
+#include "kernels/tester.h"
+#include "search/linesearch.h"
+#include "sim/timer.h"
+
+namespace {
+
+using namespace ifko;
+
+const kernels::KernelSpec kDot{kernels::BlasOp::Dot, ir::Scal::F64};
+
+void BM_FrontEnd(benchmark::State& state) {
+  std::string src = kDot.hilSource();
+  for (auto _ : state) {
+    DiagnosticEngine d;
+    auto fn = hil::compileHil(src, d);
+    benchmark::DoNotOptimize(fn);
+  }
+}
+BENCHMARK(BM_FrontEnd);
+
+void BM_FullCompile(benchmark::State& state) {
+  std::string src = kDot.hilSource();
+  fko::CompileOptions opts;
+  opts.tuning.unroll = static_cast<int>(state.range(0));
+  opts.tuning.accumExpand = std::min<int>(4, opts.tuning.unroll);
+  auto machine = arch::p4e();
+  for (auto _ : state) {
+    auto r = fko::compileKernel(src, opts, machine);
+    benchmark::DoNotOptimize(r.ok);
+  }
+}
+BENCHMARK(BM_FullCompile)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_CoSimulation(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  auto machine = arch::p4e();
+  fko::CompileOptions opts;
+  auto r = fko::compileKernel(kDot.hilSource(), opts, machine);
+  if (!r.ok) {
+    state.SkipWithError("compile failed");
+    return;
+  }
+  uint64_t insts = 0;
+  for (auto _ : state) {
+    auto t = sim::timeKernel(machine, r.fn, kDot, n,
+                             sim::TimeContext::OutOfCache);
+    insts += t.dynInsts;
+    benchmark::DoNotOptimize(t.cycles);
+  }
+  state.counters["dyn_insts/s"] = benchmark::Counter(
+      static_cast<double>(insts), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CoSimulation)->Arg(1024)->Arg(16384)->Arg(80000);
+
+void BM_SearchEvaluation(benchmark::State& state) {
+  // One compile + test + time cycle, i.e. the unit the line search repeats.
+  auto machine = arch::opteron();
+  auto rep = fko::analyzeKernel(kDot.hilSource(), machine);
+  auto params = search::fkoDefaults(rep, machine);
+  search::SearchConfig cfg;
+  cfg.n = 4096;
+  for (auto _ : state) {
+    uint64_t c = search::timeParams(kDot, machine, params, cfg);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_SearchEvaluation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

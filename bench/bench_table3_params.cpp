@@ -1,0 +1,51 @@
+// Table 3: the transformation parameters selected by the empirical search,
+// by architecture and context.  Columns per the paper:
+//   SV:WNT   PF X (ins:dst)   PF Y (ins:dst)   UR:AE
+#include <cstdio>
+
+#include "harness.h"
+
+int main() {
+  using namespace ifko;
+  auto sz = bench::sizes();
+  std::printf("=== Table 3: transformation parameters by architecture and "
+              "context ===\n\n");
+
+  struct Ctx {
+    arch::MachineConfig machine;
+    sim::TimeContext ctx;
+    int64_t n;
+    const char* label;
+  };
+  const Ctx contexts[] = {
+      {arch::p4e(), sim::TimeContext::OutOfCache, sz.ooc,
+       "P4E, out-of-cache"},
+      {arch::opteron(), sim::TimeContext::OutOfCache, sz.ooc,
+       "Opteron, out-of-cache"},
+      {arch::p4e(), sim::TimeContext::InL2, sz.inl2, "P4E, in-L2 cache"},
+  };
+
+  for (const auto& c : contexts) {
+    std::printf("--- %s (N=%lld) ---\n", c.label,
+                static_cast<long long>(c.n));
+    TextTable t;
+    t.setHeader({"BLAS", "SV:WNT", "PF X INS:DST", "PF Y INS:DST", "UR:AE"});
+    for (const auto& spec : kernels::allKernels()) {
+      search::SearchConfig cfg;
+      cfg.n = c.n;
+      cfg.context = c.ctx;
+      cfg.fast = sz.fast;
+      auto r = search::tuneKernel(spec, c.machine, cfg);
+      if (!r.ok) continue;
+      auto row = search::paramsRow(r.best, r.analysis);
+      t.addRow({spec.name(), row[0], row[1], row[2], row[3]});
+    }
+    std::fputs(t.str().c_str(), stdout);
+    std::printf("\n");
+  }
+  std::printf(
+      "Shape check (paper Section 3.3): the parameters vary with operation,\n"
+      "precision, architecture and context — \"any model that captures this\n"
+      "complexity is going to have to be very sensitive indeed\".\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+#include "harness.h"
+
+#include <cstdio>
+
+#include "fko/compiler.h"
+
+namespace ifko::bench {
+
+MethodCycles compareMethods(const kernels::KernelSpec& spec,
+                            const arch::MachineConfig& machine, int64_t n,
+                            sim::TimeContext ctx, bool fast) {
+  MethodCycles row;
+  row.kernelName = spec.name();
+
+  auto timeBaseline = [&](baseline::Compiler c) -> uint64_t {
+    auto r = baseline::compileBaseline(c, spec, machine);
+    if (!r.ok) return 0;
+    return sim::timeKernel(machine, r.fn, spec, n, ctx).cycles;
+  };
+  row.gccRef = timeBaseline(baseline::Compiler::GccRef);
+  row.iccRef = timeBaseline(baseline::Compiler::IccRef);
+  row.iccProf = timeBaseline(baseline::Compiler::IccProf);
+
+  auto sel = atlas::selectKernel(spec, machine, n, ctx);
+  if (sel.ok) {
+    row.atlas = sel.cycles;
+    row.kernelName = sel.displayName;
+  }
+
+  search::SearchConfig cfg;
+  cfg.n = n;
+  cfg.context = ctx;
+  cfg.fast = fast;
+  row.tune = search::tuneKernel(spec, machine, cfg);
+  if (row.tune.ok) {
+    row.fko = row.tune.defaultCycles;
+    row.ifko = row.tune.bestCycles;
+    row.vectorizable = row.tune.analysis.vectorizable;
+  }
+  return row;
+}
+
+std::vector<MethodCycles> compareAll(const arch::MachineConfig& machine,
+                                     int64_t n, sim::TimeContext ctx,
+                                     bool fast) {
+  std::vector<MethodCycles> rows;
+  for (const auto& spec : kernels::allKernels()) {
+    rows.push_back(compareMethods(spec, machine, n, ctx, fast));
+    std::fprintf(stderr, "  tuned %-8s (%d evaluations)\n",
+                 rows.back().kernelName.c_str(), rows.back().tune.evaluations);
+  }
+  return rows;
+}
+
+std::string renderPercentOfBest(const std::vector<MethodCycles>& rows,
+                                const std::string& title) {
+  struct Method {
+    const char* name;
+    uint64_t MethodCycles::*field;
+  };
+  const Method methods[] = {
+      {"gcc+ref", &MethodCycles::gccRef},   {"icc+ref", &MethodCycles::iccRef},
+      {"icc+prof", &MethodCycles::iccProf}, {"ATLAS", &MethodCycles::atlas},
+      {"FKO", &MethodCycles::fko},          {"ifko", &MethodCycles::ifko},
+  };
+
+  TextTable t;
+  std::vector<std::string> header = {"method"};
+  for (const auto& r : rows) header.push_back(r.kernelName);
+  header.push_back("AVG");
+  header.push_back("VAVG");
+  t.setHeader(header);
+
+  for (const auto& m : methods) {
+    std::vector<std::string> cells = {m.name};
+    double sum = 0, vsum = 0;
+    int cnt = 0, vcnt = 0;
+    for (const auto& r : rows) {
+      uint64_t best = UINT64_MAX;
+      for (const auto& mm : methods) {
+        uint64_t c = r.*(mm.field);
+        if (c > 0 && c < best) best = c;
+      }
+      uint64_t c = r.*(m.field);
+      if (c == 0 || best == UINT64_MAX) {
+        cells.push_back("-");
+        continue;
+      }
+      double pct = 100.0 * static_cast<double>(best) / static_cast<double>(c);
+      cells.push_back(fmtFixed(pct, 1));
+      sum += pct;
+      ++cnt;
+      if (r.vectorizable) {
+        vsum += pct;
+        ++vcnt;
+      }
+    }
+    cells.push_back(cnt ? fmtFixed(sum / cnt, 1) : "-");
+    cells.push_back(vcnt ? fmtFixed(vsum / vcnt, 1) : "-");
+    t.addRow(cells);
+  }
+
+  std::string out = title + "\n(percent of best observed performance; "
+                    "VAVG = average over SIMD-vectorizable kernels, i.e. "
+                    "excluding iamax)\n\n" + t.str();
+  return out;
+}
+
+}  // namespace ifko::bench

@@ -1,0 +1,66 @@
+// Shared harness for the paper-reproduction benchmarks.
+//
+// Each bench binary regenerates one table or figure from the paper's
+// evaluation (Section 3).  Problem sizes default to the paper's
+// (N=80000 out-of-cache, N=1024 in-L2) and can be scaled with
+// IFKO_N_OOC / IFKO_N_INL2 / IFKO_FAST=1.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "arch/machine.h"
+#include "atlas/atlas.h"
+#include "baseline/baseline.h"
+#include "kernels/registry.h"
+#include "search/linesearch.h"
+#include "sim/timer.h"
+#include "support/env.h"
+#include "support/str.h"
+#include "support/table.h"
+
+namespace ifko::bench {
+
+struct Sizes {
+  int64_t ooc;
+  int64_t inl2;
+  bool fast;
+};
+
+[[nodiscard]] inline Sizes sizes() {
+  bool fast = envFast();
+  return {envInt("IFKO_N_OOC", fast ? 20000 : 80000),
+          envInt("IFKO_N_INL2", 1024), fast};
+}
+
+/// Cycles for every tuning method on one kernel (the bars of Figs. 2-4).
+struct MethodCycles {
+  std::string kernelName;  ///< with "*" when ATLAS picked assembly
+  uint64_t gccRef = 0;
+  uint64_t iccRef = 0;
+  uint64_t iccProf = 0;
+  uint64_t atlas = 0;
+  uint64_t fko = 0;   ///< FKO defaults, no search
+  uint64_t ifko = 0;  ///< full iterative search
+  bool vectorizable = false;
+  search::TuneResult tune;  ///< the ifko search result (ledger, params)
+};
+
+[[nodiscard]] MethodCycles compareMethods(const kernels::KernelSpec& spec,
+                                          const arch::MachineConfig& machine,
+                                          int64_t n, sim::TimeContext ctx,
+                                          bool fast);
+
+/// Renders the Figs. 2-4 style table: percent of the best method per kernel,
+/// with AVG and VAVG (vectorizable-only average) columns.
+[[nodiscard]] std::string renderPercentOfBest(
+    const std::vector<MethodCycles>& rows, const std::string& title);
+
+/// Runs the comparison for all 14 kernels.
+[[nodiscard]] std::vector<MethodCycles> compareAll(
+    const arch::MachineConfig& machine, int64_t n, sim::TimeContext ctx,
+    bool fast);
+
+}  // namespace ifko::bench

@@ -1,0 +1,41 @@
+// Context adaptation (paper Section 3.3): the same kernel tuned for
+// out-of-cache and for in-L2 usage lands on different parameters — prefetch
+// matters cold, computational optimizations (AE) matter warm, and WNT flips
+// from useful to harmful.
+//
+//   $ ./context_adaptation
+#include <cstdio>
+
+#include "search/linesearch.h"
+
+int main() {
+  using namespace ifko;
+
+  kernels::KernelSpec spec{kernels::BlasOp::Asum, ir::Scal::F32};
+  for (const auto& machine : arch::allMachines()) {
+    std::printf("=== %s on %s ===\n", spec.name().c_str(),
+                machine.name.c_str());
+    struct Ctx {
+      sim::TimeContext ctx;
+      int64_t n;
+      const char* label;
+    };
+    for (const Ctx& c : {Ctx{sim::TimeContext::OutOfCache, 80000, "out-of-cache"},
+                         Ctx{sim::TimeContext::InL2, 1024, "in-L2"}}) {
+      search::SearchConfig cfg;
+      cfg.n = c.n;
+      cfg.context = c.ctx;
+      auto r = search::tuneKernel(spec, machine, cfg);
+      if (!r.ok) continue;
+      auto row = search::paramsRow(r.best, r.analysis);
+      std::printf("  %-13s N=%-6lld  SV:WNT=%s  PF X=%-9s  UR:AE=%-6s  "
+                  "(%.2fx over FKO defaults)\n",
+                  c.label, static_cast<long long>(c.n), row[0].c_str(),
+                  row[1].c_str(), row[3].c_str(), r.speedupOverDefaults());
+    }
+  }
+  std::printf(
+      "\nThe paper's observation: \"empirical methods can be utilized to tune"
+      "\na kernel to the particular context in which it is being used.\"\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Analysis of the tuned loop (paper Section 2.2.2).
+//
+// This is the information FKO communicates to the iterative search: the
+// loop's structure, the maximum safe unrolling, whether it can be SIMD
+// vectorized (and if not, why), per-array sets/uses and prefetchability,
+// and the scalars that are valid targets for accumulator expansion.
+//
+// It also records the structural contract lowering establishes for the
+// latch block — [iteration code..., pointer bumps, ivar update, compare,
+// backedge] — which the fundamental transforms rely on.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/function.h"
+
+namespace ifko::analysis {
+
+/// One array (vector parameter) accessed by the loop.
+struct ArrayInfo {
+  std::string name;
+  ir::Reg ptr;
+  ir::Scal elem = ir::Scal::F64;
+  int64_t bumpBytes = 0;  ///< pointer advance per iteration
+  bool loaded = false;    ///< "uses" within the loop
+  bool stored = false;    ///< "sets" within the loop
+  bool noPrefetch = false;  ///< user mark-up: already in cache
+  /// Valid prefetch target: references advance with the loop and the user
+  /// did not opt out.
+  [[nodiscard]] bool prefetchable() const {
+    return bumpBytes > 0 && !noPrefetch;
+  }
+};
+
+struct LoopInfo {
+  bool found = false;
+  std::string problem;  ///< why analysis failed, when !found
+
+  /// Natural-loop body in layout order: the fall-through ("hot") chain from
+  /// header to latch, then any out-of-line side blocks (e.g. iamax's
+  /// NEWMAX) that jump back into the chain.
+  std::vector<int32_t> hotBlocks;
+  std::vector<int32_t> sideBlocks;
+
+  std::vector<ArrayInfo> arrays;
+  /// Scalars that are exclusively targets of FP adds in the loop
+  /// (accumulator-expansion candidates).
+  std::vector<ir::Reg> accumulators;
+
+  bool vectorizable = false;
+  std::string whyNotVectorizable;
+  /// FP values live into the loop body that the body never redefines
+  /// (parameters like axpy's alpha, or outer-loop computed scalars like
+  /// ger's alpha*x[r]): vectorization broadcasts these in the preheader.
+  std::vector<ir::Reg> invariantFpInputs;
+  int maxUnroll = 128;  ///< cap; these loops have no carried array deps
+  bool ivarUsedInBody = false;   ///< uses besides the latch update
+  bool ivarUsedAfterLoop = false;
+
+  // Latch tail contract (indices into the latch block's instruction list).
+  size_t firstBumpIdx = 0;  ///< first pointer bump (== ivarUpdateIdx if none)
+  size_t ivarUpdateIdx = 0;
+  size_t cmpIdx = 0;
+  size_t backedgeIdx = 0;
+
+  [[nodiscard]] const ArrayInfo* findArray(const std::string& name) const {
+    for (const auto& a : arrays)
+      if (a.name == name) return &a;
+    return nullptr;
+  }
+};
+
+/// Analyzes fn.loop.  Requires lowering's canonical latch shape; reports a
+/// problem (found=false) when the contract does not hold.
+[[nodiscard]] LoopInfo analyzeLoop(const ir::Function& fn);
+
+}  // namespace ifko::analysis

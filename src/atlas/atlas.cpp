@@ -1,0 +1,126 @@
+#include "atlas/atlas.h"
+
+#include "atlas/handkernels.h"
+#include "fko/compiler.h"
+#include "kernels/tester.h"
+
+namespace ifko::atlas {
+
+using kernels::BlasOp;
+using opt::TuningParams;
+
+namespace {
+
+/// Fixed parameterizations standing in for ATLAS's hand-written C kernels
+/// ("a multitude of both high and low-level optimizations": software
+/// pipelining is implicit in the OOO model; prefetch, unrolling and WNT are
+/// explicit here).
+std::vector<std::pair<std::string, TuningParams>> cPresets(
+    const kernels::KernelSpec& spec, const arch::MachineConfig& machine) {
+  const int line = machine.lineBytes();
+  auto report = fko::analyzeKernel(spec.hilSource(), machine);
+
+  std::vector<std::pair<std::string, TuningParams>> presets;
+  auto withPrefetch = [&](TuningParams p, ir::PrefKind kind, int distLines) {
+    for (const auto& a : report.arrays) {
+      if (!a.prefetchable) continue;
+      p.prefetch[a.name] = {true, kind, distLines * line};
+    }
+    return p;
+  };
+
+  {
+    TuningParams p;  // conservative: vectorize + moderate unroll + nta
+    p.unroll = 4;
+    presets.emplace_back("c_ur4_nta8", withPrefetch(p, ir::PrefKind::NTA, 8));
+  }
+  {
+    TuningParams p;  // deep unroll, long prefetch
+    p.unroll = 16;
+    presets.emplace_back("c_ur16_nta24", withPrefetch(p, ir::PrefKind::NTA, 24));
+  }
+  {
+    TuningParams p;  // t0 prefetch variant
+    p.unroll = 8;
+    presets.emplace_back("c_ur8_t0_16", withPrefetch(p, ir::PrefKind::T0, 16));
+  }
+  if (report.numAccumulators > 0) {
+    TuningParams p;  // reduction kernels: accumulator-expanded variant
+    p.unroll = 8;
+    p.accumExpand = 4;
+    presets.emplace_back("c_ur8_ae4_nta16",
+                         withPrefetch(p, ir::PrefKind::NTA, 16));
+  }
+  {
+    TuningParams p;  // streaming-store variant
+    p.unroll = 8;
+    p.nonTemporalWrites = true;
+    presets.emplace_back("c_ur8_wnt_nta16",
+                         withPrefetch(p, ir::PrefKind::NTA, 16));
+  }
+  if (!report.vectorizable) {
+    TuningParams p;  // scalar deep-unroll variant (iamax-style kernels)
+    p.simdVectorize = false;
+    p.unroll = 16;
+    presets.emplace_back("c_scalar_ur16", withPrefetch(p, ir::PrefKind::NTA, 8));
+  }
+  return presets;
+}
+
+}  // namespace
+
+std::vector<Variant> variantPool(const kernels::KernelSpec& spec,
+                                 const arch::MachineConfig& machine) {
+  std::vector<Variant> pool;
+  for (auto& [name, params] : cPresets(spec, machine)) {
+    fko::CompileOptions opts;
+    opts.tuning = params;
+    auto r = fko::compileKernel(spec.hilSource(), opts, machine);
+    if (!r.ok) continue;
+    pool.push_back({name, false, std::move(r.fn)});
+  }
+  switch (spec.op) {
+    case BlasOp::Iamax:
+      pool.push_back({"asm_simd", true, iamaxSimd(spec.prec)});
+      break;
+    case BlasOp::Copy:
+      pool.push_back({"asm_blockfetch", true, copyBlockFetch(spec.prec)});
+      pool.push_back({"asm_cisc_nt", true, copyCisc(spec.prec, true)});
+      pool.push_back({"asm_cisc", true, copyCisc(spec.prec, false)});
+      break;
+    default:
+      break;
+  }
+  return pool;
+}
+
+Selection selectKernel(const kernels::KernelSpec& spec,
+                       const arch::MachineConfig& machine, int64_t n,
+                       sim::TimeContext context, uint64_t seed) {
+  Selection sel;
+  auto pool = variantPool(spec, machine);
+  if (pool.empty()) {
+    sel.error = "empty variant pool";
+    return sel;
+  }
+  for (auto& v : pool) {
+    // ATLAS's install tests every candidate before timing it.
+    auto outcome = kernels::testKernel(spec, v.fn, 257);
+    if (!outcome.ok) continue;
+    auto t = sim::timeKernel(machine, v.fn, spec, n, context, seed);
+    ++sel.tried;
+    if (!sel.ok || t.cycles < sel.cycles) {
+      sel.ok = true;
+      sel.cycles = t.cycles;
+      sel.best = v;
+    }
+  }
+  if (!sel.ok) {
+    sel.error = "no variant passed the tester";
+    return sel;
+  }
+  sel.displayName = spec.name() + (sel.best.assembly ? "*" : "");
+  return sel;
+}
+
+}  // namespace ifko::atlas

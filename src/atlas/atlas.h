@@ -1,0 +1,49 @@
+// The ATLAS comparator (paper Section 3.3, "ATLAS" bars): a pool of
+// laboriously hand-tuned kernel implementations per routine — ANSI-C-style
+// variants with inline prefetch (modeled as fixed FKO parameterizations,
+// exactly what ATLAS's C kernels with inline-assembly prefetch were) plus
+// genuinely hand-written all-"assembly" variants — selected by ATLAS's own
+// empirical search: time them all, keep the fastest.
+//
+// When the winner is an all-assembly kernel the name carries the paper's
+// "*" suffix (e.g. dcopy*).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/machine.h"
+#include "ir/function.h"
+#include "kernels/registry.h"
+#include "sim/timer.h"
+
+namespace ifko::atlas {
+
+struct Variant {
+  std::string name;
+  bool assembly = false;  ///< hand-written in the virtual ISA
+  ir::Function fn;
+};
+
+/// The implementation pool for one kernel on one machine.  Every variant is
+/// ready to execute (compiled or hand-written).
+[[nodiscard]] std::vector<Variant> variantPool(const kernels::KernelSpec& spec,
+                                               const arch::MachineConfig& machine);
+
+struct Selection {
+  bool ok = false;
+  std::string error;
+  Variant best;
+  uint64_t cycles = 0;
+  /// Display name: kernel name plus "*" when an assembly variant won.
+  std::string displayName;
+  int tried = 0;
+};
+
+/// ATLAS's empirical search over the pool.
+[[nodiscard]] Selection selectKernel(const kernels::KernelSpec& spec,
+                                     const arch::MachineConfig& machine,
+                                     int64_t n, sim::TimeContext context,
+                                     uint64_t seed = 42);
+
+}  // namespace ifko::atlas

@@ -1,0 +1,328 @@
+#include "atlas/handkernels.h"
+
+#include "ir/builder.h"
+
+namespace ifko::atlas {
+
+using ir::Builder;
+using ir::Cond;
+using ir::Function;
+using ir::Mem;
+using ir::Op;
+using ir::Reg;
+using ir::Scal;
+
+namespace {
+
+Reg R(int i) { return Reg::intReg(i); }
+Reg X(int i) { return Reg::fpReg(i); }
+
+void markHandWritten(Function& fn) {
+  // Physical registers throughout, no spills: ready to execute as-is.
+  fn.regAllocated = true;
+  fn.numSpillSlots = 0;
+}
+
+}  // namespace
+
+Function copyCisc(Scal prec, bool nonTemporal) {
+  // copy(X=r0, Y=r1, N=r2) with a shared byte index in r3.
+  const int esize = scalBytes(prec);
+  const int elemsPerIter = 64 / esize;  // 4 x 16B vectors = one line
+
+  Function fn;
+  fn.name = nonTemporal ? "copy_cisc_nt" : "copy_cisc";
+  fn.params.push_back({.name = "X", .kind = prec == Scal::F32
+                                               ? ir::ParamKind::PtrF32
+                                               : ir::ParamKind::PtrF64,
+                       .reg = R(0), .vecRead = true});
+  fn.params.push_back({.name = "Y", .kind = prec == Scal::F32
+                                               ? ir::ParamKind::PtrF32
+                                               : ir::ParamKind::PtrF64,
+                       .reg = R(1), .vecWritten = true});
+  fn.params.push_back({.name = "N", .kind = ir::ParamKind::Int, .reg = R(2)});
+
+  int32_t entry = fn.addBlock();
+  int32_t main = fn.addBlock();
+  int32_t remEntry = fn.addBlock();
+  int32_t remLoop = fn.addBlock();
+  int32_t exit = fn.addBlock();
+
+  {
+    Builder b(fn, entry);
+    b.emit({.op = Op::IMovI, .dst = R(3), .imm = 0});  // byte index
+    b.emit({.op = Op::IAddCC, .dst = R(4), .src1 = R(2), .imm = -elemsPerIter});
+    b.jcc(Cond::LT, remEntry);
+  }
+  {
+    Builder b(fn, main);
+    for (int v = 0; v < 4; ++v) {
+      Mem src = ir::memIdx(R(0), R(3), 1, v * 16);
+      Mem dst = ir::memIdx(R(1), R(3), 1, v * 16);
+      b.emit({.op = Op::VLd, .type = prec, .dst = X(v), .mem = src});
+      b.emit({.op = nonTemporal ? Op::VStNT : Op::VSt, .type = prec,
+              .src1 = X(v), .mem = dst});
+    }
+    b.emit({.op = Op::IAddI, .dst = R(3), .src1 = R(3), .imm = 64});
+    b.emit({.op = Op::IAddCC, .dst = R(4), .src1 = R(4), .imm = -elemsPerIter});
+    b.jcc(Cond::GE, main);
+  }
+  {
+    Builder b(fn, remEntry);
+    b.emit({.op = Op::IAddI, .dst = R(5), .src1 = R(4), .imm = elemsPerIter});
+    b.icmpi(R(5), 0);
+    b.jcc(Cond::LE, exit);
+  }
+  {
+    Builder b(fn, remLoop);
+    b.emit({.op = Op::FLd, .type = prec, .dst = X(0),
+            .mem = ir::memIdx(R(0), R(3), 1, 0)});
+    b.emit({.op = Op::FSt, .type = prec, .src1 = X(0),
+            .mem = ir::memIdx(R(1), R(3), 1, 0)});
+    b.emit({.op = Op::IAddI, .dst = R(3), .src1 = R(3), .imm = esize});
+    b.emit({.op = Op::IAddCC, .dst = R(5), .src1 = R(5), .imm = -1});
+    b.jcc(Cond::GT, remLoop);
+  }
+  {
+    Builder b(fn, exit);
+    b.ret();
+  }
+  markHandWritten(fn);
+  return fn;
+}
+
+Function copyBlockFetch(Scal prec) {
+  // copy(X=r0, Y=r1, N=r2): blocks of 8 lines (512B).  Phase 1 touches each
+  // line with a dummy load (grouped reads); phase 2 streams the block out
+  // with grouped non-temporal stores.
+  const int esize = scalBytes(prec);
+  const int blkElems = 512 / esize;
+
+  Function fn;
+  fn.name = "copy_blockfetch";
+  fn.params.push_back({.name = "X", .kind = prec == Scal::F32
+                                               ? ir::ParamKind::PtrF32
+                                               : ir::ParamKind::PtrF64,
+                       .reg = R(0), .vecRead = true});
+  fn.params.push_back({.name = "Y", .kind = prec == Scal::F32
+                                               ? ir::ParamKind::PtrF32
+                                               : ir::ParamKind::PtrF64,
+                       .reg = R(1), .vecWritten = true});
+  fn.params.push_back({.name = "N", .kind = ir::ParamKind::Int, .reg = R(2)});
+
+  int32_t entry = fn.addBlock();
+  int32_t blk = fn.addBlock();
+  int32_t remEntry = fn.addBlock();
+  int32_t remLoop = fn.addBlock();
+  int32_t exit = fn.addBlock();
+
+  {
+    Builder b(fn, entry);
+    b.emit({.op = Op::IMovI, .dst = R(3), .imm = 0});
+    b.emit({.op = Op::IAddCC, .dst = R(4), .src1 = R(2), .imm = -blkElems});
+    b.jcc(Cond::LT, remEntry);
+  }
+  {
+    Builder b(fn, blk);
+    // Block fetch: one load per line pulls the block into cache back-to-back.
+    for (int l = 0; l < 8; ++l)
+      b.emit({.op = Op::FLd, .type = prec, .dst = X(7),
+              .mem = ir::memIdx(R(0), R(3), 1, l * 64)});
+    // Stream out in batches of 8 vectors (reads all hit the cache now).
+    for (int batch = 0; batch < 4; ++batch) {
+      for (int v = 0; v < 8; ++v)
+        b.emit({.op = Op::VLd, .type = prec, .dst = X(v),
+                .mem = ir::memIdx(R(0), R(3), 1, batch * 128 + v * 16)});
+      for (int v = 0; v < 8; ++v)
+        b.emit({.op = Op::VStNT, .type = prec, .src1 = X(v),
+                .mem = ir::memIdx(R(1), R(3), 1, batch * 128 + v * 16)});
+    }
+    b.emit({.op = Op::IAddI, .dst = R(3), .src1 = R(3), .imm = 512});
+    b.emit({.op = Op::IAddCC, .dst = R(4), .src1 = R(4), .imm = -blkElems});
+    b.jcc(Cond::GE, blk);
+  }
+  {
+    Builder b(fn, remEntry);
+    b.emit({.op = Op::IAddI, .dst = R(5), .src1 = R(4), .imm = blkElems});
+    b.icmpi(R(5), 0);
+    b.jcc(Cond::LE, exit);
+  }
+  {
+    Builder b(fn, remLoop);
+    b.emit({.op = Op::FLd, .type = prec, .dst = X(0),
+            .mem = ir::memIdx(R(0), R(3), 1, 0)});
+    b.emit({.op = Op::FSt, .type = prec, .src1 = X(0),
+            .mem = ir::memIdx(R(1), R(3), 1, 0)});
+    b.emit({.op = Op::IAddI, .dst = R(3), .src1 = R(3), .imm = esize});
+    b.emit({.op = Op::IAddCC, .dst = R(5), .src1 = R(5), .imm = -1});
+    b.jcc(Cond::GT, remLoop);
+  }
+  {
+    Builder b(fn, exit);
+    b.ret();
+  }
+  markHandWritten(fn);
+  return fn;
+}
+
+Function iamaxSimd(Scal prec) {
+  // iamax(X=r0, N=r1) -> int index of first max |x|.
+  // Register plan:
+  //   x0 vmax (per-lane running max), x1 vbidx (per-lane best index, float),
+  //   x2 vcuridx, x3 vinc, x4/x5 scratch, x6 best (scalar), x7 bidx (scalar)
+  //   r2 biased counter, r3 result, r4 remainder base index, r5 remainder cnt
+  const int lanes = ir::vecLanes(prec);
+  const int esize = scalBytes(prec);
+
+  Function fn;
+  fn.name = "iamax_simd";
+  fn.retType = ir::RetType::Int;
+  fn.params.push_back({.name = "X", .kind = prec == Scal::F32
+                                               ? ir::ParamKind::PtrF32
+                                               : ir::ParamKind::PtrF64,
+                       .reg = R(0), .vecRead = true});
+  fn.params.push_back({.name = "N", .kind = ir::ParamKind::Int, .reg = R(1)});
+
+  int32_t entry = fn.addBlock();
+  int32_t main = fn.addBlock();
+  int32_t epi = fn.addBlock();
+  // Per-lane epilogue comparison blocks created below.
+  struct LaneBlocks {
+    int32_t cmp, ltSkip, tie, take, skip;
+  };
+  std::vector<LaneBlocks> lb(static_cast<size_t>(lanes) - 1);
+  for (auto& l : lb) {
+    l.cmp = fn.addBlock();
+    l.ltSkip = fn.addBlock();
+    l.tie = fn.addBlock();
+    l.take = fn.addBlock();
+    l.skip = fn.addBlock();
+  }
+  int32_t remEntry = fn.addBlock();
+  int32_t remLoop = fn.addBlock();
+  int32_t remUpdate = fn.addBlock();
+  int32_t remSkip = fn.addBlock();
+  int32_t done = fn.addBlock();
+
+  const int step = 2 * lanes;  // two vectors per iteration
+  {
+    Builder b(fn, entry);
+    b.emit({.op = Op::FLdI, .type = prec, .dst = X(4), .fimm = -1.0});
+    b.emit({.op = Op::VBcast, .type = prec, .dst = X(0), .src1 = X(4)});
+    b.emit({.op = Op::VZero, .type = prec, .dst = X(1)});
+    b.emit({.op = Op::VIota, .type = prec, .dst = X(2)});
+    b.emit({.op = Op::FLdI, .type = prec, .dst = X(4),
+            .fimm = static_cast<double>(step)});
+    b.emit({.op = Op::VBcast, .type = prec, .dst = X(3), .src1 = X(4)});
+    b.emit({.op = Op::FLdI, .type = prec, .dst = X(4),
+            .fimm = static_cast<double>(lanes)});
+    b.emit({.op = Op::VBcast, .type = prec, .dst = X(6), .src1 = X(4)});
+    b.emit({.op = Op::IMovI, .dst = R(3), .imm = 0});
+    b.emit({.op = Op::IAddCC, .dst = R(2), .src1 = R(1), .imm = -step});
+    b.jcc(Cond::LT, epi);
+  }
+  {
+    // Unrolled by two vectors with software prefetch (hand-tuned kernels
+    // always carried their own prefetch).
+    Builder b(fn, main);
+    b.emit({.op = Op::VLd, .type = prec, .dst = X(4), .mem = ir::mem(R(0))});
+    b.emit({.op = Op::VAbs, .type = prec, .dst = X(4), .src1 = X(4)});
+    b.emit({.op = Op::VCmpGT, .type = prec, .dst = X(5), .src1 = X(4),
+            .src2 = X(0)});
+    b.emit({.op = Op::VSel, .type = prec, .dst = X(0), .src1 = X(5),
+            .src2 = X(4), .src3 = X(0)});
+    b.emit({.op = Op::VSel, .type = prec, .dst = X(1), .src1 = X(5),
+            .src2 = X(2), .src3 = X(1)});
+    b.emit({.op = Op::Pref, .mem = ir::mem(R(0), 1536), .pref = ir::PrefKind::NTA});
+    b.emit({.op = Op::VLd, .type = prec, .dst = X(4),
+            .mem = ir::mem(R(0), 16)});
+    b.emit({.op = Op::VAbs, .type = prec, .dst = X(4), .src1 = X(4)});
+    b.emit({.op = Op::VCmpGT, .type = prec, .dst = X(5), .src1 = X(4),
+            .src2 = X(0)});
+    b.emit({.op = Op::VSel, .type = prec, .dst = X(0), .src1 = X(5),
+            .src2 = X(4), .src3 = X(0)});
+    // Second copy's index vector: current indices + lanes.
+    b.emit({.op = Op::VAdd, .type = prec, .dst = X(4), .src1 = X(2),
+            .src2 = X(6)});
+    b.emit({.op = Op::VSel, .type = prec, .dst = X(1), .src1 = X(5),
+            .src2 = X(4), .src3 = X(1)});
+    b.emit({.op = Op::VAdd, .type = prec, .dst = X(2), .src1 = X(2),
+            .src2 = X(3)});
+    b.emit({.op = Op::IAddI, .dst = R(0), .src1 = R(0), .imm = 32});
+    b.emit({.op = Op::IAddCC, .dst = R(2), .src1 = R(2), .imm = -step});
+    b.jcc(Cond::GE, main);
+  }
+  {
+    // Horizontal reduce with first-index tie semantics: lane 0 seeds, later
+    // lanes replace only on strictly-greater value or equal value with a
+    // smaller index.
+    Builder b(fn, epi);
+    b.emit({.op = Op::VExt, .type = prec, .dst = X(6), .src1 = X(0), .imm = 0});
+    b.emit({.op = Op::VExt, .type = prec, .dst = X(7), .src1 = X(1), .imm = 0});
+  }
+  for (int l = 1; l < lanes; ++l) {
+    const LaneBlocks& blocks = lb[static_cast<size_t>(l) - 1];
+    {
+      Builder b(fn, blocks.cmp);
+      b.emit({.op = Op::VExt, .type = prec, .dst = X(4), .src1 = X(0),
+              .imm = l});
+      b.emit({.op = Op::VExt, .type = prec, .dst = X(5), .src1 = X(1),
+              .imm = l});
+      b.emit({.op = Op::FCmp, .type = prec, .src1 = X(4), .src2 = X(6)});
+      b.jcc(Cond::GT, blocks.take);
+    }
+    {
+      Builder b(fn, blocks.ltSkip);
+      b.jcc(Cond::LT, blocks.skip);
+    }
+    {
+      Builder b(fn, blocks.tie);  // equal values: lower index wins
+      b.emit({.op = Op::FCmp, .type = prec, .src1 = X(5), .src2 = X(7)});
+      b.jcc(Cond::GE, blocks.skip);
+    }
+    {
+      Builder b(fn, blocks.take);
+      b.emit({.op = Op::FMov, .type = prec, .dst = X(6), .src1 = X(4)});
+      b.emit({.op = Op::FMov, .type = prec, .dst = X(7), .src1 = X(5)});
+    }
+    {
+      Builder b(fn, blocks.skip);  // falls through to the next lane
+    }
+  }
+  {
+    Builder b(fn, remEntry);
+    b.emit({.op = Op::FToI, .type = prec, .dst = R(3), .src1 = X(7)});
+    b.emit({.op = Op::IAddI, .dst = R(5), .src1 = R(2), .imm = step});
+    // Base element index for the scalar tail: N - remaining.
+    b.emit({.op = Op::ISub, .dst = R(4), .src1 = R(1), .src2 = R(5)});
+    b.icmpi(R(5), 0);
+    b.jcc(Cond::LE, done);
+  }
+  {
+    Builder b(fn, remLoop);
+    b.emit({.op = Op::FLd, .type = prec, .dst = X(4), .mem = ir::mem(R(0))});
+    b.emit({.op = Op::FAbs, .type = prec, .dst = X(4), .src1 = X(4)});
+    b.emit({.op = Op::FCmp, .type = prec, .src1 = X(4), .src2 = X(6)});
+    b.jcc(Cond::LE, remSkip);
+  }
+  {
+    Builder b(fn, remUpdate);
+    b.emit({.op = Op::FMov, .type = prec, .dst = X(6), .src1 = X(4)});
+    b.emit({.op = Op::IMov, .dst = R(3), .src1 = R(4)});
+  }
+  {
+    Builder b(fn, remSkip);
+    b.emit({.op = Op::IAddI, .dst = R(0), .src1 = R(0), .imm = esize});
+    b.emit({.op = Op::IAddI, .dst = R(4), .src1 = R(4), .imm = 1});
+    b.emit({.op = Op::IAddCC, .dst = R(5), .src1 = R(5), .imm = -1});
+    b.jcc(Cond::GT, remLoop);
+  }
+  {
+    Builder b(fn, done);
+    b.retVal(R(3));
+  }
+  markHandWritten(fn);
+  return fn;
+}
+
+}  // namespace ifko::atlas

@@ -1,0 +1,28 @@
+// Hand-tuned "assembly" kernels (the paper's ATLAS comparators that beat
+// automated compilation):
+//
+//  * iamaxSimd — SIMD-vectorized absolute-max search with per-lane running
+//    maxima and index blending; the transformation "neither icc nor ifko can
+//    do automatically" (paper Section 3.3).  First-index tie semantics are
+//    preserved exactly.
+//  * copyBlockFetch — AMD's block-fetch technique [Wall 2001]: touch a block
+//    of lines with grouped dummy loads, then stream it out with grouped
+//    non-temporal stores, amortizing the bus read/write turnaround.  The
+//    trick behind the hand-tuned P4E dcopy win.
+//  * copyCisc — copy with a single shared index register (CISC
+//    base+index addressing), one fewer integer op per iteration than FKO's
+//    two pointer bumps; the Opteron scopy win.
+//
+// These are written directly in physical registers like real hand-tuned
+// assembly: they bypass every compiler pass.
+#pragma once
+
+#include "ir/function.h"
+
+namespace ifko::atlas {
+
+[[nodiscard]] ir::Function iamaxSimd(ir::Scal prec);
+[[nodiscard]] ir::Function copyBlockFetch(ir::Scal prec);
+[[nodiscard]] ir::Function copyCisc(ir::Scal prec, bool nonTemporal);
+
+}  // namespace ifko::atlas

@@ -1,0 +1,59 @@
+#include "baseline/baseline.h"
+
+namespace ifko::baseline {
+
+std::string_view compilerName(Compiler c) {
+  switch (c) {
+    case Compiler::GccRef: return "gcc+ref";
+    case Compiler::IccRef: return "icc+ref";
+    case Compiler::IccProf: return "icc+prof";
+  }
+  return "?";
+}
+
+fko::CompileOptions baselineOptions(Compiler c,
+                                    const kernels::KernelSpec& spec,
+                                    const arch::MachineConfig& machine) {
+  fko::CompileOptions opts;
+  auto report = fko::analyzeKernel(spec.hilSource(), machine);
+  const int line = machine.lineBytes();
+
+  switch (c) {
+    case Compiler::GccRef:
+      opts.tuning.simdVectorize = false;
+      opts.tuning.unroll = 4;  // -funroll-all-loops
+      opts.tuning.accumExpand = 1;
+      opts.tuning.nonTemporalWrites = false;
+      opts.regalloc = opt::RegAllocKind::Basic;
+      break;
+
+    case Compiler::IccRef:
+    case Compiler::IccProf: {
+      // icc vectorizes only canonical ascending loops; iamax's descending
+      // loop (paper Fig. 6b) stays scalar regardless.
+      opts.tuning.simdVectorize = spec.op != kernels::BlasOp::Iamax;
+      opts.tuning.unroll = 2;
+      opts.tuning.accumExpand = 1;
+      // Fixed streaming-prefetch heuristic: prefetchnta, 8 lines ahead, for
+      // every loaded stream.
+      for (const auto& a : report.arrays) {
+        if (!a.prefetchable || !a.loaded) continue;
+        opts.tuning.prefetch[a.name] = {true, ir::PrefKind::NTA, 8 * line};
+      }
+      // Profile feedback: the loop is long and streaming, so apply
+      // non-temporal writes unconditionally.
+      opts.tuning.nonTemporalWrites = c == Compiler::IccProf;
+      opts.regalloc = opt::RegAllocKind::LinearScan;
+      break;
+    }
+  }
+  return opts;
+}
+
+fko::CompileResult compileBaseline(Compiler c, const kernels::KernelSpec& spec,
+                                   const arch::MachineConfig& machine) {
+  return fko::compileKernel(spec.hilSource(), baselineOptions(c, spec, machine),
+                            machine);
+}
+
+}  // namespace ifko::baseline

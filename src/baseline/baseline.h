@@ -1,0 +1,45 @@
+// Models of the paper's baseline compilers (Section 3.3).
+//
+// We obviously cannot ship icc 8.0 or 2005-era gcc; what the comparison
+// needs is which transforms each compiler applies and with what *fixed*
+// (non-empirical) heuristics.  Each baseline is therefore a fixed FKO
+// parameterization:
+//
+//  * gcc+ref  — gcc 3.x -O3 -funroll-all-loops: no SIMD vectorization, a
+//    fixed unroll of 4, no software prefetch, no non-temporal stores, the
+//    simpler register allocator.
+//  * icc+ref  — icc 8.0 -O3 -xP/-xW: vectorizes canonical ascending loops
+//    (the paper had to rewrite ATLAS's `for(i=N;i;i--)` loops before icc
+//    would vectorize anything), unrolls by 2, inserts prefetchnta at a
+//    fixed 8-line distance for streaming loads.
+//  * icc+prof — icc+ref plus profile feedback: with profile data showing a
+//    long streaming loop, icc "blindly applies WNT" (the behaviour the
+//    paper observed collapse on Opteron's swap/axpy).
+//
+// These are models, not the original binaries; DESIGN.md documents the
+// substitution.
+#pragma once
+
+#include <string>
+
+#include "arch/machine.h"
+#include "fko/compiler.h"
+#include "kernels/registry.h"
+
+namespace ifko::baseline {
+
+enum class Compiler { GccRef, IccRef, IccProf };
+
+[[nodiscard]] std::string_view compilerName(Compiler c);
+
+/// The fixed parameterization this baseline would choose for the kernel.
+[[nodiscard]] fko::CompileOptions baselineOptions(
+    Compiler c, const kernels::KernelSpec& spec,
+    const arch::MachineConfig& machine);
+
+/// Compiles the kernel the way this baseline would.
+[[nodiscard]] fko::CompileResult compileBaseline(
+    Compiler c, const kernels::KernelSpec& spec,
+    const arch::MachineConfig& machine);
+
+}  // namespace ifko::baseline

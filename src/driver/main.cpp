@@ -1,0 +1,260 @@
+// The ifko command-line driver.
+//
+//   ifko analyze <file.hil> [--arch=p4e|opteron]
+//       What FKO's analysis reports to the search: vectorizability, arrays,
+//       accumulator candidates, machine cache facts.
+//
+//   ifko compile <file.hil> [--arch=...] [--sv=0|1] [--ur=N] [--ae=N]
+//                [--wnt] [--lc=0|1] [--pf=ARRAY:KIND:DIST]... [--bf]
+//                [--cisc] [--dump-ir]
+//       One FKO compile with explicit transform parameters; verifies the
+//       result differentially against the unoptimized lowering.
+//
+//   ifko run <file.hil> [--arch=...] [--n=N] [--context=ooc|inl2] (+compile flags)
+//       Compile, check, and time on the simulated machine.
+//
+//   ifko tune <file.hil> [--arch=...] [--n=N] [--context=ooc|inl2]
+//             [--extensions] [--fast]
+//       The full iterative empirical search, with the per-dimension ledger.
+//
+//   ifko sim <file.ir> [--arch=...] [--n=N] [--context=ooc|inl2]
+//       Parse a textual IR dump (the --dump-ir format) and time it on the
+//       simulated machine — the path for hand-edited or hand-written code.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fko/compiler.h"
+#include "fko/harness.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+#include "search/linesearch.h"
+#include "support/str.h"
+
+namespace {
+
+using namespace ifko;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: ifko <analyze|compile|run|tune|sim> <file> [options]\n"
+               "see the header of src/driver/main.cpp or docs/HIL.md\n");
+  return 2;
+}
+
+std::optional<std::string> readFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+struct Options {
+  arch::MachineConfig machine = arch::p4e();
+  fko::CompileOptions compile;
+  int64_t n = 80000;
+  sim::TimeContext context = sim::TimeContext::OutOfCache;
+  bool dumpIr = false;
+  bool extensions = false;
+  bool fast = false;
+  bool ok = true;
+};
+
+Options parseOptions(int argc, char** argv, int first) {
+  Options o;
+  for (int i = first; i < argc; ++i) {
+    std::string a = argv[i];
+    auto value = [&](const char* prefix) -> std::optional<std::string> {
+      if (!startsWith(a, prefix)) return std::nullopt;
+      return a.substr(std::strlen(prefix));
+    };
+    if (auto v = value("--arch=")) {
+      if (*v == "p4e") o.machine = arch::p4e();
+      else if (*v == "opteron") o.machine = arch::opteron();
+      else { std::fprintf(stderr, "unknown arch '%s'\n", v->c_str()); o.ok = false; }
+    } else if (auto v = value("--sv=")) {
+      o.compile.tuning.simdVectorize = *v != "0";
+    } else if (auto v = value("--ur=")) {
+      o.compile.tuning.unroll = std::atoi(v->c_str());
+    } else if (auto v = value("--ae=")) {
+      o.compile.tuning.accumExpand = std::atoi(v->c_str());
+    } else if (a == "--wnt") {
+      o.compile.tuning.nonTemporalWrites = true;
+    } else if (auto v = value("--lc=")) {
+      o.compile.tuning.optimizeLoopControl = *v != "0";
+    } else if (a == "--bf") {
+      o.compile.tuning.blockFetch = true;
+    } else if (a == "--cisc") {
+      o.compile.tuning.ciscIndexing = true;
+    } else if (auto v = value("--pf=")) {
+      // ARRAY:KIND:DIST, e.g. --pf=X:nta:1024
+      auto parts = split(*v, ':');
+      if (parts.size() != 3) {
+        std::fprintf(stderr, "bad --pf (want ARRAY:KIND:DIST): %s\n", v->c_str());
+        o.ok = false;
+        continue;
+      }
+      opt::PrefParam p;
+      p.enabled = parts[1] != "none";
+      p.distBytes = std::atoi(parts[2].c_str());
+      if (parts[1] == "nta") p.kind = ir::PrefKind::NTA;
+      else if (parts[1] == "t0") p.kind = ir::PrefKind::T0;
+      else if (parts[1] == "t1") p.kind = ir::PrefKind::T1;
+      else if (parts[1] == "w") p.kind = ir::PrefKind::W;
+      else if (parts[1] != "none") {
+        std::fprintf(stderr, "unknown prefetch kind '%s'\n", parts[1].c_str());
+        o.ok = false;
+      }
+      o.compile.tuning.prefetch[parts[0]] = p;
+    } else if (auto v = value("--n=")) {
+      o.n = std::atoll(v->c_str());
+    } else if (auto v = value("--context=")) {
+      o.context = *v == "inl2" ? sim::TimeContext::InL2
+                               : sim::TimeContext::OutOfCache;
+    } else if (a == "--dump-ir") {
+      o.dumpIr = true;
+    } else if (a == "--extensions") {
+      o.extensions = true;
+    } else if (a == "--fast") {
+      o.fast = true;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
+      o.ok = false;
+    }
+  }
+  return o;
+}
+
+int cmdAnalyze(const std::string& src, const Options& o) {
+  auto rep = fko::analyzeKernel(src, o.machine);
+  if (!rep.ok) {
+    std::fprintf(stderr, "analysis failed: %s\n", rep.error.c_str());
+    return 1;
+  }
+  std::printf("machine: %s (%d cache levels, %dB lines)\n",
+              o.machine.name.c_str(), rep.cacheLevels, rep.lineBytes[0]);
+  std::printf("tuned loop: found, max unroll %d\n", rep.maxUnroll);
+  std::printf("SIMD vectorizable: %s%s%s (%d lanes of %s)\n",
+              rep.vectorizable ? "yes" : "no",
+              rep.vectorizable ? "" : " — ",
+              rep.vectorizable ? "" : rep.whyNotVectorizable.c_str(),
+              rep.vecLanes, std::string(scalName(rep.elemType)).c_str());
+  for (const auto& a : rep.arrays)
+    std::printf("array %-8s loaded=%d stored=%d prefetchable=%d\n",
+                a.name.c_str(), a.loaded, a.stored, a.prefetchable);
+  std::printf("accumulator-expansion candidates: %d\n", rep.numAccumulators);
+  return 0;
+}
+
+int cmdCompile(const std::string& src, const Options& o, bool alsoRun) {
+  auto r = fko::compileKernel(src, o.compile, o.machine);
+  if (!r.ok) {
+    std::fprintf(stderr, "compile failed: %s\n", r.error.c_str());
+    return 1;
+  }
+  std::printf("compiled: %zu instructions, %d spill slots, %d repeatable "
+              "iterations\n",
+              r.fn.instCount(), r.spillSlots, r.repeatableIters);
+  if (o.dumpIr) std::fputs(ir::print(r.fn).c_str(), stdout);
+
+  auto diff = fko::testAgainstUnoptimized(src, r.fn, std::min<int64_t>(o.n, 512));
+  std::printf("differential check vs unoptimized lowering: %s\n",
+              diff.ok ? "PASS" : diff.message.c_str());
+  if (!diff.ok) return 1;
+
+  if (alsoRun) {
+    int64_t strideElems = 1;
+    auto rep = fko::analyzeKernel(src, o.machine);
+    if (rep.ok)
+      for (const auto& a : rep.arrays)
+        strideElems = std::max(strideElems, a.strideElems);
+    auto t = fko::timeCompiled(o.machine, r.fn, o.n, o.context, 42, strideElems);
+    std::printf("%s, N=%lld, %s: %llu cycles (%.3f cycles/element, "
+                "%llu dynamic instructions)\n",
+                o.machine.name.c_str(), static_cast<long long>(o.n),
+                std::string(sim::contextName(o.context)).c_str(),
+                static_cast<unsigned long long>(t.cycles),
+                static_cast<double>(t.cycles) / static_cast<double>(o.n),
+                static_cast<unsigned long long>(t.dynInsts));
+  }
+  return 0;
+}
+
+int cmdTune(const std::string& src, const Options& o) {
+  search::SearchConfig cfg;
+  cfg.n = o.n;
+  cfg.context = o.context;
+  cfg.fast = o.fast;
+  cfg.searchExtensions = o.extensions;
+  auto r = search::tuneSource(src, o.machine, cfg);
+  if (!r.ok) {
+    std::fprintf(stderr, "tuning failed: %s\n", r.error.c_str());
+    return 1;
+  }
+  std::printf("FKO defaults: %llu cycles\n",
+              static_cast<unsigned long long>(r.defaultCycles));
+  uint64_t prev = r.defaultCycles;
+  for (const auto& d : r.ledger) {
+    std::printf("  %-7s -> %10llu cycles (%+.1f%%)\n", d.name.c_str(),
+                static_cast<unsigned long long>(d.cyclesAfter),
+                100.0 * (static_cast<double>(prev) /
+                             static_cast<double>(d.cyclesAfter) -
+                         1.0));
+    prev = d.cyclesAfter;
+  }
+  std::printf("ifko: %llu cycles (%.2fx over defaults, %d evaluations)\n",
+              static_cast<unsigned long long>(r.bestCycles),
+              r.speedupOverDefaults(), r.evaluations);
+  std::printf("best parameters: %s\n", r.best.str().c_str());
+  return 0;
+}
+
+int cmdSim(const std::string& src, const Options& o) {
+  std::string error;
+  auto fn = ir::parse(src, &error);
+  if (!fn) {
+    std::fprintf(stderr, "IR parse failed: %s\n", error.c_str());
+    return 1;
+  }
+  auto problems = ir::verify(*fn);
+  if (!problems.empty()) {
+    std::fprintf(stderr, "IR verification failed: %s\n", problems[0].c_str());
+    return 1;
+  }
+  auto t = fko::timeCompiled(o.machine, *fn, o.n, o.context);
+  std::printf("%s, N=%lld, %s: %llu cycles (%.3f cycles/element, "
+              "%llu dynamic instructions)\n",
+              o.machine.name.c_str(), static_cast<long long>(o.n),
+              std::string(sim::contextName(o.context)).c_str(),
+              static_cast<unsigned long long>(t.cycles),
+              static_cast<double>(t.cycles) / static_cast<double>(o.n),
+              static_cast<unsigned long long>(t.dynInsts));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  std::string cmd = argv[1];
+  auto src = readFile(argv[2]);
+  if (!src) {
+    std::fprintf(stderr, "cannot read '%s'\n", argv[2]);
+    return 1;
+  }
+  Options o = parseOptions(argc, argv, 3);
+  if (!o.ok) return 2;
+
+  if (cmd == "analyze") return cmdAnalyze(*src, o);
+  if (cmd == "compile") return cmdCompile(*src, o, /*alsoRun=*/false);
+  if (cmd == "run") return cmdCompile(*src, o, /*alsoRun=*/true);
+  if (cmd == "tune") return cmdTune(*src, o);
+  if (cmd == "sim") return cmdSim(*src, o);
+  return usage();
+}

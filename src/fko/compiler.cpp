@@ -1,0 +1,88 @@
+#include "fko/compiler.h"
+
+#include "analysis/loopinfo.h"
+#include "hil/lower.h"
+#include "ir/verifier.h"
+#include "opt/loop_xform.h"
+#include "opt/repeatable.h"
+
+namespace ifko::fko {
+
+CompileResult compileKernel(const std::string& hilSource,
+                            const CompileOptions& options,
+                            const arch::MachineConfig& machine) {
+  CompileResult result;
+  DiagnosticEngine diags;
+  auto lowered = hil::compileHil(hilSource, diags);
+  if (!lowered) {
+    result.error = "front end: " + diags.str();
+    return result;
+  }
+
+  std::string err;
+  auto transformed =
+      opt::applyFundamentalTransforms(*lowered, options.tuning, machine, &err);
+  if (!transformed) {
+    result.error = "fundamental transforms: " + err;
+    return result;
+  }
+  result.fn = std::move(*transformed);
+
+  if (options.runRepeatable)
+    result.repeatableIters = opt::runRepeatable(result.fn);
+
+  if (options.runRegalloc) {
+    auto ra = opt::allocateRegisters(result.fn, options.regalloc);
+    if (!ra.ok) {
+      result.error = "register allocation: " + ra.error;
+      return result;
+    }
+    result.spillSlots = ra.spillSlots;
+  }
+
+  auto problems = ir::verify(result.fn);
+  if (!problems.empty()) {
+    result.error = "verifier: " + problems[0];
+    return result;
+  }
+  result.ok = true;
+  return result;
+}
+
+AnalysisReport analyzeKernel(const std::string& hilSource,
+                             const arch::MachineConfig& machine) {
+  AnalysisReport report;
+  DiagnosticEngine diags;
+  auto lowered = hil::compileHil(hilSource, diags);
+  if (!lowered) {
+    report.error = "front end: " + diags.str();
+    return report;
+  }
+  report.cacheLevels = static_cast<int>(machine.caches.size());
+  for (const auto& c : machine.caches) report.lineBytes.push_back(c.lineBytes);
+  report.prefKinds = machine.prefKinds();
+
+  auto info = analysis::analyzeLoop(*lowered);
+  if (!info.found) {
+    report.error = info.problem;
+    return report;
+  }
+  report.ok = true;
+  report.loopFound = true;
+  report.maxUnroll = info.maxUnroll;
+  report.vectorizable = info.vectorizable;
+  report.whyNotVectorizable = info.whyNotVectorizable;
+  if (!info.arrays.empty()) {
+    report.elemType = info.arrays.front().elem;
+    report.vecLanes = ir::vecLanes(report.elemType);
+  }
+  for (const auto& a : info.arrays) {
+    int64_t stride = a.bumpBytes > 0 ? a.bumpBytes / scalBytes(a.elem) : 1;
+    report.arrays.push_back(
+        {a.name, a.loaded, a.stored, a.prefetchable(), std::max<int64_t>(stride, 1)});
+  }
+  report.numAccumulators = static_cast<int>(info.accumulators.size());
+  return report;
+}
+
+}  // namespace ifko::fko

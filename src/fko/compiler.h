@@ -1,0 +1,75 @@
+// FKO — the specialized compiler of the paper's Figure 1.
+//
+// compileKernel runs the full pipeline on a HIL kernel:
+//   HIL -> lower -> fundamental transforms (SV/UR/LC/AE/PF/WNT)
+//       -> repeatable transforms to a fixed point -> register allocation.
+//
+// analyzeKernel is the compiler's other interface to the search driver: it
+// reports the analysis results (loop, max unroll, vectorizability, array
+// sets/uses and prefetch candidates, accumulator-expansion targets) together
+// with the machine's cache geometry, from which the search derives its
+// defaults and dimensions.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arch/machine.h"
+#include "ir/function.h"
+#include "opt/params.h"
+#include "opt/regalloc.h"
+
+namespace ifko::fko {
+
+struct CompileOptions {
+  opt::TuningParams tuning;
+  opt::RegAllocKind regalloc = opt::RegAllocKind::LinearScan;
+  bool runRepeatable = true;
+  bool runRegalloc = true;
+};
+
+struct CompileResult {
+  bool ok = false;
+  std::string error;
+  ir::Function fn;
+  int repeatableIters = 0;
+  int spillSlots = 0;
+};
+
+[[nodiscard]] CompileResult compileKernel(const std::string& hilSource,
+                                          const CompileOptions& options,
+                                          const arch::MachineConfig& machine);
+
+/// Per-array analysis relayed to the search.
+struct ArrayReport {
+  std::string name;
+  bool loaded = false;
+  bool stored = false;
+  bool prefetchable = false;
+  int64_t strideElems = 1;  ///< elements the pointer advances per iteration
+};
+
+struct AnalysisReport {
+  bool ok = false;
+  std::string error;
+  // Architecture information (paper: "numbers of available cache levels and
+  // their line sizes").
+  int cacheLevels = 0;
+  std::vector<int> lineBytes;
+  std::vector<ir::PrefKind> prefKinds;
+  // Kernel-specific information.
+  bool loopFound = false;
+  int maxUnroll = 0;
+  bool vectorizable = false;
+  std::string whyNotVectorizable;
+  int vecLanes = 1;
+  ir::Scal elemType = ir::Scal::F64;
+  std::vector<ArrayReport> arrays;
+  int numAccumulators = 0;
+};
+
+[[nodiscard]] AnalysisReport analyzeKernel(const std::string& hilSource,
+                                           const arch::MachineConfig& machine);
+
+}  // namespace ifko::fko

@@ -1,0 +1,177 @@
+#include "fko/harness.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "analysis/loopinfo.h"
+#include "fko/compiler.h"
+#include "sim/timing.h"
+#include "support/rng.h"
+
+namespace ifko::fko {
+
+GenericData makeGenericData(const ir::Function& fn, int64_t n, uint64_t seed,
+                            double alpha, int64_t strideElems) {
+  GenericData data;
+  // Integer parameters: the last is the (tuned, inner) length n; earlier
+  // ones are outer dimensions fixed at 64.  Arrays are sized by the
+  // product, so an MxN matrix operand fits.
+  int numInts = 0;
+  for (const auto& p : fn.params) numInts += p.kind == ir::ParamKind::Int;
+  int64_t product = n;
+  for (int i = 1; i < numInts; ++i) product *= 64;
+  const size_t elems = static_cast<size_t>(std::max<int64_t>(product, 1)) *
+                       static_cast<size_t>(std::max<int64_t>(strideElems, 1));
+  size_t totalVecBytes = 0;
+  for (const auto& p : fn.params)
+    if (p.isPointer())
+      totalVecBytes += elems * scalBytes(p.elemType()) + 256;
+  data.mem = std::make_unique<sim::Memory>(totalVecBytes + (1 << 21));
+
+  SplitMix64 rng(seed);
+  for (const auto& p : fn.params) {
+    if (p.isPointer()) {
+      size_t esize = scalBytes(p.elemType());
+      size_t bytes = std::max<size_t>(elems * esize, 64);
+      uint64_t addr = data.mem->allocate(bytes + 192, 64) + 192;
+      for (int64_t i = 0; i < static_cast<int64_t>(elems); ++i) {
+        double v = rng.uniform(-1.0, 1.0);
+        if (p.elemType() == ir::Scal::F32)
+          data.mem->write<float>(addr + static_cast<uint64_t>(i) * 4,
+                                 static_cast<float>(v));
+        else
+          data.mem->write<double>(addr + static_cast<uint64_t>(i) * 8, v);
+      }
+      data.arrays.push_back({p.name, addr, elems * esize, p.vecWritten});
+      data.args.emplace_back(static_cast<int64_t>(addr));
+    } else if (p.kind == ir::ParamKind::Int) {
+      --numInts;
+      data.args.emplace_back(numInts == 0 ? n : int64_t{64});
+    } else {
+      data.args.emplace_back(alpha);
+      alpha = -alpha * 0.5;  // distinct value for a second scalar (e.g. beta)
+    }
+  }
+  return data;
+}
+
+DiffOutcome testAgainstUnoptimized(const std::string& hilSource,
+                                   const ir::Function& candidate, int64_t n,
+                                   uint64_t seed) {
+  CompileOptions plain;
+  plain.runRepeatable = false;
+  plain.runRegalloc = false;
+  // The unoptimized lowering: no vectorization, no unrolling, no prefetch.
+  plain.tuning.simdVectorize = false;
+  plain.tuning.unroll = 1;
+  plain.tuning.optimizeLoopControl = false;
+  auto reference = compileKernel(hilSource, plain, arch::p4e());
+  if (!reference.ok)
+    return {false, "reference lowering failed: " + reference.error};
+
+  // A stride-k kernel touches k*n elements: size the operands accordingly.
+  int64_t strideElems = 1;
+  auto rep = analyzeKernel(hilSource, arch::p4e());
+  if (rep.ok)
+    for (const auto& a : rep.arrays)
+      strideElems = std::max(strideElems, a.strideElems);
+
+  GenericData refData = makeGenericData(reference.fn, n, seed, 0.75, strideElems);
+  GenericData candData = makeGenericData(candidate, n, seed, 0.75, strideElems);
+
+  sim::RunResult refRun, candRun;
+  try {
+    sim::Interp refI(reference.fn, *refData.mem);
+    refRun = refI.run(refData.args);
+    sim::Interp candI(candidate, *candData.mem);
+    candRun = candI.run(candData.args);
+  } catch (const std::exception& e) {
+    return {false, std::string("kernel faulted: ") + e.what()};
+  }
+
+  // Written arrays must match.  Elementwise kernels match bitwise (the
+  // transforms never change elementwise arithmetic); when the kernel has
+  // accumulators, stored values may derive from reassociated reductions
+  // (e.g. gemv's y[r]), so those compare with a precision tolerance.
+  const bool hasAccumulators = rep.ok && rep.numAccumulators > 0;
+  const ir::Scal elem = rep.ok ? rep.elemType : ir::Scal::F64;
+  for (const auto& span : candData.arrays) {
+    if (!span.written) continue;
+    const GenericData::Span* refSpan = nullptr;
+    for (const auto& s : refData.arrays)
+      if (s.name == span.name) refSpan = &s;
+    if (refSpan == nullptr)
+      return {false, "candidate writes unknown array '" + span.name + "'"};
+    if (!hasAccumulators) {
+      for (size_t off = 0; off < span.bytes; ++off) {
+        uint8_t a = candData.mem->read<uint8_t>(span.addr + off);
+        uint8_t b = refData.mem->read<uint8_t>(refSpan->addr + off);
+        if (a != b) {
+          std::ostringstream os;
+          os << "output array '" << span.name << "' differs at byte " << off;
+          return {false, os.str()};
+        }
+      }
+      continue;
+    }
+    const size_t esize = scalBytes(elem);
+    const double tol = elem == ir::Scal::F32 ? 5e-3 : 1e-8;
+    for (size_t off = 0; off + esize <= span.bytes; off += esize) {
+      double a = elem == ir::Scal::F32
+                     ? candData.mem->read<float>(span.addr + off)
+                     : candData.mem->read<double>(span.addr + off);
+      double b = elem == ir::Scal::F32
+                     ? refData.mem->read<float>(refSpan->addr + off)
+                     : refData.mem->read<double>(refSpan->addr + off);
+      if (std::fabs(a - b) > tol * std::max(1.0, std::fabs(b))) {
+        std::ostringstream os;
+        os << "output array '" << span.name << "' differs at element "
+           << off / esize << ": " << a << " vs " << b;
+        return {false, os.str()};
+      }
+    }
+  }
+
+  // Results.
+  if (refRun.intResult.has_value() != candRun.intResult.has_value() ||
+      refRun.fpResult.has_value() != candRun.fpResult.has_value())
+    return {false, "result kind mismatch"};
+  if (refRun.intResult && *refRun.intResult != *candRun.intResult) {
+    std::ostringstream os;
+    os << "index result " << *candRun.intResult << ", expected "
+       << *refRun.intResult;
+    return {false, os.str()};
+  }
+  if (refRun.fpResult) {
+    double want = *refRun.fpResult, got = *candRun.fpResult;
+    double tol = reference.fn.retType == ir::RetType::F32 ? 5e-3 : 1e-8;
+    if (std::fabs(got - want) > tol * std::max(1.0, std::fabs(want))) {
+      std::ostringstream os;
+      os << "result " << got << ", expected " << want;
+      return {false, os.str()};
+    }
+  }
+  return {};
+}
+
+sim::TimeResult timeCompiled(const arch::MachineConfig& machine,
+                             const ir::Function& fn, int64_t n,
+                             sim::TimeContext ctx, uint64_t seed,
+                             int64_t strideElems) {
+  GenericData data = makeGenericData(fn, n, seed, 0.75, strideElems);
+  sim::MemSystem mem(machine);
+  if (ctx == sim::TimeContext::InL2)
+    for (const auto& span : data.arrays) mem.warm(span.addr, span.bytes);
+  sim::TimingModel timing(machine, mem);
+  sim::Interp interp(fn, *data.mem, &timing);
+  sim::RunResult run = interp.run(data.args);
+
+  sim::TimeResult out;
+  out.cycles = timing.cycles();
+  out.dynInsts = run.dynInsts;
+  out.mem = mem.stats();
+  out.core = timing.stats();
+  return out;
+}
+
+}  // namespace ifko::fko

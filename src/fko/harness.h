@@ -1,0 +1,72 @@
+// Generic kernel harness: operand placement, differential testing, and
+// timing for ANY HIL kernel, not just the surveyed BLAS.
+//
+// This is what "keeping the search in the compiler" (paper Section 1.1)
+// buys: a user kernel with any signature can be tested and tuned without a
+// hand-written reference implementation.  Correctness is established
+// differentially — the candidate is compared against the *unoptimized*
+// lowering of the same source on identical operands.  Elementwise outputs
+// must match bitwise (the transforms never change elementwise arithmetic);
+// scalar results are compared with a precision-appropriate tolerance since
+// vectorization and accumulator expansion reassociate reductions.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/machine.h"
+#include "ir/function.h"
+#include "sim/interp.h"
+#include "sim/memsys.h"
+#include "sim/timer.h"
+
+namespace ifko::fko {
+
+/// Operands for one kernel invocation, derived from the parameter list:
+/// FP scalars get fixed distinct values; the LAST integer parameter gets n
+/// and any earlier ones (outer dimensions, e.g. gemv's M) get 64; every
+/// pointer parameter gets an array sized by the product of the integer
+/// parameters times its stride, filled with reproducible values.
+struct GenericData {
+  std::unique_ptr<sim::Memory> mem;
+  std::vector<sim::ArgValue> args;
+  /// (address, bytes) per vector parameter, in parameter order.
+  struct Span {
+    std::string name;
+    uint64_t addr = 0;
+    size_t bytes = 0;
+    bool written = false;
+  };
+  std::vector<Span> arrays;
+};
+
+/// `strideElems` scales every array allocation (a stride-k kernel touches
+/// k*n elements over n iterations); derive it from the analysis when the
+/// source is available.
+[[nodiscard]] GenericData makeGenericData(const ir::Function& fn, int64_t n,
+                                          uint64_t seed = 42,
+                                          double alpha = 0.75,
+                                          int64_t strideElems = 1);
+
+struct DiffOutcome {
+  bool ok = true;
+  std::string message;
+};
+
+/// Runs `candidate` and the unoptimized lowering of `hilSource` on
+/// identical operands of length `n`; compares written arrays bitwise and
+/// scalar/index results (reductions with tolerance).
+[[nodiscard]] DiffOutcome testAgainstUnoptimized(const std::string& hilSource,
+                                                 const ir::Function& candidate,
+                                                 int64_t n, uint64_t seed = 42);
+
+/// Times any compiled kernel at length n (generic analogue of
+/// sim::timeKernel).  InL2 pre-warms every vector parameter.
+[[nodiscard]] sim::TimeResult timeCompiled(const arch::MachineConfig& machine,
+                                           const ir::Function& fn, int64_t n,
+                                           sim::TimeContext ctx,
+                                           uint64_t seed = 42,
+                                           int64_t strideElems = 1);
+
+}  // namespace ifko::fko

@@ -1,0 +1,106 @@
+// Abstract syntax of the HIL kernel language.
+//
+// The language is deliberately small (paper Section 2.2.1): it is close to
+// ANSI C in form but with Fortran-77 usage rules (no aliasing of output
+// arrays) and explicit mark-up: vector parameters carry in/out/inout intent
+// and an optional `nopref` hint ("operands known to be already in cache"),
+// and the loop to be empirically tuned is flagged by the LOOP construct.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/diagnostics.h"
+
+namespace ifko::hil {
+
+enum class FpType { F32, F64 };
+
+enum class VecIntent { In, Out, InOut };
+
+enum class ParamClass { Vec, FpScalar, Int };
+
+struct ParamDecl {
+  std::string name;
+  ParamClass cls = ParamClass::Vec;
+  VecIntent intent = VecIntent::In;  ///< only for Vec
+  bool noPrefetch = false;           ///< `nopref` mark-up, only for Vec
+  SourceLoc loc;
+};
+
+// --- expressions -----------------------------------------------------------
+
+enum class BinOp { Add, Sub, Mul, Div };
+enum class RelOp { Lt, Le, Gt, Ge, Eq, Ne };
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  enum class Kind { Number, NameRef, ArrayRef, Binary, Abs, Neg };
+  Kind kind;
+  SourceLoc loc;
+
+  double number = 0;          ///< Number
+  bool isIntLiteral = false;  ///< Number
+  std::string name;           ///< NameRef / ArrayRef (array name)
+  int64_t index = 0;          ///< ArrayRef: constant element offset
+  BinOp bin = BinOp::Add;     ///< Binary
+  ExprPtr lhs, rhs;           ///< Binary; Abs/Neg use lhs
+};
+
+// --- statements --------------------------------------------------------------
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class AssignOp { Set, Add, Sub, Mul };
+
+struct Stmt {
+  enum class Kind {
+    AssignScalar,  ///< name op= expr
+    AssignArray,   ///< name[index] = expr
+    PtrBump,       ///< name += intliteral
+    PtrReset,      ///< name -= intexpr (rewind a pointer after an inner loop)
+    If,            ///< IF (lhs rel rhs) GOTO label
+    Goto,          ///< GOTO label
+    Label,         ///< label:
+    Return,        ///< RETURN [expr]
+    Loop,          ///< LOOP var = from, to [, -1] ... LOOP_END
+  };
+  Kind kind;
+  SourceLoc loc;
+
+  std::string name;   ///< target scalar/array/label/loop var
+  AssignOp op = AssignOp::Set;
+  int64_t index = 0;  ///< AssignArray element / PtrBump amount
+  ExprPtr value;      ///< assigned value / returned value / If lhs
+  ExprPtr rhs;        ///< If rhs
+  RelOp rel = RelOp::Lt;
+  std::string label;  ///< If/Goto target
+
+  // Loop fields
+  ExprPtr loopFrom, loopTo;
+  bool loopDown = false;
+  std::vector<StmtPtr> body;
+};
+
+struct Routine {
+  std::string name;
+  FpType type = FpType::F64;
+  std::vector<ParamDecl> params;
+  std::vector<std::string> fpScalars;
+  std::vector<std::string> intScalars;
+  std::vector<StmtPtr> stmts;
+  SourceLoc loc;
+
+  [[nodiscard]] const ParamDecl* findParam(std::string_view n) const {
+    for (const auto& p : params)
+      if (p.name == n) return &p;
+    return nullptr;
+  }
+};
+
+}  // namespace ifko::hil

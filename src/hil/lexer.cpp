@@ -1,0 +1,178 @@
+#include "hil/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace ifko::hil {
+
+std::string_view tokName(Tok t) {
+  switch (t) {
+    case Tok::Ident: return "identifier";
+    case Tok::Number: return "number";
+    case Tok::KwRoutine: return "ROUTINE";
+    case Tok::KwParams: return "PARAMS";
+    case Tok::KwType: return "TYPE";
+    case Tok::KwScalars: return "SCALARS";
+    case Tok::KwInts: return "INTS";
+    case Tok::KwLoop: return "LOOP";
+    case Tok::KwLoopBody: return "LOOP_BODY";
+    case Tok::KwLoopEnd: return "LOOP_END";
+    case Tok::KwIf: return "IF";
+    case Tok::KwGoto: return "GOTO";
+    case Tok::KwReturn: return "RETURN";
+    case Tok::KwEnd: return "END";
+    case Tok::KwAbs: return "ABS";
+    case Tok::KwVec: return "VEC";
+    case Tok::KwScalar: return "SCALAR";
+    case Tok::KwInt: return "INT";
+    case Tok::KwFloat: return "float";
+    case Tok::KwDouble: return "double";
+    case Tok::KwIn: return "in";
+    case Tok::KwOut: return "out";
+    case Tok::KwInOut: return "inout";
+    case Tok::KwNoPref: return "nopref";
+    case Tok::LParen: return "(";
+    case Tok::RParen: return ")";
+    case Tok::LBracket: return "[";
+    case Tok::RBracket: return "]";
+    case Tok::Comma: return ",";
+    case Tok::Semi: return ";";
+    case Tok::Colon: return ":";
+    case Tok::DoubleColon: return "::";
+    case Tok::Assign: return "=";
+    case Tok::PlusAssign: return "+=";
+    case Tok::MinusAssign: return "-=";
+    case Tok::StarAssign: return "*=";
+    case Tok::Plus: return "+";
+    case Tok::Minus: return "-";
+    case Tok::Star: return "*";
+    case Tok::Slash: return "/";
+    case Tok::Lt: return "<";
+    case Tok::Gt: return ">";
+    case Tok::Le: return "<=";
+    case Tok::Ge: return ">=";
+    case Tok::EqEq: return "==";
+    case Tok::Ne: return "!=";
+    case Tok::Eof: return "<eof>";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::unordered_map<std::string_view, Tok> kKeywords = {
+    {"ROUTINE", Tok::KwRoutine}, {"PARAMS", Tok::KwParams},
+    {"TYPE", Tok::KwType},       {"SCALARS", Tok::KwScalars},
+    {"INTS", Tok::KwInts},       {"LOOP", Tok::KwLoop},
+    {"LOOP_BODY", Tok::KwLoopBody}, {"LOOP_END", Tok::KwLoopEnd},
+    {"IF", Tok::KwIf},           {"GOTO", Tok::KwGoto},
+    {"RETURN", Tok::KwReturn},   {"END", Tok::KwEnd},
+    {"ABS", Tok::KwAbs},         {"VEC", Tok::KwVec},
+    {"SCALAR", Tok::KwScalar},   {"INT", Tok::KwInt},
+    {"float", Tok::KwFloat},     {"double", Tok::KwDouble},
+    {"in", Tok::KwIn},           {"out", Tok::KwOut},
+    {"inout", Tok::KwInOut},     {"nopref", Tok::KwNoPref},
+};
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view src, DiagnosticEngine& diags) {
+  std::vector<Token> out;
+  uint32_t line = 1, col = 1;
+  size_t i = 0;
+
+  auto loc = [&] { return SourceLoc{line, col}; };
+  auto advance = [&](size_t n = 1) {
+    for (size_t k = 0; k < n && i < src.size(); ++k) {
+      if (src[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+      ++i;
+    }
+  };
+  auto push = [&](Tok kind, SourceLoc at, std::string text = {}) {
+    out.push_back({kind, std::move(text), 0, false, at});
+  };
+
+  while (i < src.size()) {
+    char c = src[i];
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance();
+      continue;
+    }
+    if (c == '#') {
+      while (i < src.size() && src[i] != '\n') advance();
+      continue;
+    }
+    SourceLoc at = loc();
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < src.size() && (std::isalnum(static_cast<unsigned char>(src[i])) ||
+                                src[i] == '_'))
+        advance();
+      std::string_view word = src.substr(start, i - start);
+      auto it = kKeywords.find(word);
+      if (it != kKeywords.end())
+        push(it->second, at, std::string(word));
+      else
+        push(Tok::Ident, at, std::string(word));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < src.size() &&
+         std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      size_t start = i;
+      bool isInt = true;
+      while (i < src.size() && (std::isdigit(static_cast<unsigned char>(src[i])) ||
+                                src[i] == '.' || src[i] == 'e' || src[i] == 'E' ||
+                                ((src[i] == '+' || src[i] == '-') && i > start &&
+                                 (src[i - 1] == 'e' || src[i - 1] == 'E')))) {
+        if (src[i] == '.' || src[i] == 'e' || src[i] == 'E') isInt = false;
+        advance();
+      }
+      std::string text(src.substr(start, i - start));
+      Token tok{Tok::Number, text, std::strtod(text.c_str(), nullptr), isInt, at};
+      out.push_back(std::move(tok));
+      continue;
+    }
+    auto two = [&](char a, char b) {
+      return c == a && i + 1 < src.size() && src[i + 1] == b;
+    };
+    if (two(':', ':')) { push(Tok::DoubleColon, at); advance(2); continue; }
+    if (two('+', '=')) { push(Tok::PlusAssign, at); advance(2); continue; }
+    if (two('-', '=')) { push(Tok::MinusAssign, at); advance(2); continue; }
+    if (two('*', '=')) { push(Tok::StarAssign, at); advance(2); continue; }
+    if (two('<', '=')) { push(Tok::Le, at); advance(2); continue; }
+    if (two('>', '=')) { push(Tok::Ge, at); advance(2); continue; }
+    if (two('=', '=')) { push(Tok::EqEq, at); advance(2); continue; }
+    if (two('!', '=')) { push(Tok::Ne, at); advance(2); continue; }
+    switch (c) {
+      case '(': push(Tok::LParen, at); break;
+      case ')': push(Tok::RParen, at); break;
+      case '[': push(Tok::LBracket, at); break;
+      case ']': push(Tok::RBracket, at); break;
+      case ',': push(Tok::Comma, at); break;
+      case ';': push(Tok::Semi, at); break;
+      case ':': push(Tok::Colon, at); break;
+      case '=': push(Tok::Assign, at); break;
+      case '+': push(Tok::Plus, at); break;
+      case '-': push(Tok::Minus, at); break;
+      case '*': push(Tok::Star, at); break;
+      case '/': push(Tok::Slash, at); break;
+      case '<': push(Tok::Lt, at); break;
+      case '>': push(Tok::Gt, at); break;
+      default:
+        diags.error(at, std::string("unexpected character '") + c + "'");
+        break;
+    }
+    advance();
+  }
+  out.push_back({Tok::Eof, "", 0, false, loc()});
+  return out;
+}
+
+}  // namespace ifko::hil

@@ -1,0 +1,17 @@
+// HIL lexer.  `#` starts a comment running to end of line.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "hil/token.h"
+#include "support/diagnostics.h"
+
+namespace ifko::hil {
+
+/// Tokenizes `source`.  Lexical errors are reported to `diags`; the returned
+/// stream always ends with an Eof token.
+[[nodiscard]] std::vector<Token> lex(std::string_view source,
+                                     DiagnosticEngine& diags);
+
+}  // namespace ifko::hil

@@ -1,0 +1,439 @@
+#include "hil/lower.h"
+
+#include <unordered_map>
+
+#include "hil/parser.h"
+#include "ir/builder.h"
+
+namespace ifko::hil {
+
+namespace {
+
+using ir::Builder;
+using ir::Cond;
+using ir::Op;
+using ir::Reg;
+using ir::Scal;
+
+Cond relToCond(RelOp r) {
+  switch (r) {
+    case RelOp::Lt: return Cond::LT;
+    case RelOp::Le: return Cond::LE;
+    case RelOp::Gt: return Cond::GT;
+    case RelOp::Ge: return Cond::GE;
+    case RelOp::Eq: return Cond::EQ;
+    case RelOp::Ne: return Cond::NE;
+  }
+  return Cond::EQ;
+}
+
+class Lowerer {
+ public:
+  Lowerer(const Routine& r, const Symbols& syms, DiagnosticEngine& diags)
+      : r_(r), syms_(syms), diags_(diags),
+        type_(r.type == FpType::F32 ? Scal::F32 : Scal::F64),
+        esize_(scalBytes(type_)) {}
+
+  std::optional<ir::Function> run() {
+    fn_.name = r_.name;
+    fn_.retType = syms_.retClass == 'f'
+                      ? (type_ == Scal::F32 ? ir::RetType::F32 : ir::RetType::F64)
+                  : syms_.retClass == 'i' ? ir::RetType::Int
+                                          : ir::RetType::None;
+
+    for (const auto& p : r_.params) {
+      ir::Param ip;
+      ip.name = p.name;
+      if (p.cls == ParamClass::Vec) {
+        ip.kind = type_ == Scal::F32 ? ir::ParamKind::PtrF32 : ir::ParamKind::PtrF64;
+        ip.reg = fn_.newIntReg();
+        ip.vecRead = p.intent != VecIntent::Out;
+        ip.vecWritten = p.intent != VecIntent::In;
+        ip.noPrefetch = p.noPrefetch;
+      } else if (p.cls == ParamClass::FpScalar) {
+        ip.kind = type_ == Scal::F32 ? ir::ParamKind::ScalF32 : ir::ParamKind::ScalF64;
+        ip.reg = fn_.newFpReg();
+      } else {
+        ip.kind = ir::ParamKind::Int;
+        ip.reg = fn_.newIntReg();
+      }
+      regs_[p.name] = ip.reg;
+      fn_.params.push_back(std::move(ip));
+    }
+    for (const auto& n : r_.fpScalars) regs_[n] = fn_.newFpReg();
+    for (const auto& n : r_.intScalars) regs_[n] = fn_.newIntReg();
+
+    cur_ = fn_.addBlock();
+    lowerStmts(r_.stmts);
+
+    // Drop trailing empty blocks left behind by a GOTO/RETURN that closed
+    // the routine (nothing can fall into them).
+    while (fn_.blocks.size() > 1 && fn_.blocks.back().insts.empty() &&
+           !fn_.blocks[fn_.blocks.size() - 2].fallsThrough()) {
+      int32_t deadId = fn_.blocks.back().id;
+      bool referenced = false;
+      for (const auto& bb : fn_.blocks)
+        for (const auto& in : bb.insts)
+          if (ir::opInfo(in.op).isBranch && in.label == deadId) referenced = true;
+      if (referenced) break;
+      fn_.removeBlock(deadId);
+    }
+    // Functions with no return value need an explicit terminator.
+    if (fn_.blocks.back().fallsThrough()) {
+      if (fn_.retType != ir::RetType::None) {
+        diags_.error({}, "control reaches end of routine without RETURN");
+        return std::nullopt;
+      }
+      Builder b(fn_, fn_.blocks.back().id);
+      b.ret();
+    }
+
+    // Patch forward branches.
+    for (const auto& fx : fixups_) {
+      auto it = labelBlocks_.find(fx.label);
+      if (it == labelBlocks_.end()) {
+        diags_.error({}, "internal: unresolved label '" + fx.label + "'");
+        return std::nullopt;
+      }
+      fn_.block(fx.blockId).insts[fx.instIdx].label = it->second;
+    }
+    if (diags_.hasErrors()) return std::nullopt;
+    return std::move(fn_);
+  }
+
+ private:
+  struct Fixup {
+    int32_t blockId;
+    size_t instIdx;
+    std::string label;
+  };
+
+  Reg reg(const std::string& n) const { return regs_.at(n); }
+
+  /// Emits a branch whose target label may not be lowered yet.
+  void emitBranchTo(Builder& b, std::optional<Cond> cc, const std::string& label) {
+    auto it = labelBlocks_.find(label);
+    int32_t target = it != labelBlocks_.end() ? it->second : 0;
+    if (cc)
+      b.jcc(*cc, target);
+    else
+      b.jmp(target);
+    if (it == labelBlocks_.end())
+      fixups_.push_back({b.blockId(), fn_.block(b.blockId()).insts.size() - 1, label});
+  }
+
+  char classOf(const Expr& e) const {
+    switch (e.kind) {
+      case Expr::Kind::Number: return e.isIntLiteral ? 'i' : 'f';
+      case Expr::Kind::NameRef: return syms_.isInt(e.name) ? 'i' : 'f';
+      case Expr::Kind::ArrayRef: return 'f';
+      case Expr::Kind::Binary: {
+        char a = classOf(*e.lhs), b = classOf(*e.rhs);
+        return (a == 'i' && b == 'i') ? 'i' : 'f';
+      }
+      case Expr::Kind::Abs:
+      case Expr::Kind::Neg: return classOf(*e.lhs);
+    }
+    return 'f';
+  }
+
+  Reg lowerInt(Builder& b, const Expr& e) {
+    switch (e.kind) {
+      case Expr::Kind::Number:
+        return b.imovi(static_cast<int64_t>(e.number));
+      case Expr::Kind::NameRef:
+        return reg(e.name);
+      case Expr::Kind::Binary: {
+        Reg x = lowerInt(b, *e.lhs);
+        Reg y = lowerInt(b, *e.rhs);
+        switch (e.bin) {
+          case BinOp::Add: return b.iadd(x, y);
+          case BinOp::Sub: return b.isub(x, y);
+          case BinOp::Mul: return b.imul(x, y);
+          case BinOp::Div: break;
+        }
+        break;
+      }
+      case Expr::Kind::Neg: {
+        Reg x = lowerInt(b, *e.lhs);
+        Reg zero = b.imovi(0);
+        return b.isub(zero, x);
+      }
+      default: break;
+    }
+    diags_.error(e.loc, "unsupported integer expression");
+    return b.imovi(0);
+  }
+
+  void lowerIntInto(Builder& b, const Expr& e, Reg dst) {
+    if (e.kind == Expr::Kind::Number) {
+      b.emit({.op = Op::IMovI, .dst = dst, .imm = static_cast<int64_t>(e.number)});
+      return;
+    }
+    if (e.kind == Expr::Kind::NameRef) {
+      b.emit({.op = Op::IMov, .dst = dst, .src1 = reg(e.name)});
+      return;
+    }
+    if (e.kind == Expr::Kind::Binary) {
+      Reg x = lowerInt(b, *e.lhs);
+      Reg y = lowerInt(b, *e.rhs);
+      Op op = e.bin == BinOp::Add   ? Op::IAdd
+              : e.bin == BinOp::Sub ? Op::ISub
+                                    : Op::IMul;
+      b.emit({.op = op, .dst = dst, .src1 = x, .src2 = y});
+      return;
+    }
+    Reg v = lowerInt(b, e);
+    b.emit({.op = Op::IMov, .dst = dst, .src1 = v});
+  }
+
+  Reg lowerFp(Builder& b, const Expr& e) {
+    switch (e.kind) {
+      case Expr::Kind::Number:
+        return b.fldi(type_, e.number);
+      case Expr::Kind::NameRef:
+        if (syms_.isInt(e.name)) {
+          diags_.error(e.loc, "integer value used in floating-point context");
+          return b.fldi(type_, 0);
+        }
+        return reg(e.name);
+      case Expr::Kind::ArrayRef:
+        return b.fld(type_, ir::mem(reg(e.name), e.index * esize_));
+      case Expr::Kind::Binary: {
+        Reg x = lowerFp(b, *e.lhs);
+        Reg y = lowerFp(b, *e.rhs);
+        switch (e.bin) {
+          case BinOp::Add: return b.fadd(type_, x, y);
+          case BinOp::Sub: return b.fsub(type_, x, y);
+          case BinOp::Mul: return b.fmul(type_, x, y);
+          case BinOp::Div: return b.fdiv(type_, x, y);
+        }
+        break;
+      }
+      case Expr::Kind::Abs:
+        return b.fabs_(type_, lowerFp(b, *e.lhs));
+      case Expr::Kind::Neg: {
+        Reg x = lowerFp(b, *e.lhs);
+        Reg d = fn_.newFpReg();
+        b.emit({.op = Op::FNeg, .type = type_, .dst = d, .src1 = x});
+        return d;
+      }
+    }
+    diags_.error(e.loc, "unsupported floating-point expression");
+    return b.fldi(type_, 0);
+  }
+
+  void lowerFpInto(Builder& b, const Expr& e, Reg dst) {
+    switch (e.kind) {
+      case Expr::Kind::Number:
+        b.emit({.op = Op::FLdI, .type = type_, .dst = dst, .fimm = e.number});
+        return;
+      case Expr::Kind::NameRef:
+        if (!syms_.isInt(e.name)) {
+          b.emit({.op = Op::FMov, .type = type_, .dst = dst, .src1 = reg(e.name)});
+          return;
+        }
+        break;
+      case Expr::Kind::ArrayRef:
+        b.emit({.op = Op::FLd, .type = type_, .dst = dst,
+                .mem = ir::mem(reg(e.name), e.index * esize_)});
+        return;
+      case Expr::Kind::Binary: {
+        Reg x = lowerFp(b, *e.lhs);
+        Reg y = lowerFp(b, *e.rhs);
+        Op op = e.bin == BinOp::Add   ? Op::FAdd
+                : e.bin == BinOp::Sub ? Op::FSub
+                : e.bin == BinOp::Mul ? Op::FMul
+                                      : Op::FDiv;
+        b.emit({.op = op, .type = type_, .dst = dst, .src1 = x, .src2 = y});
+        return;
+      }
+      case Expr::Kind::Abs: {
+        Reg x = lowerFp(b, *e.lhs);
+        b.emit({.op = Op::FAbs, .type = type_, .dst = dst, .src1 = x});
+        return;
+      }
+      case Expr::Kind::Neg: {
+        Reg x = lowerFp(b, *e.lhs);
+        b.emit({.op = Op::FNeg, .type = type_, .dst = dst, .src1 = x});
+        return;
+      }
+    }
+    Reg v = lowerFp(b, e);
+    b.emit({.op = Op::FMov, .type = type_, .dst = dst, .src1 = v});
+  }
+
+  /// Starts a new block that is a fall-through successor of the current one.
+  int32_t startBlock() {
+    cur_ = fn_.addBlock();
+    return cur_;
+  }
+
+  void lowerStmts(const std::vector<StmtPtr>& stmts) {
+    for (const auto& sp : stmts) lowerStmt(*sp);
+  }
+
+  void lowerStmt(const Stmt& s) {
+    Builder b(fn_, cur_);
+    switch (s.kind) {
+      case Stmt::Kind::Label: {
+        int32_t blockId = startBlock();
+        labelBlocks_[s.name] = blockId;
+        break;
+      }
+      case Stmt::Kind::AssignScalar: {
+        Reg dst = reg(s.name);
+        bool isInt = syms_.isInt(s.name);
+        if (s.op == AssignOp::Set) {
+          if (isInt)
+            lowerIntInto(b, *s.value, dst);
+          else
+            lowerFpInto(b, *s.value, dst);
+          break;
+        }
+        if (isInt) {
+          Reg v = lowerInt(b, *s.value);
+          Op op = s.op == AssignOp::Add ? Op::IAdd : Op::ISub;
+          b.emit({.op = op, .dst = dst, .src1 = dst, .src2 = v});
+        } else {
+          Reg v = lowerFp(b, *s.value);
+          Op op = s.op == AssignOp::Add   ? Op::FAdd
+                  : s.op == AssignOp::Sub ? Op::FSub
+                                          : Op::FMul;
+          b.emit({.op = op, .type = type_, .dst = dst, .src1 = dst, .src2 = v});
+        }
+        break;
+      }
+      case Stmt::Kind::AssignArray: {
+        Reg v = lowerFp(b, *s.value);
+        b.fst(type_, ir::mem(reg(s.name), s.index * esize_), v);
+        break;
+      }
+      case Stmt::Kind::PtrBump: {
+        Reg p = reg(s.name);
+        b.emit({.op = Op::IAddI, .dst = p, .src1 = p, .imm = s.index * esize_});
+        break;
+      }
+      case Stmt::Kind::PtrReset: {
+        // X -= expr: rewind the pointer by expr elements.
+        Reg p = reg(s.name);
+        Reg elems = lowerInt(b, *s.value);
+        Reg es = b.imovi(esize_);
+        Reg bytes = b.imul(elems, es);
+        b.emit({.op = Op::ISub, .dst = p, .src1 = p, .src2 = bytes});
+        break;
+      }
+      case Stmt::Kind::If: {
+        char ca = classOf(*s.value), cb = classOf(*s.rhs);
+        if (ca == 'f' || cb == 'f') {
+          Reg x = lowerFp(b, *s.value);
+          Reg y = lowerFp(b, *s.rhs);
+          b.fcmp(type_, x, y);
+        } else {
+          Reg x = lowerInt(b, *s.value);
+          Reg y = lowerInt(b, *s.rhs);
+          b.icmp(x, y);
+        }
+        emitBranchTo(b, relToCond(s.rel), s.label);
+        startBlock();  // fall-through path continues in a fresh block
+        break;
+      }
+      case Stmt::Kind::Goto:
+        emitBranchTo(b, std::nullopt, s.label);
+        startBlock();  // anything after an unconditional jump begins anew
+        break;
+      case Stmt::Kind::Return: {
+        if (s.value) {
+          Reg v = syms_.retClass == 'i' ? lowerInt(b, *s.value)
+                                        : lowerFp(b, *s.value);
+          b.retVal(v);
+        } else {
+          b.ret();
+        }
+        startBlock();
+        break;
+      }
+      case Stmt::Kind::Loop:
+        lowerLoop(s);
+        break;
+    }
+  }
+
+  void lowerLoop(const Stmt& s) {
+    // Only the innermost loop is flagged for tuning.
+    bool innermost = true;
+    for (const auto& inner : s.body)
+      if (inner->kind == Stmt::Kind::Loop) innermost = false;
+
+    Builder b(fn_, cur_);
+    int32_t preheader = cur_;
+
+    Reg from = lowerInt(b, *s.loopFrom);
+    Reg to = lowerInt(b, *s.loopTo);
+    Reg ivar = fn_.newIntReg();
+    regs_[s.name] = ivar;
+    b.emit({.op = Op::IMov, .dst = ivar, .src1 = from});
+    // Trip count: the loop runs |to - from| iterations.
+    Reg trip = s.loopDown ? b.isub(from, to) : b.isub(to, from);
+    b.icmpi(trip, 0);
+    // Pretest: skip the loop entirely when the trip count is <= 0.  The
+    // target is the exit block, created below; patch afterwards.
+    b.jcc(Cond::LE, 0);
+    size_t pretestIdx = fn_.block(preheader).insts.size() - 1;
+
+    int32_t header = startBlock();
+    lowerStmts(s.body);
+
+    // Latch: induction update + test + backedge.
+    int32_t latch = cur_;
+    Builder lb(fn_, latch);
+    lb.emit({.op = Op::IAddI, .dst = ivar, .src1 = ivar,
+             .imm = s.loopDown ? -1 : 1});
+    lb.icmp(ivar, to);
+    lb.jcc(s.loopDown ? Cond::GT : Cond::LT, header);
+
+    int32_t exit = startBlock();
+    fn_.block(preheader).insts[pretestIdx].label = exit;
+
+    if (!innermost) return;
+    fn_.loop.valid = true;
+    fn_.loop.preheader = preheader;
+    fn_.loop.header = header;
+    fn_.loop.latch = latch;
+    fn_.loop.exit = exit;
+    fn_.loop.ivar = ivar;
+    fn_.loop.dir = s.loopDown ? ir::LoopDir::Down : ir::LoopDir::Up;
+    fn_.loop.bound = trip;
+    // bodyBlocks (including out-of-line side blocks such as iamax's NEWMAX)
+    // are discovered by the natural-loop analysis, not here.
+  }
+
+  const Routine& r_;
+  const Symbols& syms_;
+  DiagnosticEngine& diags_;
+  Scal type_;
+  int64_t esize_;
+  ir::Function fn_;
+  std::unordered_map<std::string, Reg> regs_;
+  std::unordered_map<std::string, int32_t> labelBlocks_;
+  std::vector<Fixup> fixups_;
+  int32_t cur_ = -1;
+};
+
+}  // namespace
+
+std::optional<ir::Function> lower(const Routine& r, const Symbols& syms,
+                                  DiagnosticEngine& diags) {
+  return Lowerer(r, syms, diags).run();
+}
+
+std::optional<ir::Function> compileHil(std::string_view source,
+                                       DiagnosticEngine& diags) {
+  auto routine = parse(source, diags);
+  if (!routine) return std::nullopt;
+  Symbols syms = analyze(*routine, diags);
+  if (diags.hasErrors()) return std::nullopt;
+  return lower(*routine, syms, diags);
+}
+
+}  // namespace ifko::hil

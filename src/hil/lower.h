@@ -1,0 +1,30 @@
+// Lowering from HIL AST to virtual-ISA IR.
+//
+// Produces the straightforward, unoptimized form of the kernel: one block
+// per label region, a simple counted loop (init / pretest / body / latch
+// with increment+compare+branch), scalar FP operations only.  All
+// optimization — including the restructuring into the guarded main loop +
+// remainder loop form — is done by FKO's transforms, exactly as the paper
+// applies "no high level optimizations to the source".
+#pragma once
+
+#include <optional>
+
+#include "hil/ast.h"
+#include "hil/sema.h"
+#include "ir/function.h"
+#include "support/diagnostics.h"
+
+namespace ifko::hil {
+
+/// Lowers `r` (already sema-checked) to IR.  Returns nullopt and reports
+/// diagnostics on failure.
+[[nodiscard]] std::optional<ir::Function> lower(const Routine& r,
+                                                const Symbols& syms,
+                                                DiagnosticEngine& diags);
+
+/// Convenience: parse + analyze + lower in one call.
+[[nodiscard]] std::optional<ir::Function> compileHil(std::string_view source,
+                                                     DiagnosticEngine& diags);
+
+}  // namespace ifko::hil

@@ -1,0 +1,395 @@
+#include "hil/parser.h"
+
+#include "hil/lexer.h"
+
+namespace ifko::hil {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::vector<Token> toks, DiagnosticEngine& diags)
+      : toks_(std::move(toks)), diags_(diags) {}
+
+  std::unique_ptr<Routine> parseRoutine() {
+    auto r = std::make_unique<Routine>();
+    r->loc = cur().loc;
+    if (!expect(Tok::KwRoutine)) return nullptr;
+    if (!expectIdent(r->name)) return nullptr;
+    if (!expect(Tok::Semi)) return nullptr;
+
+    if (!parseParams(*r)) return nullptr;
+    if (!parseType(*r)) return nullptr;
+    while (at(Tok::KwScalars) || at(Tok::KwInts)) {
+      bool fp = at(Tok::KwScalars);
+      next();
+      if (!expect(Tok::DoubleColon)) return nullptr;
+      do {
+        std::string n;
+        if (!expectIdent(n)) return nullptr;
+        (fp ? r->fpScalars : r->intScalars).push_back(std::move(n));
+      } while (accept(Tok::Comma));
+      if (!expect(Tok::Semi)) return nullptr;
+    }
+
+    while (!at(Tok::KwEnd) && !at(Tok::Eof)) {
+      StmtPtr s = parseStmt();
+      if (!s) return nullptr;
+      r->stmts.push_back(std::move(s));
+    }
+    if (!expect(Tok::KwEnd)) return nullptr;
+    return r;
+  }
+
+ private:
+  const Token& cur() const { return toks_[pos_]; }
+  const Token& peek(size_t n = 1) const {
+    size_t i = pos_ + n;
+    return toks_[i < toks_.size() ? i : toks_.size() - 1];
+  }
+  void next() {
+    if (pos_ + 1 < toks_.size()) ++pos_;
+  }
+  bool at(Tok k) const { return cur().kind == k; }
+  bool accept(Tok k) {
+    if (!at(k)) return false;
+    next();
+    return true;
+  }
+  bool expect(Tok k) {
+    if (accept(k)) return true;
+    diags_.error(cur().loc, std::string("expected '") + std::string(tokName(k)) +
+                                "', found '" + std::string(tokName(cur().kind)) +
+                                "'");
+    return false;
+  }
+  bool expectIdent(std::string& out) {
+    if (!at(Tok::Ident)) {
+      diags_.error(cur().loc, "expected identifier, found '" +
+                                  std::string(tokName(cur().kind)) + "'");
+      return false;
+    }
+    out = cur().text;
+    next();
+    return true;
+  }
+
+  bool parseParams(Routine& r) {
+    if (!expect(Tok::KwParams) || !expect(Tok::DoubleColon)) return false;
+    do {
+      ParamDecl p;
+      p.loc = cur().loc;
+      if (!expectIdent(p.name)) return false;
+      if (!expect(Tok::Assign)) return false;
+      if (accept(Tok::KwVec)) {
+        p.cls = ParamClass::Vec;
+        if (!expect(Tok::LParen)) return false;
+        if (accept(Tok::KwIn))
+          p.intent = VecIntent::In;
+        else if (accept(Tok::KwOut))
+          p.intent = VecIntent::Out;
+        else if (accept(Tok::KwInOut))
+          p.intent = VecIntent::InOut;
+        else {
+          diags_.error(cur().loc, "expected in/out/inout intent");
+          return false;
+        }
+        if (accept(Tok::Comma)) {
+          if (!expect(Tok::KwNoPref)) return false;
+          p.noPrefetch = true;
+        }
+        if (!expect(Tok::RParen)) return false;
+      } else if (accept(Tok::KwScalar)) {
+        p.cls = ParamClass::FpScalar;
+      } else if (accept(Tok::KwInt)) {
+        p.cls = ParamClass::Int;
+      } else {
+        diags_.error(cur().loc, "expected VEC/SCALAR/INT parameter class");
+        return false;
+      }
+      r.params.push_back(std::move(p));
+    } while (accept(Tok::Comma));
+    return expect(Tok::Semi);
+  }
+
+  bool parseType(Routine& r) {
+    if (!expect(Tok::KwType)) return false;
+    if (accept(Tok::KwFloat))
+      r.type = FpType::F32;
+    else if (accept(Tok::KwDouble))
+      r.type = FpType::F64;
+    else {
+      diags_.error(cur().loc, "expected 'float' or 'double'");
+      return false;
+    }
+    return expect(Tok::Semi);
+  }
+
+  ExprPtr parsePrimary() {
+    SourceLoc loc = cur().loc;
+    if (cur().kind == Tok::Number) {
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::Number;
+      e->loc = loc;
+      e->number = cur().number;
+      e->isIntLiteral = cur().isIntLiteral;
+      next();
+      return e;
+    }
+    if (accept(Tok::LParen)) {
+      ExprPtr e = parseExpr();
+      if (!e || !expect(Tok::RParen)) return nullptr;
+      return e;
+    }
+    if (accept(Tok::KwAbs)) {
+      ExprPtr inner = parsePrimary();
+      if (!inner) return nullptr;
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::Abs;
+      e->loc = loc;
+      e->lhs = std::move(inner);
+      return e;
+    }
+    if (accept(Tok::Minus)) {
+      ExprPtr inner = parsePrimary();
+      if (!inner) return nullptr;
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::Neg;
+      e->loc = loc;
+      e->lhs = std::move(inner);
+      return e;
+    }
+    if (at(Tok::Ident)) {
+      std::string name = cur().text;
+      next();
+      if (accept(Tok::LBracket)) {
+        if (!at(Tok::Number) || !cur().isIntLiteral) {
+          diags_.error(cur().loc, "array index must be an integer literal");
+          return nullptr;
+        }
+        int64_t idx = static_cast<int64_t>(cur().number);
+        next();
+        if (!expect(Tok::RBracket)) return nullptr;
+        auto e = std::make_unique<Expr>();
+        e->kind = Expr::Kind::ArrayRef;
+        e->loc = loc;
+        e->name = std::move(name);
+        e->index = idx;
+        return e;
+      }
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::NameRef;
+      e->loc = loc;
+      e->name = std::move(name);
+      return e;
+    }
+    diags_.error(loc, "expected expression");
+    return nullptr;
+  }
+
+  ExprPtr parseTerm() {
+    ExprPtr lhs = parsePrimary();
+    if (!lhs) return nullptr;
+    while (at(Tok::Star) || at(Tok::Slash)) {
+      BinOp op = at(Tok::Star) ? BinOp::Mul : BinOp::Div;
+      SourceLoc opLoc = cur().loc;
+      next();
+      ExprPtr rhs = parsePrimary();
+      if (!rhs) return nullptr;
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::Binary;
+      e->loc = opLoc;
+      e->bin = op;
+      e->lhs = std::move(lhs);
+      e->rhs = std::move(rhs);
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  ExprPtr parseExpr() {
+    ExprPtr lhs = parseTerm();
+    if (!lhs) return nullptr;
+    while (at(Tok::Plus) || at(Tok::Minus)) {
+      BinOp op = at(Tok::Plus) ? BinOp::Add : BinOp::Sub;
+      SourceLoc opLoc = cur().loc;
+      next();
+      ExprPtr rhs = parseTerm();
+      if (!rhs) return nullptr;
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::Binary;
+      e->loc = opLoc;
+      e->bin = op;
+      e->lhs = std::move(lhs);
+      e->rhs = std::move(rhs);
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  std::optional<RelOp> parseRelOp() {
+    switch (cur().kind) {
+      case Tok::Lt: next(); return RelOp::Lt;
+      case Tok::Le: next(); return RelOp::Le;
+      case Tok::Gt: next(); return RelOp::Gt;
+      case Tok::Ge: next(); return RelOp::Ge;
+      case Tok::EqEq: next(); return RelOp::Eq;
+      case Tok::Ne: next(); return RelOp::Ne;
+      default:
+        diags_.error(cur().loc, "expected relational operator");
+        return std::nullopt;
+    }
+  }
+
+  StmtPtr parseStmt() {
+    SourceLoc loc = cur().loc;
+
+    if (accept(Tok::KwLoop)) return parseLoop(loc);
+
+    if (accept(Tok::KwIf)) {
+      auto s = std::make_unique<Stmt>();
+      s->kind = Stmt::Kind::If;
+      s->loc = loc;
+      if (!expect(Tok::LParen)) return nullptr;
+      s->value = parseExpr();
+      if (!s->value) return nullptr;
+      auto rel = parseRelOp();
+      if (!rel) return nullptr;
+      s->rel = *rel;
+      s->rhs = parseExpr();
+      if (!s->rhs) return nullptr;
+      if (!expect(Tok::RParen) || !expect(Tok::KwGoto)) return nullptr;
+      if (!expectIdent(s->label)) return nullptr;
+      if (!expect(Tok::Semi)) return nullptr;
+      return s;
+    }
+
+    if (accept(Tok::KwGoto)) {
+      auto s = std::make_unique<Stmt>();
+      s->kind = Stmt::Kind::Goto;
+      s->loc = loc;
+      if (!expectIdent(s->label)) return nullptr;
+      if (!expect(Tok::Semi)) return nullptr;
+      return s;
+    }
+
+    if (accept(Tok::KwReturn)) {
+      auto s = std::make_unique<Stmt>();
+      s->kind = Stmt::Kind::Return;
+      s->loc = loc;
+      if (!at(Tok::Semi)) {
+        s->value = parseExpr();
+        if (!s->value) return nullptr;
+      }
+      if (!expect(Tok::Semi)) return nullptr;
+      return s;
+    }
+
+    // Label, scalar assignment, array assignment, or pointer bump: all start
+    // with an identifier.
+    if (at(Tok::Ident)) {
+      std::string name = cur().text;
+      if (peek().kind == Tok::Colon) {
+        next();
+        next();
+        auto s = std::make_unique<Stmt>();
+        s->kind = Stmt::Kind::Label;
+        s->loc = loc;
+        s->name = std::move(name);
+        return s;
+      }
+      next();
+      if (accept(Tok::LBracket)) {
+        auto s = std::make_unique<Stmt>();
+        s->kind = Stmt::Kind::AssignArray;
+        s->loc = loc;
+        s->name = std::move(name);
+        if (!at(Tok::Number) || !cur().isIntLiteral) {
+          diags_.error(cur().loc, "array index must be an integer literal");
+          return nullptr;
+        }
+        s->index = static_cast<int64_t>(cur().number);
+        next();
+        if (!expect(Tok::RBracket) || !expect(Tok::Assign)) return nullptr;
+        s->value = parseExpr();
+        if (!s->value || !expect(Tok::Semi)) return nullptr;
+        return s;
+      }
+      AssignOp op;
+      if (accept(Tok::Assign))
+        op = AssignOp::Set;
+      else if (accept(Tok::PlusAssign))
+        op = AssignOp::Add;
+      else if (accept(Tok::MinusAssign))
+        op = AssignOp::Sub;
+      else if (accept(Tok::StarAssign))
+        op = AssignOp::Mul;
+      else {
+        diags_.error(cur().loc, "expected assignment operator");
+        return nullptr;
+      }
+      auto s = std::make_unique<Stmt>();
+      s->loc = loc;
+      s->name = std::move(name);
+      s->op = op;
+      s->value = parseExpr();
+      if (!s->value || !expect(Tok::Semi)) return nullptr;
+      // `X += 3` on a vector parameter is a pointer bump; the distinction is
+      // drawn in sema (needs the symbol table), so record it as AssignScalar
+      // here and let sema reclassify.
+      s->kind = Stmt::Kind::AssignScalar;
+      return s;
+    }
+
+    diags_.error(loc, "expected statement, found '" +
+                         std::string(tokName(cur().kind)) + "'");
+    return nullptr;
+  }
+
+  StmtPtr parseLoop(SourceLoc loc) {
+    auto s = std::make_unique<Stmt>();
+    s->kind = Stmt::Kind::Loop;
+    s->loc = loc;
+    if (!expectIdent(s->name)) return nullptr;
+    if (!expect(Tok::Assign)) return nullptr;
+    s->loopFrom = parseExpr();
+    if (!s->loopFrom || !expect(Tok::Comma)) return nullptr;
+    s->loopTo = parseExpr();
+    if (!s->loopTo) return nullptr;
+    if (accept(Tok::Comma)) {
+      // Only a step of -1 is supported (the paper's downward loops).
+      if (!accept(Tok::Minus) || !at(Tok::Number) || cur().number != 1) {
+        diags_.error(cur().loc, "only a loop step of -1 is supported");
+        return nullptr;
+      }
+      next();
+      s->loopDown = true;
+    }
+    if (!expect(Tok::KwLoopBody)) return nullptr;
+    while (!at(Tok::KwLoopEnd) && !at(Tok::Eof)) {
+      StmtPtr inner = parseStmt();
+      if (!inner) return nullptr;
+      s->body.push_back(std::move(inner));
+    }
+    if (!expect(Tok::KwLoopEnd)) return nullptr;
+    return s;
+  }
+
+  std::vector<Token> toks_;
+  DiagnosticEngine& diags_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Routine> parse(std::string_view source,
+                               DiagnosticEngine& diags) {
+  std::vector<Token> toks = lex(source, diags);
+  if (diags.hasErrors()) return nullptr;
+  Parser p(std::move(toks), diags);
+  auto r = p.parseRoutine();
+  if (diags.hasErrors()) return nullptr;
+  return r;
+}
+
+}  // namespace ifko::hil

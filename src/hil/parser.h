@@ -1,0 +1,17 @@
+// Recursive-descent parser for HIL.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string_view>
+
+#include "hil/ast.h"
+#include "support/diagnostics.h"
+
+namespace ifko::hil {
+
+/// Parses one routine.  Returns nullptr (with diagnostics) on error.
+[[nodiscard]] std::unique_ptr<Routine> parse(std::string_view source,
+                                             DiagnosticEngine& diags);
+
+}  // namespace ifko::hil

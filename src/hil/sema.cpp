@@ -1,0 +1,258 @@
+#include "hil/sema.h"
+
+#include <functional>
+#include <set>
+
+namespace ifko::hil {
+
+namespace {
+
+class SemaPass {
+ public:
+  SemaPass(Routine& r, DiagnosticEngine& diags) : r_(r), diags_(diags) {}
+
+  Symbols run() {
+    buildSymbols();
+    collectLabels(r_.stmts);
+    size_t loops = 0;
+    checkStmts(r_.stmts, /*depth=*/0, loops);
+    if (loops == 0)
+      diags_.warning(r_.loc, "routine has no LOOP; nothing to tune");
+    return std::move(syms_);
+  }
+
+ private:
+  void buildSymbols() {
+    auto declare = [&](const std::string& n, SymKind k, SourceLoc loc) {
+      if (!syms_.table.emplace(n, k).second)
+        diags_.error(loc, "redeclaration of '" + n + "'");
+    };
+    for (const auto& p : r_.params) {
+      SymKind k = p.cls == ParamClass::Vec        ? SymKind::VecParam
+                  : p.cls == ParamClass::FpScalar ? SymKind::FpParam
+                                                  : SymKind::IntParam;
+      declare(p.name, k, p.loc);
+    }
+    for (const auto& n : r_.fpScalars) declare(n, SymKind::FpLocal, r_.loc);
+    for (const auto& n : r_.intScalars) declare(n, SymKind::IntLocal, r_.loc);
+  }
+
+  void collectLabels(const std::vector<StmtPtr>& stmts) {
+    for (const auto& s : stmts) {
+      if (s->kind == Stmt::Kind::Label) {
+        if (!labels_.insert(s->name).second)
+          diags_.error(s->loc, "duplicate label '" + s->name + "'");
+      }
+      if (s->kind == Stmt::Kind::Loop) collectLabels(s->body);
+    }
+  }
+
+  /// 'i' for integer-class, 'f' for floating-point-class, 0 on error.
+  char exprClass(const Expr& e) {
+    switch (e.kind) {
+      case Expr::Kind::Number:
+        return e.isIntLiteral ? 'i' : 'f';
+      case Expr::Kind::NameRef: {
+        auto it = syms_.table.find(e.name);
+        if (it == syms_.table.end()) {
+          diags_.error(e.loc, "use of undeclared name '" + e.name + "'");
+          return 0;
+        }
+        if (it->second == SymKind::VecParam) {
+          diags_.error(e.loc, "vector '" + e.name + "' used as a scalar");
+          return 0;
+        }
+        return syms_.isInt(e.name) ? 'i' : 'f';
+      }
+      case Expr::Kind::ArrayRef: {
+        if (!syms_.isVec(e.name)) {
+          diags_.error(e.loc, "'" + e.name + "' is not a vector parameter");
+          return 0;
+        }
+        if (e.index < 0)
+          diags_.error(e.loc, "negative array index");
+        const ParamDecl* p = r_.findParam(e.name);
+        if (p && p->intent == VecIntent::Out)
+          diags_.warning(e.loc,
+                         "reading vector '" + e.name + "' declared out-only");
+        return 'f';
+      }
+      case Expr::Kind::Binary: {
+        char a = exprClass(*e.lhs), b = exprClass(*e.rhs);
+        if (a == 0 || b == 0) return 0;
+        if (e.bin == BinOp::Div && a == 'i' && b == 'i') {
+          diags_.error(e.loc, "integer division is not supported");
+          return 0;
+        }
+        return (a == 'i' && b == 'i') ? 'i' : 'f';
+      }
+      case Expr::Kind::Abs:
+      case Expr::Kind::Neg: {
+        char a = exprClass(*e.lhs);
+        if (e.kind == Expr::Kind::Abs && a == 'i') {
+          diags_.error(e.loc, "ABS of an integer expression is not supported");
+          return 0;
+        }
+        return a;
+      }
+    }
+    return 0;
+  }
+
+  static bool containsLoop(const std::vector<StmtPtr>& stmts) {
+    for (const auto& s : stmts)
+      if (s->kind == Stmt::Kind::Loop) return true;
+    return false;
+  }
+
+  void checkStmts(std::vector<StmtPtr>& stmts, int depth, size_t& loops) {
+    const bool inLoop = depth > 0;
+    const bool hasNestedLoop = containsLoop(stmts);
+    // Arrays whose pointer was already bumped in this lexical region.
+    std::set<std::string> bumped;
+
+    std::function<void(Expr&)> checkRefsAfterBump = [&](Expr& e) {
+      if (e.kind == Expr::Kind::ArrayRef && bumped.count(e.name))
+        diags_.error(e.loc, "reference to '" + e.name +
+                                "' after its pointer bump; move all "
+                                "references before the bumps");
+      if (e.lhs) checkRefsAfterBump(*e.lhs);
+      if (e.rhs) checkRefsAfterBump(*e.rhs);
+    };
+
+    for (auto& sp : stmts) {
+      Stmt& s = *sp;
+      switch (s.kind) {
+        case Stmt::Kind::AssignScalar: {
+          // Reclassify vector-pointer updates: `X += <intlit>` is a bump,
+          // `X -= <int expr>` rewinds the pointer after an inner loop.
+          if (syms_.isVec(s.name)) {
+            if (s.op == AssignOp::Add && s.value->kind == Expr::Kind::Number &&
+                s.value->isIntLiteral && s.value->number >= 1) {
+              s.kind = Stmt::Kind::PtrBump;
+              s.index = static_cast<int64_t>(s.value->number);
+              if (!inLoop)
+                diags_.error(s.loc, "pointer bump outside the loop body");
+              bumped.insert(s.name);
+              break;
+            }
+            if (s.op == AssignOp::Sub) {
+              if (!hasNestedLoop)
+                diags_.error(s.loc,
+                             "'X -= expr' (pointer rewind) is only allowed in "
+                             "a loop body that contains a nested loop");
+              if (exprClass(*s.value) != 'i')
+                diags_.error(s.loc, "pointer rewind amount must be an integer");
+              s.kind = Stmt::Kind::PtrReset;
+              break;
+            }
+            diags_.error(s.loc,
+                         "vectors only support 'X += <positive int literal>' "
+                         "and 'X -= <int expr>'");
+            break;
+          }
+          auto it = syms_.table.find(s.name);
+          if (it == syms_.table.end()) {
+            diags_.error(s.loc, "assignment to undeclared name '" + s.name + "'");
+            break;
+          }
+          if (it->second == SymKind::LoopVar) {
+            diags_.error(s.loc, "the loop variable may not be assigned");
+            break;
+          }
+          if (it->second == SymKind::FpParam || it->second == SymKind::IntParam)
+            diags_.error(s.loc, "parameters are read-only; use a local");
+          checkRefsAfterBump(*s.value);
+          char vc = exprClass(*s.value);
+          if (vc == 'f' && syms_.isInt(s.name))
+            diags_.error(s.loc, "cannot assign floating-point value to integer '" +
+                                    s.name + "'");
+          if (s.op == AssignOp::Mul && syms_.isInt(s.name))
+            diags_.error(s.loc, "'*=' is not supported on integers");
+          break;
+        }
+        case Stmt::Kind::AssignArray: {
+          if (!syms_.isVec(s.name)) {
+            diags_.error(s.loc, "'" + s.name + "' is not a vector parameter");
+            break;
+          }
+          const ParamDecl* p = r_.findParam(s.name);
+          if (p && p->intent == VecIntent::In)
+            diags_.error(s.loc, "store to vector '" + s.name +
+                                    "' declared in-only");
+          if (bumped.count(s.name))
+            diags_.error(s.loc, "store to '" + s.name + "' after its bump");
+          if (!inLoop)
+            diags_.error(s.loc, "array stores are only supported inside the loop");
+          checkRefsAfterBump(*s.value);
+          if (exprClass(*s.value) == 0) break;
+          break;
+        }
+        case Stmt::Kind::PtrBump:
+        case Stmt::Kind::PtrReset:
+          break;  // produced above
+        case Stmt::Kind::If: {
+          checkRefsAfterBump(*s.value);
+          checkRefsAfterBump(*s.rhs);
+          exprClass(*s.value);
+          exprClass(*s.rhs);
+          if (!labels_.count(s.label))
+            diags_.error(s.loc, "GOTO to undefined label '" + s.label + "'");
+          break;
+        }
+        case Stmt::Kind::Goto:
+          if (!labels_.count(s.label))
+            diags_.error(s.loc, "GOTO to undefined label '" + s.label + "'");
+          break;
+        case Stmt::Kind::Label:
+          break;
+        case Stmt::Kind::Return: {
+          char c = 0;
+          if (s.value) {
+            checkRefsAfterBump(*s.value);
+            c = exprClass(*s.value);
+          }
+          if (syms_.retClass != 0 && c != syms_.retClass)
+            diags_.error(s.loc, "inconsistent return types");
+          syms_.retClass = c;
+          break;
+        }
+        case Stmt::Kind::Loop: {
+          // At most one loop per nesting level, nesting depth at most 2;
+          // the innermost loop is the one the search tunes.
+          if (loops > 0) {
+            diags_.error(s.loc, "only a single LOOP per nesting level is supported");
+            break;
+          }
+          if (depth >= 2) {
+            diags_.error(s.loc, "LOOP nesting deeper than 2 is not supported");
+            break;
+          }
+          ++loops;
+          if (syms_.table.count(s.name))
+            diags_.error(s.loc, "loop variable '" + s.name + "' shadows a declaration");
+          else
+            syms_.table.emplace(s.name, SymKind::LoopVar);
+          if (exprClass(*s.loopFrom) == 'f' || exprClass(*s.loopTo) == 'f')
+            diags_.error(s.loc, "loop bounds must be integer expressions");
+          size_t innerLoops = 0;
+          checkStmts(s.body, depth + 1, innerLoops);
+          break;
+        }
+      }
+    }
+  }
+
+  Routine& r_;
+  DiagnosticEngine& diags_;
+  Symbols syms_;
+  std::set<std::string> labels_;
+};
+
+}  // namespace
+
+Symbols analyze(Routine& r, DiagnosticEngine& diags) {
+  return SemaPass(r, diags).run();
+}
+
+}  // namespace ifko::hil

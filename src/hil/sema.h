@@ -1,0 +1,43 @@
+// Semantic analysis for HIL routines.
+//
+// Validates names, type classes (integer vs floating point), label
+// resolution, the single-tuned-loop rule, and the pointer-bump discipline
+// the optimizer relies on: within the loop body, every reference to an
+// array must lexically precede the first bump of that array's pointer, so
+// references are always relative to the iteration-entry pointer value.
+// Also reclassifies `X += k` on vector parameters from scalar assignment to
+// PtrBump.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "hil/ast.h"
+#include "support/diagnostics.h"
+
+namespace ifko::hil {
+
+enum class SymKind { VecParam, FpParam, IntParam, FpLocal, IntLocal, LoopVar };
+
+struct Symbols {
+  std::unordered_map<std::string, SymKind> table;
+  /// Return class of the routine: 'f' fp, 'i' int, 0 none.
+  char retClass = 0;
+
+  [[nodiscard]] bool isInt(const std::string& n) const {
+    auto it = table.find(n);
+    if (it == table.end()) return false;
+    return it->second == SymKind::IntParam || it->second == SymKind::IntLocal ||
+           it->second == SymKind::LoopVar;
+  }
+  [[nodiscard]] bool isVec(const std::string& n) const {
+    auto it = table.find(n);
+    return it != table.end() && it->second == SymKind::VecParam;
+  }
+};
+
+/// Runs all checks, mutating `r` (PtrBump reclassification).  Returns the
+/// symbol table; callers must check diags.hasErrors().
+Symbols analyze(Routine& r, DiagnosticEngine& diags);
+
+}  // namespace ifko::hil

@@ -1,0 +1,36 @@
+// Tokens of the HIL kernel language (paper Section 2.2.1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/diagnostics.h"
+
+namespace ifko::hil {
+
+enum class Tok : uint8_t {
+  // literals / identifiers
+  Ident, Number,
+  // keywords
+  KwRoutine, KwParams, KwType, KwScalars, KwInts, KwLoop, KwLoopBody,
+  KwLoopEnd, KwIf, KwGoto, KwReturn, KwEnd, KwAbs, KwVec, KwScalar, KwInt,
+  KwFloat, KwDouble, KwIn, KwOut, KwInOut, KwNoPref,
+  // punctuation / operators
+  LParen, RParen, LBracket, RBracket, Comma, Semi, Colon, DoubleColon,
+  Assign, PlusAssign, MinusAssign, StarAssign,
+  Plus, Minus, Star, Slash,
+  Lt, Gt, Le, Ge, EqEq, Ne,
+  Eof,
+};
+
+struct Token {
+  Tok kind = Tok::Eof;
+  std::string text;   ///< identifier spelling / number spelling
+  double number = 0;  ///< value when kind == Number
+  bool isIntLiteral = false;
+  SourceLoc loc;
+};
+
+[[nodiscard]] std::string_view tokName(Tok t);
+
+}  // namespace ifko::hil

@@ -1,0 +1,126 @@
+#include "ir/builder.h"
+
+namespace ifko::ir {
+
+Inst& Builder::emit(Inst inst) {
+  auto& insts = fn_.block(block_id_).insts;
+  insts.push_back(inst);
+  return insts.back();
+}
+
+Reg Builder::emitRR(Op op, Scal t, Reg a, Reg b) {
+  Reg d = opInfo(op).dstKind == RegKind::Int ? fn_.newIntReg() : fn_.newFpReg();
+  emit({.op = op, .type = t, .dst = d, .src1 = a, .src2 = b});
+  return d;
+}
+
+Reg Builder::emitR(Op op, Scal t, Reg a) {
+  Reg d = opInfo(op).dstKind == RegKind::Int ? fn_.newIntReg() : fn_.newFpReg();
+  emit({.op = op, .type = t, .dst = d, .src1 = a});
+  return d;
+}
+
+Reg Builder::imovi(int64_t imm) {
+  Reg d = fn_.newIntReg();
+  emit({.op = Op::IMovI, .dst = d, .imm = imm});
+  return d;
+}
+Reg Builder::imov(Reg src) { return emitR(Op::IMov, Scal::I64, src); }
+Reg Builder::iadd(Reg a, Reg b) { return emitRR(Op::IAdd, Scal::I64, a, b); }
+Reg Builder::isub(Reg a, Reg b) { return emitRR(Op::ISub, Scal::I64, a, b); }
+Reg Builder::imul(Reg a, Reg b) { return emitRR(Op::IMul, Scal::I64, a, b); }
+Reg Builder::iaddi(Reg a, int64_t imm) {
+  Reg d = fn_.newIntReg();
+  emit({.op = Op::IAddI, .dst = d, .src1 = a, .imm = imm});
+  return d;
+}
+void Builder::icmp(Reg a, Reg b) {
+  emit({.op = Op::ICmp, .src1 = a, .src2 = b});
+}
+void Builder::icmpi(Reg a, int64_t imm) {
+  emit({.op = Op::ICmpI, .src1 = a, .imm = imm});
+}
+
+void Builder::jmp(int32_t target) { emit({.op = Op::Jmp, .label = target}); }
+void Builder::jcc(Cond cc, int32_t target) {
+  emit({.op = Op::Jcc, .label = target, .cc = cc});
+}
+void Builder::ret() { emit({.op = Op::Ret}); }
+void Builder::retVal(Reg value) { emit({.op = Op::Ret, .src1 = value}); }
+
+Reg Builder::fldi(Scal t, double value) {
+  Reg d = fn_.newFpReg();
+  emit({.op = Op::FLdI, .type = t, .dst = d, .fimm = value});
+  return d;
+}
+Reg Builder::fmov(Scal t, Reg src) { return emitR(Op::FMov, t, src); }
+Reg Builder::fld(Scal t, Mem m) {
+  Reg d = fn_.newFpReg();
+  emit({.op = Op::FLd, .type = t, .dst = d, .mem = m});
+  return d;
+}
+void Builder::fst(Scal t, Mem m, Reg src) {
+  emit({.op = Op::FSt, .type = t, .src1 = src, .mem = m});
+}
+void Builder::fstnt(Scal t, Mem m, Reg src) {
+  emit({.op = Op::FStNT, .type = t, .src1 = src, .mem = m});
+}
+Reg Builder::fadd(Scal t, Reg a, Reg b) { return emitRR(Op::FAdd, t, a, b); }
+Reg Builder::fsub(Scal t, Reg a, Reg b) { return emitRR(Op::FSub, t, a, b); }
+Reg Builder::fmul(Scal t, Reg a, Reg b) { return emitRR(Op::FMul, t, a, b); }
+Reg Builder::fdiv(Scal t, Reg a, Reg b) { return emitRR(Op::FDiv, t, a, b); }
+Reg Builder::fabs_(Scal t, Reg a) { return emitR(Op::FAbs, t, a); }
+Reg Builder::fmax(Scal t, Reg a, Reg b) { return emitRR(Op::FMax, t, a, b); }
+void Builder::fcmp(Scal t, Reg a, Reg b) {
+  emit({.op = Op::FCmp, .type = t, .src1 = a, .src2 = b});
+}
+
+Reg Builder::vld(Scal t, Mem m) {
+  Reg d = fn_.newFpReg();
+  emit({.op = Op::VLd, .type = t, .dst = d, .mem = m});
+  return d;
+}
+void Builder::vst(Scal t, Mem m, Reg src) {
+  emit({.op = Op::VSt, .type = t, .src1 = src, .mem = m});
+}
+void Builder::vstnt(Scal t, Mem m, Reg src) {
+  emit({.op = Op::VStNT, .type = t, .src1 = src, .mem = m});
+}
+Reg Builder::vadd(Scal t, Reg a, Reg b) { return emitRR(Op::VAdd, t, a, b); }
+Reg Builder::vsub(Scal t, Reg a, Reg b) { return emitRR(Op::VSub, t, a, b); }
+Reg Builder::vmul(Scal t, Reg a, Reg b) { return emitRR(Op::VMul, t, a, b); }
+Reg Builder::vabs(Scal t, Reg a) { return emitR(Op::VAbs, t, a); }
+Reg Builder::vmax(Scal t, Reg a, Reg b) { return emitRR(Op::VMax, t, a, b); }
+Reg Builder::vbcast(Scal t, Reg scalar) { return emitR(Op::VBcast, t, scalar); }
+Reg Builder::vzero(Scal t) {
+  Reg d = fn_.newFpReg();
+  emit({.op = Op::VZero, .type = t, .dst = d});
+  return d;
+}
+Reg Builder::vhadd(Scal t, Reg a) { return emitR(Op::VHAdd, t, a); }
+Reg Builder::vhmax(Scal t, Reg a) { return emitR(Op::VHMax, t, a); }
+Reg Builder::vcmpgt(Scal t, Reg a, Reg b) { return emitRR(Op::VCmpGT, t, a, b); }
+Reg Builder::vand(Scal t, Reg a, Reg b) { return emitRR(Op::VAnd, t, a, b); }
+Reg Builder::vandn(Scal t, Reg a, Reg b) { return emitRR(Op::VAndN, t, a, b); }
+Reg Builder::vor(Scal t, Reg a, Reg b) { return emitRR(Op::VOr, t, a, b); }
+Reg Builder::vsel(Scal t, Reg mask, Reg a, Reg b) {
+  Reg d = fn_.newFpReg();
+  emit({.op = Op::VSel, .type = t, .dst = d, .src1 = mask, .src2 = a, .src3 = b});
+  return d;
+}
+Reg Builder::vmovmsk(Scal t, Reg a) {
+  Reg d = fn_.newIntReg();
+  emit({.op = Op::VMovMsk, .type = t, .dst = d, .src1 = a});
+  return d;
+}
+Reg Builder::viota(Scal t) {
+  Reg d = fn_.newFpReg();
+  emit({.op = Op::VIota, .type = t, .dst = d});
+  return d;
+}
+
+void Builder::pref(PrefKind kind, Mem m) {
+  emit({.op = Op::Pref, .mem = m, .pref = kind});
+}
+
+}  // namespace ifko::ir

@@ -1,0 +1,95 @@
+// Convenience instruction builder appending to a basic block.
+//
+// Used by HIL lowering, by the fundamental transforms when they synthesize
+// prologue/epilogue code, and by the hand-tuned ATLAS kernel variants (the
+// stand-in for the paper's hand-written assembly kernels).
+#pragma once
+
+#include "ir/function.h"
+
+namespace ifko::ir {
+
+class Builder {
+ public:
+  Builder(Function& fn, int32_t blockId) : fn_(fn), block_id_(blockId) {}
+
+  /// Redirect subsequent appends to another block.
+  void setBlock(int32_t blockId) { block_id_ = blockId; }
+  [[nodiscard]] int32_t blockId() const { return block_id_; }
+  [[nodiscard]] Function& fn() { return fn_; }
+
+  Inst& emit(Inst inst);
+
+  // --- integer ---
+  Reg imovi(int64_t imm);
+  Reg imov(Reg src);
+  Reg iadd(Reg a, Reg b);
+  Reg isub(Reg a, Reg b);
+  Reg imul(Reg a, Reg b);
+  Reg iaddi(Reg a, int64_t imm);
+  void icmp(Reg a, Reg b);
+  void icmpi(Reg a, int64_t imm);
+
+  // --- control ---
+  void jmp(int32_t target);
+  void jcc(Cond cc, int32_t target);
+  void ret();
+  void retVal(Reg value);
+
+  // --- scalar FP ---
+  Reg fldi(Scal t, double value);
+  Reg fmov(Scal t, Reg src);
+  Reg fld(Scal t, Mem m);
+  void fst(Scal t, Mem m, Reg src);
+  void fstnt(Scal t, Mem m, Reg src);
+  Reg fadd(Scal t, Reg a, Reg b);
+  Reg fsub(Scal t, Reg a, Reg b);
+  Reg fmul(Scal t, Reg a, Reg b);
+  Reg fdiv(Scal t, Reg a, Reg b);
+  Reg fabs_(Scal t, Reg a);
+  Reg fmax(Scal t, Reg a, Reg b);
+  void fcmp(Scal t, Reg a, Reg b);
+
+  // --- vector ---
+  Reg vld(Scal t, Mem m);
+  void vst(Scal t, Mem m, Reg src);
+  void vstnt(Scal t, Mem m, Reg src);
+  Reg vadd(Scal t, Reg a, Reg b);
+  Reg vsub(Scal t, Reg a, Reg b);
+  Reg vmul(Scal t, Reg a, Reg b);
+  Reg vabs(Scal t, Reg a);
+  Reg vmax(Scal t, Reg a, Reg b);
+  Reg vbcast(Scal t, Reg scalar);
+  Reg vzero(Scal t);
+  Reg vhadd(Scal t, Reg a);
+  Reg vhmax(Scal t, Reg a);
+  Reg vcmpgt(Scal t, Reg a, Reg b);
+  Reg vand(Scal t, Reg a, Reg b);
+  Reg vandn(Scal t, Reg a, Reg b);
+  Reg vor(Scal t, Reg a, Reg b);
+  Reg vsel(Scal t, Reg mask, Reg a, Reg b);
+  Reg vmovmsk(Scal t, Reg a);
+  Reg viota(Scal t);
+
+  // --- memory hints ---
+  void pref(PrefKind kind, Mem m);
+
+ private:
+  Reg emitRR(Op op, Scal t, Reg a, Reg b);
+  Reg emitR(Op op, Scal t, Reg a);
+
+  Function& fn_;
+  int32_t block_id_;
+};
+
+/// [base + disp]
+[[nodiscard]] inline Mem mem(Reg base, int64_t disp = 0) {
+  return Mem{.base = base, .index = Reg::none(), .scale = 1, .disp = disp};
+}
+/// [base + index*scale + disp]
+[[nodiscard]] inline Mem memIdx(Reg base, Reg index, int32_t scale,
+                                int64_t disp = 0) {
+  return Mem{.base = base, .index = index, .scale = scale, .disp = disp};
+}
+
+}  // namespace ifko::ir

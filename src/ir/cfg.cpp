@@ -1,0 +1,35 @@
+#include "ir/cfg.h"
+
+namespace ifko::ir {
+
+std::vector<int32_t> successors(const Function& fn, size_t pos) {
+  std::vector<int32_t> out;
+  const BasicBlock& bb = fn.blocks[pos];
+  if (bb.insts.empty()) {
+    if (pos + 1 < fn.blocks.size()) out.push_back(fn.blocks[pos + 1].id);
+    return out;
+  }
+  const Inst& last = bb.insts.back();
+  if (last.op == Op::Ret) return out;
+  if (last.op == Op::Jmp) {
+    // [jcc, jmp] ending: both targets are successors.
+    if (bb.insts.size() >= 2 && bb.insts[bb.insts.size() - 2].op == Op::Jcc)
+      out.push_back(bb.insts[bb.insts.size() - 2].label);
+    out.push_back(last.label);
+    return out;
+  }
+  if (last.op == Op::Jcc) out.push_back(last.label);
+  if (pos + 1 < fn.blocks.size()) out.push_back(fn.blocks[pos + 1].id);
+  return out;
+}
+
+std::unordered_map<int32_t, std::vector<int32_t>> predecessors(
+    const Function& fn) {
+  std::unordered_map<int32_t, std::vector<int32_t>> preds;
+  for (const auto& bb : fn.blocks) preds[bb.id];  // ensure all keys exist
+  for (size_t i = 0; i < fn.blocks.size(); ++i)
+    for (int32_t succ : successors(fn, i)) preds[succ].push_back(fn.blocks[i].id);
+  return preds;
+}
+
+}  // namespace ifko::ir

@@ -1,0 +1,20 @@
+// Control-flow graph queries over the layout-ordered block list.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "ir/function.h"
+
+namespace ifko::ir {
+
+/// Successor block ids of the block at layout position `pos`: the Jcc target
+/// (if any), then the Jmp target or fall-through block.  Ret blocks have no
+/// successors.
+[[nodiscard]] std::vector<int32_t> successors(const Function& fn, size_t pos);
+
+/// Map block id -> predecessor block ids.
+[[nodiscard]] std::unordered_map<int32_t, std::vector<int32_t>> predecessors(
+    const Function& fn);
+
+}  // namespace ifko::ir

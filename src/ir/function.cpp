@@ -1,0 +1,72 @@
+#include "ir/function.h"
+
+#include <algorithm>
+
+namespace ifko::ir {
+
+int32_t Function::addBlock() {
+  BasicBlock bb;
+  bb.id = next_block_++;
+  blocks.push_back(std::move(bb));
+  return blocks.back().id;
+}
+
+int32_t Function::insertBlockAt(size_t pos) {
+  assert(pos <= blocks.size());
+  BasicBlock bb;
+  bb.id = next_block_++;
+  int32_t id = bb.id;
+  blocks.insert(blocks.begin() + static_cast<ptrdiff_t>(pos), std::move(bb));
+  return id;
+}
+
+BasicBlock& Function::block(int32_t id) {
+  size_t pos = layoutIndex(id);
+  assert(pos != static_cast<size_t>(-1) && "unknown block id");
+  return blocks[pos];
+}
+
+const BasicBlock& Function::block(int32_t id) const {
+  size_t pos = layoutIndex(id);
+  assert(pos != static_cast<size_t>(-1) && "unknown block id");
+  return blocks[pos];
+}
+
+size_t Function::layoutIndex(int32_t id) const {
+  for (size_t i = 0; i < blocks.size(); ++i)
+    if (blocks[i].id == id) return i;
+  return static_cast<size_t>(-1);
+}
+
+void Function::removeBlock(int32_t id) {
+  size_t pos = layoutIndex(id);
+  assert(pos != static_cast<size_t>(-1) && "unknown block id");
+  blocks.erase(blocks.begin() + static_cast<ptrdiff_t>(pos));
+}
+
+void Function::addBlockWithId(int32_t id) {
+  assert(layoutIndex(id) == static_cast<size_t>(-1) && "duplicate block id");
+  BasicBlock bb;
+  bb.id = id;
+  blocks.push_back(std::move(bb));
+  next_block_ = std::max(next_block_, id + 1);
+}
+
+void Function::reserveRegs(int32_t maxIntId, int32_t maxFpId) {
+  next_int_ = std::max(next_int_, maxIntId + 1);
+  next_fp_ = std::max(next_fp_, maxFpId + 1);
+}
+
+const Param* Function::findParam(std::string_view pname) const {
+  for (const auto& p : params)
+    if (p.name == pname) return &p;
+  return nullptr;
+}
+
+size_t Function::instCount() const {
+  size_t n = 0;
+  for (const auto& b : blocks) n += b.insts.size();
+  return n;
+}
+
+}  // namespace ifko::ir

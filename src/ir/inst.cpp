@@ -1,0 +1,175 @@
+#include "ir/inst.h"
+
+#include <array>
+#include <cassert>
+#include <iomanip>
+#include <sstream>
+
+namespace ifko::ir {
+
+Cond negate(Cond c) {
+  switch (c) {
+    case Cond::EQ: return Cond::NE;
+    case Cond::NE: return Cond::EQ;
+    case Cond::LT: return Cond::GE;
+    case Cond::LE: return Cond::GT;
+    case Cond::GT: return Cond::LE;
+    case Cond::GE: return Cond::LT;
+  }
+  return Cond::EQ;
+}
+
+std::string_view condName(Cond c) {
+  switch (c) {
+    case Cond::EQ: return "eq";
+    case Cond::NE: return "ne";
+    case Cond::LT: return "lt";
+    case Cond::LE: return "le";
+    case Cond::GT: return "gt";
+    case Cond::GE: return "ge";
+  }
+  return "?";
+}
+
+std::string_view prefName(PrefKind p) {
+  switch (p) {
+    case PrefKind::NTA: return "nta";
+    case PrefKind::T0: return "t0";
+    case PrefKind::T1: return "t1";
+    case PrefKind::W: return "w";
+  }
+  return "?";
+}
+
+namespace {
+
+struct OpInfoInit {
+  Op op;
+  OpInfo info;
+};
+
+constexpr RegKind I = RegKind::Int;
+constexpr RegKind F = RegKind::Fp;
+
+// clang-format off
+const OpInfoInit kOpTable[] = {
+  {Op::IMovI,  {.name="imovi",  .numSrcs=0, .hasDst=true,  .hasImm=true,  .dstKind=I, .srcKind=I}},
+  {Op::IMov,   {.name="imov",   .numSrcs=1, .hasDst=true,  .dstKind=I, .srcKind=I}},
+  {Op::IAdd,   {.name="iadd",   .numSrcs=2, .hasDst=true,  .dstKind=I, .srcKind=I}},
+  {Op::ISub,   {.name="isub",   .numSrcs=2, .hasDst=true,  .dstKind=I, .srcKind=I}},
+  {Op::IMul,   {.name="imul",   .numSrcs=2, .hasDst=true,  .dstKind=I, .srcKind=I}},
+  {Op::IAddI,  {.name="iaddi",  .numSrcs=1, .hasDst=true,  .hasImm=true, .dstKind=I, .srcKind=I}},
+  {Op::IShlI,  {.name="ishli",  .numSrcs=1, .hasDst=true,  .hasImm=true, .dstKind=I, .srcKind=I}},
+  {Op::IAddCC, {.name="iaddcc", .numSrcs=1, .hasDst=true,  .hasImm=true, .setsFlags=true, .dstKind=I, .srcKind=I}},
+  {Op::ICmp,   {.name="icmp",   .numSrcs=2, .setsFlags=true, .srcKind=I}},
+  {Op::ICmpI,  {.name="icmpi",  .numSrcs=1, .hasImm=true,  .setsFlags=true, .srcKind=I}},
+  {Op::ILd,    {.name="ild",    .numSrcs=0, .hasDst=true,  .readsMem=true, .dstKind=I, .srcKind=I}},
+  {Op::ISt,    {.name="ist",    .numSrcs=1, .writesMem=true, .srcKind=I}},
+  {Op::Jmp,    {.name="jmp",    .isBranch=true, .isTerminator=true}},
+  {Op::Jcc,    {.name="jcc",    .isBranch=true, .readsFlags=true}},
+  {Op::Ret,    {.name="ret",    .numSrcs=0, .isTerminator=true}},
+  {Op::FLdI,   {.name="fldi",   .numSrcs=0, .hasDst=true,  .hasFImm=true, .dstKind=F, .srcKind=F}},
+  {Op::FMov,   {.name="fmov",   .numSrcs=1, .hasDst=true,  .dstKind=F, .srcKind=F}},
+  {Op::FLd,    {.name="fld",    .numSrcs=0, .hasDst=true,  .readsMem=true, .dstKind=F, .srcKind=F}},
+  {Op::FSt,    {.name="fst",    .numSrcs=1, .writesMem=true, .srcKind=F}},
+  {Op::FStNT,  {.name="fstnt",  .numSrcs=1, .writesMem=true, .srcKind=F}},
+  {Op::FAdd,   {.name="fadd",   .numSrcs=2, .hasDst=true,  .dstKind=F, .srcKind=F}},
+  {Op::FSub,   {.name="fsub",   .numSrcs=2, .hasDst=true,  .dstKind=F, .srcKind=F}},
+  {Op::FMul,   {.name="fmul",   .numSrcs=2, .hasDst=true,  .dstKind=F, .srcKind=F}},
+  {Op::FDiv,   {.name="fdiv",   .numSrcs=2, .hasDst=true,  .dstKind=F, .srcKind=F}},
+  {Op::FAbs,   {.name="fabs",   .numSrcs=1, .hasDst=true,  .dstKind=F, .srcKind=F}},
+  {Op::FNeg,   {.name="fneg",   .numSrcs=1, .hasDst=true,  .dstKind=F, .srcKind=F}},
+  {Op::FMax,   {.name="fmax",   .numSrcs=2, .hasDst=true,  .dstKind=F, .srcKind=F}},
+  {Op::FAddM,  {.name="faddm",  .numSrcs=1, .hasDst=true,  .readsMem=true, .dstKind=F, .srcKind=F}},
+  {Op::FMulM,  {.name="fmulm",  .numSrcs=1, .hasDst=true,  .readsMem=true, .dstKind=F, .srcKind=F}},
+  {Op::FCmp,   {.name="fcmp",   .numSrcs=2, .setsFlags=true, .srcKind=F}},
+  {Op::VLd,    {.name="vld",    .numSrcs=0, .hasDst=true,  .readsMem=true, .isVector=true, .dstKind=F, .srcKind=F}},
+  {Op::VSt,    {.name="vst",    .numSrcs=1, .writesMem=true, .isVector=true, .srcKind=F}},
+  {Op::VStNT,  {.name="vstnt",  .numSrcs=1, .writesMem=true, .isVector=true, .srcKind=F}},
+  {Op::VMov,   {.name="vmov",   .numSrcs=1, .hasDst=true,  .isVector=true, .dstKind=F, .srcKind=F}},
+  {Op::VAdd,   {.name="vadd",   .numSrcs=2, .hasDst=true,  .isVector=true, .dstKind=F, .srcKind=F}},
+  {Op::VSub,   {.name="vsub",   .numSrcs=2, .hasDst=true,  .isVector=true, .dstKind=F, .srcKind=F}},
+  {Op::VMul,   {.name="vmul",   .numSrcs=2, .hasDst=true,  .isVector=true, .dstKind=F, .srcKind=F}},
+  {Op::VAbs,   {.name="vabs",   .numSrcs=1, .hasDst=true,  .isVector=true, .dstKind=F, .srcKind=F}},
+  {Op::VMax,   {.name="vmax",   .numSrcs=2, .hasDst=true,  .isVector=true, .dstKind=F, .srcKind=F}},
+  {Op::VBcast, {.name="vbcast", .numSrcs=1, .hasDst=true,  .isVector=true, .dstKind=F, .srcKind=F}},
+  {Op::VZero,  {.name="vzero",  .numSrcs=0, .hasDst=true,  .isVector=true, .dstKind=F, .srcKind=F}},
+  {Op::VHAdd,  {.name="vhadd",  .numSrcs=1, .hasDst=true,  .isVector=true, .dstKind=F, .srcKind=F}},
+  {Op::VHMax,  {.name="vhmax",  .numSrcs=1, .hasDst=true,  .isVector=true, .dstKind=F, .srcKind=F}},
+  {Op::VCmpGT, {.name="vcmpgt", .numSrcs=2, .hasDst=true,  .isVector=true, .dstKind=F, .srcKind=F}},
+  {Op::VAnd,   {.name="vand",   .numSrcs=2, .hasDst=true,  .isVector=true, .dstKind=F, .srcKind=F}},
+  {Op::VAndN,  {.name="vandn",  .numSrcs=2, .hasDst=true,  .isVector=true, .dstKind=F, .srcKind=F}},
+  {Op::VOr,    {.name="vor",    .numSrcs=2, .hasDst=true,  .isVector=true, .dstKind=F, .srcKind=F}},
+  {Op::VSel,   {.name="vsel",   .numSrcs=3, .hasDst=true,  .isVector=true, .dstKind=F, .srcKind=F}},
+  {Op::VMovMsk,{.name="vmovmsk",.numSrcs=1, .hasDst=true,  .isVector=true, .dstKind=I, .srcKind=F}},
+  {Op::VIota,  {.name="viota",  .numSrcs=0, .hasDst=true,  .isVector=true, .dstKind=F, .srcKind=F}},
+  {Op::VExt,   {.name="vext",   .numSrcs=1, .hasDst=true,  .hasImm=true, .isVector=true, .dstKind=F, .srcKind=F}},
+  {Op::FToI,   {.name="ftoi",   .numSrcs=1, .hasDst=true,  .dstKind=I, .srcKind=F}},
+  {Op::VAddM,  {.name="vaddm",  .numSrcs=1, .hasDst=true,  .readsMem=true, .isVector=true, .dstKind=F, .srcKind=F}},
+  {Op::VMulM,  {.name="vmulm",  .numSrcs=1, .hasDst=true,  .readsMem=true, .isVector=true, .dstKind=F, .srcKind=F}},
+  {Op::Pref,   {.name="pref",   .numSrcs=0}},
+  {Op::Touch,  {.name="touch",  .numSrcs=0, .readsMem=true}},
+  {Op::Nop,    {.name="nop"}},
+};
+// clang-format on
+
+constexpr size_t kNumOps = static_cast<size_t>(Op::Nop) + 1;
+
+std::array<OpInfo, kNumOps> buildTable() {
+  std::array<OpInfo, kNumOps> table{};
+  for (const auto& e : kOpTable) table[static_cast<size_t>(e.op)] = e.info;
+  return table;
+}
+
+const std::array<OpInfo, kNumOps> kInfo = buildTable();
+
+}  // namespace
+
+const OpInfo& opInfo(Op op) { return kInfo[static_cast<size_t>(op)]; }
+
+bool touchesMem(Op op) {
+  const OpInfo& info = opInfo(op);
+  return info.readsMem || info.writesMem || op == Op::Pref;
+}
+
+std::string Mem::str() const {
+  std::ostringstream os;
+  os << "[" << base.str();
+  if (hasIndex()) os << " + " << index.str() << "*" << scale;
+  if (disp != 0) os << (disp > 0 ? " + " : " - ") << (disp > 0 ? disp : -disp);
+  os << "]";
+  return os.str();
+}
+
+std::string Inst::str() const {
+  const OpInfo& info = opInfo(op);
+  std::ostringstream os;
+  os << info.name;
+  if (op == Op::Jcc) os << "." << condName(cc);
+  if (op == Op::Pref) os << "." << prefName(pref);
+  if (op != Op::Jmp && op != Op::Jcc && op != Op::Nop &&
+      (info.numSrcs > 0 || info.hasDst || touchesMem(op) || info.hasImm ||
+       info.hasFImm || op == Op::Ret)) {
+    // FP/vector ops carry the element type; integer ops do not print it.
+    if (info.srcKind == RegKind::Fp || info.dstKind == RegKind::Fp)
+      os << "." << scalName(type);
+  }
+  bool first = true;
+  auto sep = [&]() -> std::ostringstream& {
+    os << (first ? " " : ", ");
+    first = false;
+    return os;
+  };
+  if (info.hasDst) sep() << dst.str();
+  if (info.numSrcs >= 1 && src1.valid()) sep() << src1.str();
+  if (info.numSrcs >= 2 && src2.valid()) sep() << src2.str();
+  if (info.numSrcs >= 3 && src3.valid()) sep() << src3.str();
+  if (op == Op::Ret && src1.valid()) sep() << src1.str();
+  if (touchesMem(op)) sep() << mem.str();
+  if (info.hasImm) sep() << imm;
+  if (info.hasFImm) sep() << std::setprecision(17) << fimm;
+  if (info.isBranch) sep() << "bb" << label;
+  return os.str();
+}
+
+}  // namespace ifko::ir

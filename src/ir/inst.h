@@ -1,0 +1,139 @@
+// Instructions of the virtual ISA.
+//
+// The opcode set is the subset of x86/SSE that FKO's transformations target
+// in the paper: scalar and packed FP arithmetic, loads/stores with full
+// base+index*scale+disp addressing, memory-operand ALU forms (the CISC
+// "load-op" peephole target), the SSE/3DNow! prefetch family, non-temporal
+// stores, and simple integer/branch support for loop control.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ir/reg.h"
+#include "ir/type.h"
+
+namespace ifko::ir {
+
+enum class Op : uint8_t {
+  // --- integer ---
+  IMovI,   ///< dst <- imm
+  IMov,    ///< dst <- src1
+  IAdd,    ///< dst <- src1 + src2
+  ISub,    ///< dst <- src1 - src2
+  IMul,    ///< dst <- src1 * src2
+  IAddI,   ///< dst <- src1 + imm
+  IShlI,   ///< dst <- src1 << imm
+  IAddCC,  ///< dst <- src1 + imm, setting flags (x86 add/sub set EFLAGS);
+           ///< used by optimized loop control to fuse update+compare
+  ICmp,    ///< flags <- compare(src1, src2)
+  ICmpI,   ///< flags <- compare(src1, imm)
+  ILd,     ///< dst <- mem (64-bit); used for integer spill reloads
+  ISt,     ///< mem <- src1 (64-bit); used for integer spills
+  // --- control ---
+  Jmp,  ///< unconditional jump to block `label`
+  Jcc,  ///< conditional jump on flags to `label`; falls through otherwise
+  Ret,  ///< return src1 (type per Function::retType) or nothing
+  // --- scalar FP (lane 0 of an xmm register) ---
+  FLdI,   ///< dst <- fimm (materialized constant)
+  FMov,   ///< dst <- src1
+  FLd,    ///< dst <- mem
+  FSt,    ///< mem <- src1
+  FStNT,  ///< mem <- src1, non-temporal hint (movnti-style scalar form)
+  FAdd, FSub, FMul, FDiv,
+  FAbs,   ///< dst <- |src1|
+  FNeg,   ///< dst <- -src1
+  FMax,   ///< dst <- max(src1, src2)
+  FAddM,  ///< dst <- src1 + mem   (x86 memory-operand form)
+  FMulM,  ///< dst <- src1 * mem
+  FCmp,   ///< flags <- compare(src1, src2)
+  // --- packed FP (full xmm register; lane count from `type`) ---
+  VLd, VSt, VStNT,
+  VMov,
+  VAdd, VSub, VMul,
+  VAbs,
+  VMax,
+  VBcast,   ///< dst lanes <- src1 lane 0
+  VZero,    ///< dst <- 0 (xorps idiom)
+  VHAdd,    ///< dst lane0 <- sum of src1 lanes (reduction epilogue)
+  VHMax,    ///< dst lane0 <- max of src1 lanes
+  VCmpGT,   ///< dst <- lanewise mask (src1 > src2 ? ~0 : 0)
+  VAnd, VAndN, VOr,
+  VSel,     ///< dst <- (src2 & src1) | (src3 & ~src1); src1 is the mask
+  VMovMsk,  ///< int dst <- sign-bit mask of src1 lanes (movmskps)
+  VIota,    ///< dst lanes <- {0,1,..}; stands for a .rodata constant load
+  VExt,     ///< dst lane0 <- src1 lane `imm` (pshufd/movhlps-style extract)
+  FToI,     ///< int dst <- truncate(src1 lane 0) (cvttss2si/cvttsd2si)
+  VAddM, VMulM,
+  // --- memory hints ---
+  Pref,   ///< prefetch `mem` with hint `pref`
+  Touch,  ///< demand-load `mem` and discard it (block fetch [Wall 2001]:
+          ///< unlike Pref, it is never dropped by a busy bus)
+  Nop,
+};
+
+/// Prefetch instruction flavours (paper Section 3.3 / Table 3).
+enum class PrefKind : uint8_t {
+  NTA,  ///< prefetchnta: nearest cache level, non-temporal
+  T0,   ///< prefetcht0: all cache levels
+  T1,   ///< prefetcht1: L2 and below
+  W,    ///< 3DNow! prefetchw: fetch with intent to modify (AMD only)
+};
+
+enum class Cond : uint8_t { EQ, NE, LT, LE, GT, GE };
+
+[[nodiscard]] Cond negate(Cond c);
+[[nodiscard]] std::string_view condName(Cond c);
+[[nodiscard]] std::string_view prefName(PrefKind p);
+
+/// x86-style memory operand: [base + index*scale + disp].
+struct Mem {
+  Reg base;
+  Reg index;  ///< invalid() when absent
+  int32_t scale = 1;
+  int64_t disp = 0;
+
+  [[nodiscard]] bool hasIndex() const { return index.valid(); }
+  [[nodiscard]] std::string str() const;
+  friend bool operator==(const Mem&, const Mem&) = default;
+};
+
+struct Inst {
+  Op op = Op::Nop;
+  Scal type = Scal::I64;  ///< element type for FP/vector ops
+  Reg dst;
+  Reg src1, src2, src3;
+  Mem mem;
+  int64_t imm = 0;
+  double fimm = 0.0;
+  int32_t label = -1;  ///< branch target block id
+  Cond cc = Cond::EQ;
+  PrefKind pref = PrefKind::NTA;
+
+  [[nodiscard]] std::string str() const;
+};
+
+/// Static per-opcode facts used by the verifier, printer, and dataflow.
+struct OpInfo {
+  std::string_view name;
+  uint8_t numSrcs = 0;      ///< register sources actually read (src1..srcN)
+  bool hasDst = false;
+  bool readsMem = false;    ///< uses `mem` as a load source
+  bool writesMem = false;   ///< uses `mem` as a store target
+  bool hasImm = false;
+  bool hasFImm = false;
+  bool isBranch = false;
+  bool isTerminator = false;  ///< Jmp/Ret end a block; Jcc may fall through
+  bool setsFlags = false;
+  bool readsFlags = false;
+  bool isVector = false;      ///< operates on the full xmm width
+  RegKind dstKind = RegKind::Int;
+  RegKind srcKind = RegKind::Int;  ///< kind of src1..srcN (VMovMsk overrides)
+};
+
+[[nodiscard]] const OpInfo& opInfo(Op op);
+
+/// True for ops whose `mem` field addresses memory at all (incl. Pref).
+[[nodiscard]] bool touchesMem(Op op);
+
+}  // namespace ifko::ir

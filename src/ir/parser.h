@@ -1,0 +1,23 @@
+// Parser for the textual IR form produced by ir::print().
+//
+// print() and parse() round-trip: parse(print(fn)) reconstructs the
+// function (blocks, instructions, parameters with mark-up, return type,
+// loop mark, register-allocation state).  This is tooling glue: dumped IR
+// can be edited by hand, stored as a test fixture, or piped back into the
+// simulator.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "ir/function.h"
+
+namespace ifko::ir {
+
+/// Parses one function.  On failure returns nullopt and, when `error` is
+/// non-null, stores a message with the offending line.
+[[nodiscard]] std::optional<Function> parse(std::string_view text,
+                                            std::string* error = nullptr);
+
+}  // namespace ifko::ir

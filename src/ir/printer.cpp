@@ -1,0 +1,58 @@
+#include "ir/printer.h"
+
+#include <sstream>
+
+namespace ifko::ir {
+
+namespace {
+
+std::string_view paramKindName(ParamKind k) {
+  switch (k) {
+    case ParamKind::PtrF32: return "f32*";
+    case ParamKind::PtrF64: return "f64*";
+    case ParamKind::ScalF32: return "f32";
+    case ParamKind::ScalF64: return "f64";
+    case ParamKind::Int: return "int";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string print(const Function& fn) {
+  std::ostringstream os;
+  os << "func " << fn.name << "(";
+  for (size_t i = 0; i < fn.params.size(); ++i) {
+    if (i) os << ", ";
+    const Param& p = fn.params[i];
+    os << paramKindName(p.kind) << " " << p.name;
+    if (p.isPointer()) {
+      os << "{" << (p.vecRead ? "r" : "") << (p.vecWritten ? "w" : "")
+         << (p.noPrefetch ? "n" : "") << "}";
+    }
+    os << "=" << p.reg.str();
+  }
+  os << ")";
+  switch (fn.retType) {
+    case RetType::None: break;
+    case RetType::Int: os << " -> int"; break;
+    case RetType::F32: os << " -> f32"; break;
+    case RetType::F64: os << " -> f64"; break;
+  }
+  if (fn.regAllocated) os << " [regalloc, spills=" << fn.numSpillSlots << "]";
+  os << "\n";
+  if (fn.loop.valid) {
+    os << "  ; tuned loop: preheader=bb" << fn.loop.preheader
+       << " header=bb" << fn.loop.header << " latch=bb"
+       << fn.loop.latch << " exit=bb" << fn.loop.exit
+       << " ivar=" << fn.loop.ivar.str() << " N=" << fn.loop.bound.str()
+       << (fn.loop.dir == LoopDir::Up ? " up" : " down") << "\n";
+  }
+  for (const auto& bb : fn.blocks) {
+    os << "bb" << bb.id << ":\n";
+    for (const auto& inst : bb.insts) os << "  " << inst.str() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ifko::ir

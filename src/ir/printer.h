@@ -1,0 +1,13 @@
+// Textual dump of IR functions, used in tests and for --dump-ir style
+// debugging of the compile pipeline.
+#pragma once
+
+#include <string>
+
+#include "ir/function.h"
+
+namespace ifko::ir {
+
+[[nodiscard]] std::string print(const Function& fn);
+
+}  // namespace ifko::ir

@@ -1,0 +1,55 @@
+// Registers of the virtual ISA.
+//
+// Two register classes exist, as on x86: integer (pointers, indices, loop
+// counters) and FP/vector (xmm).  Before register allocation, ids are
+// virtual and unbounded (>= kVirtBase); allocation maps them onto the
+// physical files (8 integer registers, one reserved as the spill/stack
+// pointer, and 8 xmm registers) exactly as constrained on the paper's
+// 32-bit x86 targets.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace ifko::ir {
+
+enum class RegKind : uint8_t { Int, Fp };
+
+inline constexpr int kNumIntRegs = 8;  ///< physical integer registers
+inline constexpr int kNumFpRegs = 8;   ///< physical xmm registers
+/// Physical integer register reserved as the spill-area base pointer.
+inline constexpr int kSpillBaseReg = kNumIntRegs - 1;
+/// First virtual register id; ids below this are physical.
+inline constexpr int kVirtBase = 64;
+
+struct Reg {
+  RegKind kind = RegKind::Int;
+  int32_t id = -1;
+
+  [[nodiscard]] bool valid() const { return id >= 0; }
+  [[nodiscard]] bool isVirtual() const { return id >= kVirtBase; }
+  [[nodiscard]] bool isPhysical() const { return id >= 0 && id < kVirtBase; }
+
+  friend bool operator==(const Reg&, const Reg&) = default;
+
+  [[nodiscard]] std::string str() const {
+    if (!valid()) return "<none>";
+    const char* prefix = kind == RegKind::Int ? "r" : "x";
+    if (isVirtual())
+      return std::string(1, prefix[0]) + "v" + std::to_string(id - kVirtBase);
+    return std::string(prefix) + std::to_string(id);
+  }
+
+  static Reg intReg(int id) { return {RegKind::Int, id}; }
+  static Reg fpReg(int id) { return {RegKind::Fp, id}; }
+  static Reg none() { return {}; }
+};
+
+struct RegHash {
+  size_t operator()(const Reg& r) const {
+    return std::hash<int64_t>()((static_cast<int64_t>(r.kind) << 32) | static_cast<uint32_t>(r.id));
+  }
+};
+
+}  // namespace ifko::ir

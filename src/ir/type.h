@@ -1,0 +1,45 @@
+// Value types of the virtual ISA.
+//
+// The ISA is x86-flavoured: 64-bit integer registers for pointers and
+// indices, and a single 16-byte FP register file (xmm-style) used both for
+// scalar F32/F64 values (lane 0) and for SIMD vectors (4xF32 or 2xF64),
+// mirroring SSE/SSE2 as used by the paper's FKO backend.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string_view>
+
+namespace ifko::ir {
+
+enum class Scal : uint8_t { F32, F64, I64 };
+
+/// Width of a SIMD register in bytes (SSE).
+inline constexpr int kVecBytes = 16;
+
+[[nodiscard]] constexpr int scalBytes(Scal t) {
+  switch (t) {
+    case Scal::F32: return 4;
+    case Scal::F64: return 8;
+    case Scal::I64: return 8;
+  }
+  return 0;
+}
+
+/// Number of SIMD lanes for an FP element type (4 for single, 2 for double),
+/// matching the paper's "vector length" in Section 2.2.3.
+[[nodiscard]] constexpr int vecLanes(Scal t) {
+  assert(t != Scal::I64);
+  return kVecBytes / scalBytes(t);
+}
+
+[[nodiscard]] constexpr std::string_view scalName(Scal t) {
+  switch (t) {
+    case Scal::F32: return "f32";
+    case Scal::F64: return "f64";
+    case Scal::I64: return "i64";
+  }
+  return "?";
+}
+
+}  // namespace ifko::ir

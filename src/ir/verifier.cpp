@@ -1,0 +1,227 @@
+#include "ir/verifier.h"
+
+#include <set>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ir/cfg.h"
+
+namespace ifko::ir {
+
+namespace {
+
+class Verifier {
+ public:
+  explicit Verifier(const Function& fn) : fn_(fn) {}
+
+  std::vector<std::string> run() {
+    checkBlocks();
+    checkInstructions();
+    if (!fn_.regAllocated) checkDefBeforeUse();
+    return std::move(problems_);
+  }
+
+ private:
+  template <typename... Args>
+  void problem(Args&&... args) {
+    std::ostringstream os;
+    (os << ... << args);
+    problems_.push_back(os.str());
+  }
+
+  void checkBlocks() {
+    std::set<int32_t> ids;
+    for (const auto& bb : fn_.blocks) {
+      if (!ids.insert(bb.id).second) problem("duplicate block id bb", bb.id);
+    }
+    for (size_t i = 0; i < fn_.blocks.size(); ++i) {
+      const BasicBlock& bb = fn_.blocks[i];
+      for (size_t j = 0; j < bb.insts.size(); ++j) {
+        const Inst& in = bb.insts[j];
+        const OpInfo& info = opInfo(in.op);
+        bool isLast = j + 1 == bb.insts.size();
+        // A conditional branch may be followed by the block's final
+        // unconditional jump (the explicit-else ending).
+        bool isJccBeforeFinalJmp = in.op == Op::Jcc &&
+                                   j + 2 == bb.insts.size() &&
+                                   bb.insts[j + 1].op == Op::Jmp;
+        if ((info.isBranch || info.isTerminator) && !isLast &&
+            !isJccBeforeFinalJmp)
+          problem("bb", bb.id, ": branch/terminator not last: ", in.str());
+        if (info.isBranch && ids.count(in.label) == 0)
+          problem("bb", bb.id, ": branch to unknown block bb", in.label);
+      }
+      bool lastInLayout = i + 1 == fn_.blocks.size();
+      if (lastInLayout && bb.fallsThrough())
+        problem("bb", bb.id, ": final block falls off the end of the function");
+    }
+  }
+
+  void checkReg(const BasicBlock& bb, const Inst& in, Reg r, RegKind want,
+                const char* role) {
+    if (!r.valid()) {
+      problem("bb", bb.id, ": missing ", role, " in: ", in.str());
+      return;
+    }
+    if (r.kind != want)
+      problem("bb", bb.id, ": wrong register class for ", role,
+              " in: ", in.str());
+    if (fn_.regAllocated) {
+      if (r.isVirtual())
+        problem("bb", bb.id, ": virtual register after regalloc in: ", in.str());
+      int limit = r.kind == RegKind::Int ? kNumIntRegs : kNumFpRegs;
+      if (r.id >= limit)
+        problem("bb", bb.id, ": physical register out of range in: ", in.str());
+    }
+  }
+
+  void checkInstructions() {
+    for (const auto& bb : fn_.blocks) {
+      for (const auto& in : bb.insts) {
+        const OpInfo& info = opInfo(in.op);
+        if (info.hasDst) checkReg(bb, in, in.dst, info.dstKind, "dst");
+        if (info.numSrcs >= 1) checkReg(bb, in, in.src1, info.srcKind, "src1");
+        if (info.numSrcs >= 2) checkReg(bb, in, in.src2, info.srcKind, "src2");
+        if (info.numSrcs >= 3) checkReg(bb, in, in.src3, info.srcKind, "src3");
+        if (touchesMem(in.op)) {
+          checkReg(bb, in, in.mem.base, RegKind::Int, "mem base");
+          if (in.mem.hasIndex())
+            checkReg(bb, in, in.mem.index, RegKind::Int, "mem index");
+        }
+        if (in.op == Op::Ret) {
+          bool wantsValue = fn_.retType != RetType::None;
+          if (wantsValue && !in.src1.valid())
+            problem("bb", bb.id, ": ret without value");
+          if (wantsValue && in.src1.valid()) {
+            RegKind want =
+                fn_.retType == RetType::Int ? RegKind::Int : RegKind::Fp;
+            if (in.src1.kind != want)
+              problem("bb", bb.id, ": ret value register class mismatch");
+          }
+        }
+        if ((in.op == Op::FLd || in.op == Op::FSt || in.op == Op::FStNT ||
+             in.op == Op::FAddM || in.op == Op::FMulM || info.isVector) &&
+            in.type == Scal::I64 && in.op != Op::VMovMsk)
+          problem("bb", bb.id, ": FP/vector op with integer type: ", in.str());
+      }
+    }
+  }
+
+  /// Forward may-be-undefined analysis over virtual registers: a register
+  /// used in block B must be defined on every path from entry to that use.
+  void checkDefBeforeUse() {
+    // Collect definitely-defined-at-exit per block via iterative dataflow:
+    // defined_in(B) = intersect over preds(defined_out(P)); entry has params.
+    struct RegSet {
+      std::unordered_set<int64_t> s;
+      static int64_t key(Reg r) {
+        return (static_cast<int64_t>(r.kind) << 32) | static_cast<uint32_t>(r.id);
+      }
+      bool contains(Reg r) const { return s.count(key(r)) != 0; }
+      void add(Reg r) { s.insert(key(r)); }
+    };
+    std::unordered_map<int32_t, RegSet> out;
+    auto preds = predecessors(fn_);
+
+    auto genOut = [&](const BasicBlock& bb, RegSet in) {
+      for (const auto& i : bb.insts)
+        if (opInfo(i.op).hasDst) in.add(i.dst);
+      return in;
+    };
+
+    RegSet entry;
+    for (const auto& p : fn_.params) entry.add(p.reg);
+
+    // Initialize optimistically with "everything defined" represented by a
+    // first full pass in layout order, then iterate to a fixed point.
+    bool changed = true;
+    int iterations = 0;
+    std::unordered_map<int32_t, bool> visited;
+    while (changed && iterations < 100) {
+      changed = false;
+      ++iterations;
+      for (size_t i = 0; i < fn_.blocks.size(); ++i) {
+        const BasicBlock& bb = fn_.blocks[i];
+        RegSet in;
+        bool first = true;
+        if (i == 0) {
+          in = entry;
+          first = false;
+        }
+        for (int32_t p : preds[bb.id]) {
+          if (!visited.count(p)) continue;  // unreached yet: ignore
+          if (first) {
+            in = out[p];
+            first = false;
+          } else {
+            // intersect
+            RegSet merged;
+            for (int64_t k : in.s)
+              if (out[p].s.count(k)) merged.s.insert(k);
+            in = std::move(merged);
+          }
+        }
+        if (first) continue;  // unreachable so far
+        RegSet newOut = genOut(bb, std::move(in));
+        if (!visited.count(bb.id) || newOut.s != out[bb.id].s) {
+          out[bb.id] = std::move(newOut);
+          visited[bb.id] = true;
+          changed = true;
+        }
+      }
+    }
+
+    // Now scan each block with its computed "in" set.
+    for (size_t i = 0; i < fn_.blocks.size(); ++i) {
+      const BasicBlock& bb = fn_.blocks[i];
+      if (!visited.count(bb.id)) continue;  // unreachable code: skip
+      RegSet in;
+      bool first = true;
+      if (i == 0) {
+        in = entry;
+        first = false;
+      }
+      for (int32_t p : preds[bb.id]) {
+        if (!visited.count(p)) continue;
+        if (first) {
+          in = out[p];
+          first = false;
+        } else {
+          RegSet merged;
+          for (int64_t k : in.s)
+            if (out[p].s.count(k)) merged.s.insert(k);
+          in = std::move(merged);
+        }
+      }
+      auto use = [&](const Inst& inst, Reg r, const char* role) {
+        if (r.valid() && r.isVirtual() && !in.contains(r))
+          problem("bb", bb.id, ": ", role,
+                  " possibly used before definition in: ", inst.str());
+      };
+      for (const auto& inst : bb.insts) {
+        const OpInfo& info = opInfo(inst.op);
+        if (info.numSrcs >= 1) use(inst, inst.src1, "src1");
+        if (info.numSrcs >= 2) use(inst, inst.src2, "src2");
+        if (info.numSrcs >= 3) use(inst, inst.src3, "src3");
+        if (inst.op == Op::Ret) use(inst, inst.src1, "ret value");
+        if (touchesMem(inst.op)) {
+          use(inst, inst.mem.base, "mem base");
+          if (inst.mem.hasIndex()) use(inst, inst.mem.index, "mem index");
+        }
+        if (info.hasDst) in.add(inst.dst);
+      }
+    }
+  }
+
+  const Function& fn_;
+  std::vector<std::string> problems_;
+};
+
+}  // namespace
+
+std::vector<std::string> verify(const Function& fn) {
+  return Verifier(fn).run();
+}
+
+}  // namespace ifko::ir

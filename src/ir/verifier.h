@@ -1,0 +1,22 @@
+// IR structural and dataflow verifier.
+//
+// Run after lowering and after every transform in debug builds (and in the
+// test suite after every pipeline stage).  Returns a list of human-readable
+// problems; an empty list means the function is well-formed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/function.h"
+
+namespace ifko::ir {
+
+[[nodiscard]] std::vector<std::string> verify(const Function& fn);
+
+/// Convenience: true when verify() reports nothing.
+[[nodiscard]] inline bool isValid(const Function& fn) {
+  return verify(fn).empty();
+}
+
+}  // namespace ifko::ir

@@ -1,0 +1,75 @@
+// ANSI-C-style reference implementations of the surveyed Level 1 BLAS
+// (paper Table 1).  These define correct behaviour for the tester and serve
+// as the semantic ground truth for every transformed kernel.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+
+namespace ifko::kernels {
+
+template <typename T>
+void refSwap(std::span<T> x, std::span<T> y) {
+  for (size_t i = 0; i < x.size(); ++i) {
+    T tmp = y[i];
+    y[i] = x[i];
+    x[i] = tmp;
+  }
+}
+
+template <typename T>
+void refScal(std::span<T> y, T alpha) {
+  for (size_t i = 0; i < y.size(); ++i) y[i] *= alpha;
+}
+
+template <typename T>
+void refCopy(std::span<const T> x, std::span<T> y) {
+  for (size_t i = 0; i < x.size(); ++i) y[i] = x[i];
+}
+
+template <typename T>
+void refAxpy(std::span<const T> x, std::span<T> y, T alpha) {
+  for (size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+template <typename T>
+[[nodiscard]] T refDot(std::span<const T> x, std::span<const T> y) {
+  T dot = 0;
+  for (size_t i = 0; i < x.size(); ++i) dot += y[i] * x[i];
+  return dot;
+}
+
+template <typename T>
+[[nodiscard]] T refAsum(std::span<const T> x) {
+  T sum = 0;
+  for (size_t i = 0; i < x.size(); ++i) sum += std::fabs(x[i]);
+  return sum;
+}
+
+template <typename T>
+void refRot(std::span<T> x, std::span<T> y, T c, T s) {
+  for (size_t i = 0; i < x.size(); ++i) {
+    T xi = c * x[i] + s * y[i];
+    T yi = c * y[i] - s * x[i];
+    x[i] = xi;
+    y[i] = yi;
+  }
+}
+
+/// Index of the first element of maximum absolute value; 0 for empty input.
+template <typename T>
+[[nodiscard]] int64_t refIamax(std::span<const T> x) {
+  if (x.empty()) return 0;
+  int64_t imax = 0;
+  T maxval = std::fabs(x[0]);
+  for (size_t i = 1; i < x.size(); ++i) {
+    if (std::fabs(x[i]) > maxval) {
+      imax = static_cast<int64_t>(i);
+      maxval = std::fabs(x[i]);
+    }
+  }
+  return imax;
+}
+
+}  // namespace ifko::kernels

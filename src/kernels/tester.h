@@ -1,0 +1,53 @@
+// The tester from the paper's Figure 1: runs a compiled kernel on seeded
+// data in the simulated machine's memory and checks the result against the
+// reference implementation ("unnecessary in theory, but useful in
+// practice").  Also provides the operand-placement helper shared with the
+// timer.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/function.h"
+#include "kernels/registry.h"
+#include "sim/interp.h"
+#include "sim/memory.h"
+
+namespace ifko::kernels {
+
+/// Kernel operands placed in a simulated memory image.
+struct KernelData {
+  std::unique_ptr<sim::Memory> mem;
+  uint64_t xAddr = 0;
+  uint64_t yAddr = 0;
+  int64_t n = 0;
+  double alpha = 0.75;
+
+  /// Arguments in the order of `fn`'s parameter list (matched by name for
+  /// vectors, by kind for alpha/N).
+  [[nodiscard]] std::vector<sim::ArgValue> args(const ir::Function& fn) const;
+};
+
+/// Allocates and initializes operands for `spec` at length `n` with
+/// reproducible data.  `extraBytes` adds headroom (e.g. spill areas for many
+/// timing runs).
+[[nodiscard]] KernelData makeKernelData(const KernelSpec& spec, int64_t n,
+                                        uint64_t seed = 42,
+                                        size_t extraBytes = 1 << 20);
+
+struct TestOutcome {
+  bool ok = true;
+  std::string message;
+};
+
+/// Executes `fn` against the reference implementation of `spec` on fresh
+/// data of length `n`.  Element results must match bitwise (the transforms
+/// never change elementwise arithmetic); reduction results are compared with
+/// a precision-appropriate tolerance since vectorization and accumulator
+/// expansion reassociate the sum.
+[[nodiscard]] TestOutcome testKernel(const KernelSpec& spec,
+                                     const ir::Function& fn, int64_t n,
+                                     uint64_t seed = 42);
+
+}  // namespace ifko::kernels

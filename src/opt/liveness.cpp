@@ -1,0 +1,65 @@
+#include "opt/liveness.h"
+
+#include "ir/cfg.h"
+
+namespace ifko::opt {
+
+std::vector<ir::Reg> usedRegs(const ir::Inst& in) {
+  std::vector<ir::Reg> out;
+  const ir::OpInfo& info = ir::opInfo(in.op);
+  if (info.numSrcs >= 1 && in.src1.valid()) out.push_back(in.src1);
+  if (info.numSrcs >= 2 && in.src2.valid()) out.push_back(in.src2);
+  if (info.numSrcs >= 3 && in.src3.valid()) out.push_back(in.src3);
+  if (in.op == ir::Op::Ret && in.src1.valid()) out.push_back(in.src1);
+  if (ir::touchesMem(in.op)) {
+    if (in.mem.base.valid()) out.push_back(in.mem.base);
+    if (in.mem.index.valid()) out.push_back(in.mem.index);
+  }
+  return out;
+}
+
+ir::Reg definedReg(const ir::Inst& in) {
+  return ir::opInfo(in.op).hasDst ? in.dst : ir::Reg::none();
+}
+
+Liveness computeLiveness(const ir::Function& fn) {
+  Liveness lv;
+  // use/def per block.
+  std::unordered_map<int32_t, std::set<RegKey>> use, def;
+  for (const auto& bb : fn.blocks) {
+    auto& u = use[bb.id];
+    auto& d = def[bb.id];
+    for (const auto& in : bb.insts) {
+      for (ir::Reg r : usedRegs(in))
+        if (!d.count(regKey(r))) u.insert(regKey(r));
+      ir::Reg w = definedReg(in);
+      if (w.valid()) d.insert(regKey(w));
+    }
+    lv.liveIn[bb.id];
+    lv.liveOut[bb.id];
+  }
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = fn.blocks.size(); i-- > 0;) {
+      const auto& bb = fn.blocks[i];
+      std::set<RegKey> out;
+      for (int32_t s : ir::successors(fn, i)) {
+        const auto& sin = lv.liveIn[s];
+        out.insert(sin.begin(), sin.end());
+      }
+      std::set<RegKey> in = use[bb.id];
+      for (RegKey k : out)
+        if (!def[bb.id].count(k)) in.insert(k);
+      if (out != lv.liveOut[bb.id] || in != lv.liveIn[bb.id]) {
+        lv.liveOut[bb.id] = std::move(out);
+        lv.liveIn[bb.id] = std::move(in);
+        changed = true;
+      }
+    }
+  }
+  return lv;
+}
+
+}  // namespace ifko::opt

@@ -1,0 +1,35 @@
+// Global liveness analysis over virtual (and physical) registers.
+// Shared by dead-code elimination and the register allocator.
+#pragma once
+
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/function.h"
+
+namespace ifko::opt {
+
+/// Registers are keyed by (kind << 32) | id.
+using RegKey = int64_t;
+
+[[nodiscard]] inline RegKey regKey(ir::Reg r) {
+  return (static_cast<int64_t>(r.kind) << 32) | static_cast<uint32_t>(r.id);
+}
+[[nodiscard]] inline ir::Reg keyReg(RegKey k) {
+  return {static_cast<ir::RegKind>(k >> 32), static_cast<int32_t>(k & 0xFFFFFFFF)};
+}
+
+struct Liveness {
+  std::unordered_map<int32_t, std::set<RegKey>> liveIn;
+  std::unordered_map<int32_t, std::set<RegKey>> liveOut;
+};
+
+/// Registers read by `in` (sources, memory operands, ret value).
+[[nodiscard]] std::vector<ir::Reg> usedRegs(const ir::Inst& in);
+/// Register written by `in`, or invalid.
+[[nodiscard]] ir::Reg definedReg(const ir::Inst& in);
+
+[[nodiscard]] Liveness computeLiveness(const ir::Function& fn);
+
+}  // namespace ifko::opt

@@ -1,0 +1,746 @@
+#include "opt/loop_xform.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "analysis/loopinfo.h"
+#include "ir/builder.h"
+#include "ir/verifier.h"
+
+namespace ifko::opt {
+
+using analysis::LoopInfo;
+using ir::BasicBlock;
+using ir::Cond;
+using ir::Inst;
+using ir::Mem;
+using ir::Op;
+using ir::Reg;
+using ir::Scal;
+
+namespace {
+
+struct LatchTail {
+  bool ok = false;
+  size_t firstBump = 0;
+  size_t ivarUpd = 0;
+  size_t cmp = 0;
+  size_t backedge = 0;
+};
+
+LatchTail findLatchTail(const ir::Function& fn) {
+  LatchTail t;
+  const BasicBlock& latch = fn.block(fn.loop.latch);
+  size_t n = latch.insts.size();
+  if (n < 3) return t;
+  if (latch.insts[n - 1].op != Op::Jcc ||
+      latch.insts[n - 1].label != fn.loop.header)
+    return t;
+  if (latch.insts[n - 2].op != Op::ICmp && latch.insts[n - 2].op != Op::ICmpI)
+    return t;
+  if (latch.insts[n - 3].op != Op::IAddI ||
+      !(latch.insts[n - 3].dst == fn.loop.ivar))
+    return t;
+  t.backedge = n - 1;
+  t.cmp = n - 2;
+  t.ivarUpd = n - 3;
+  t.firstBump = t.ivarUpd;
+  for (size_t i = t.ivarUpd; i-- > 0;) {
+    const Inst& in = latch.insts[i];
+    bool isPtrBump = in.op == Op::IAddI && in.dst == in.src1;
+    if (!isPtrBump) break;
+    bool isParamPtr = false;
+    for (const auto& p : fn.params)
+      if (p.reg == in.dst && p.isPointer()) isParamPtr = true;
+    if (!isParamPtr) break;
+    t.firstBump = i;
+  }
+  t.ok = true;
+  return t;
+}
+
+bool instUsesReg(const Inst& in, Reg r) {
+  const ir::OpInfo& info = ir::opInfo(in.op);
+  if (info.numSrcs >= 1 && in.src1 == r) return true;
+  if (info.numSrcs >= 2 && in.src2 == r) return true;
+  if (info.numSrcs >= 3 && in.src3 == r) return true;
+  if (in.op == Op::Ret && in.src1 == r) return true;
+  if (ir::touchesMem(in.op) && (in.mem.base == r || in.mem.index == r))
+    return true;
+  return false;
+}
+
+class LoopXform {
+ public:
+  LoopXform(const ir::Function& lowered, const TuningParams& params,
+            const arch::MachineConfig& machine)
+      : fn_(lowered), params_(params), machine_(machine) {}
+
+  std::optional<ir::Function> run(std::string* error) {
+    auto fail = [&](const std::string& msg) -> std::optional<ir::Function> {
+      if (error) *error = msg;
+      return std::nullopt;
+    };
+
+    info_ = analysis::analyzeLoop(fn_);
+    if (!info_.found) return fail(info_.problem);
+    if (info_.arrays.empty()) return fail("loop accesses no arrays");
+    elem_ = info_.arrays.front().elem;
+
+    unroll_ = std::clamp(params_.unroll, 1, info_.maxUnroll);
+    accum_expand_ = std::max(1, std::min(params_.accumExpand, unroll_));
+    if (info_.accumulators.empty()) accum_expand_ = 1;
+
+    capturePristine();
+
+    if (params_.simdVectorize && info_.vectorizable) vectorize();
+    totalStep_ = perCopyStep_ * unroll_;
+
+    restructure();
+    if (params_.ciscIndexing) applyCiscIndexing();
+    if (params_.blockFetch) applyBlockFetch();
+    insertPrefetches();
+    if (params_.nonTemporalWrites) applyWNT();
+
+    auto problems = ir::verify(fn_);
+    if (!problems.empty())
+      return fail("transformed IR failed verification: " + problems[0]);
+    return std::move(fn_);
+  }
+
+ private:
+  // --- pristine capture (for the scalar remainder loop) ---------------------
+  void capturePristine() {
+    for (int32_t id : info_.hotBlocks) pristine_.push_back(fn_.block(id));
+    for (int32_t id : info_.sideBlocks) pristine_.push_back(fn_.block(id));
+    // Strip ivar update + compare + backedge from the pristine latch copy
+    // (the remainder builds its own); keep the pointer bumps.
+    for (auto& bb : pristine_) {
+      if (bb.id != fn_.loop.latch) continue;
+      LatchTail t = findLatchTail(fn_);
+      bb.insts.erase(bb.insts.begin() + static_cast<ptrdiff_t>(t.ivarUpd),
+                     bb.insts.end());
+    }
+  }
+
+  // --- SV --------------------------------------------------------------------
+  void vectorize() {
+    vectorized_ = true;
+    perCopyStep_ = ir::vecLanes(elem_);
+
+    // Accumulators get fresh vector registers initialized to zero; FP scalar
+    // parameters are broadcast once in the preheader.
+    for (Reg acc : info_.accumulators) {
+      Reg vacc = fn_.newFpReg();
+      preheaderInsts_.push_back({.op = Op::VZero, .type = elem_, .dst = vacc});
+      regMap_[acc.id] = vacc;
+      accumSets_[acc.id] = {vacc};
+    }
+    // Loop-invariant FP inputs (parameters and outer-loop scalars) are
+    // broadcast once in the preheader.
+    for (Reg inv : info_.invariantFpInputs) {
+      Reg vp = fn_.newFpReg();
+      preheaderInsts_.push_back(
+          {.op = Op::VBcast, .type = elem_, .dst = vp, .src1 = inv});
+      regMap_[inv.id] = vp;
+    }
+
+    LatchTail tail = findLatchTail(fn_);
+    for (int32_t bid : info_.hotBlocks) {
+      BasicBlock& bb = fn_.block(bid);
+      size_t limit =
+          bid == fn_.loop.latch ? tail.firstBump : bb.insts.size();
+      for (size_t i = 0; i < limit; ++i) {
+        Inst& in = bb.insts[i];
+        switch (in.op) {
+          case Op::FLd: in.op = Op::VLd; break;
+          case Op::FSt: in.op = Op::VSt; break;
+          case Op::FStNT: in.op = Op::VStNT; break;
+          case Op::FMov: in.op = Op::VMov; break;
+          case Op::FAdd: in.op = Op::VAdd; break;
+          case Op::FSub: in.op = Op::VSub; break;
+          case Op::FMul: in.op = Op::VMul; break;
+          case Op::FAbs: in.op = Op::VAbs; break;
+          case Op::FMax: in.op = Op::VMax; break;
+          case Op::FLdI: {
+            // Materialize the scalar constant, then widen it.
+            Reg tmp = fn_.newFpReg();
+            Reg dst = in.dst;
+            in.dst = tmp;
+            Inst bcast{.op = Op::VBcast, .type = elem_, .dst = dst, .src1 = tmp};
+            bb.insts.insert(bb.insts.begin() + static_cast<ptrdiff_t>(i) + 1,
+                            bcast);
+            ++i;
+            ++limit;
+            continue;
+          }
+          default:
+            break;
+        }
+        remapRegs(in);
+      }
+    }
+  }
+
+  void remapRegs(Inst& in) {
+    auto remap = [&](Reg& r) {
+      if (r.valid() && r.kind == ir::RegKind::Fp) {
+        auto it = regMap_.find(r.id);
+        if (it != regMap_.end()) r = it->second;
+      }
+    };
+    remap(in.dst);
+    remap(in.src1);
+    remap(in.src2);
+    remap(in.src3);
+  }
+
+  // --- restructuring: copies, latch, reductions, remainder -------------------
+  void restructure() {
+    const ir::LoopMark loop = fn_.loop;  // copy: ids used before mutation
+    LatchTail tail = findLatchTail(fn_);
+    assert(tail.ok);
+
+    BasicBlock& latch = fn_.block(loop.latch);
+    // Save the tail instructions, then strip them from the latch.
+    std::vector<Inst> bumps(latch.insts.begin() + static_cast<ptrdiff_t>(tail.firstBump),
+                            latch.insts.begin() + static_cast<ptrdiff_t>(tail.ivarUpd));
+    Inst ivarUpd = latch.insts[tail.ivarUpd];
+    latch.insts.erase(latch.insts.begin() + static_cast<ptrdiff_t>(tail.firstBump),
+                      latch.insts.end());
+
+    // Extra accumulators for AE (applied to the unrolled copies below).
+    for (Reg acc : info_.accumulators) {
+      auto& set = accumSets_[acc.id];
+      if (set.empty()) set = {acc};  // scalar accumulation (SV off)
+      for (int a = 1; a < accum_expand_; ++a) {
+        Reg extra = fn_.newFpReg();
+        if (vectorized_)
+          preheaderInsts_.push_back({.op = Op::VZero, .type = elem_, .dst = extra});
+        else
+          preheaderInsts_.push_back(
+              {.op = Op::FLdI, .type = elem_, .dst = extra, .fimm = 0.0});
+        set.push_back(extra);
+      }
+    }
+
+    // ---- which registers may be privatized per unroll copy -----------------
+    // A register is iteration-local (renameable) when its first appearance
+    // in the hot chain is a definition and it never appears in a side block
+    // (side-block values like iamax's running max are loop-carried).
+    {
+      std::set<int64_t> seenUse, seenDef;
+      auto key = [](Reg r) {
+        return (static_cast<int64_t>(r.kind) << 32) | r.id;
+      };
+      auto scan = [&](const Inst& in) {
+        const ir::OpInfo& oi = ir::opInfo(in.op);
+        auto use = [&](Reg r) {
+          if (r.valid() && r.isVirtual() && !seenDef.count(key(r)))
+            seenUse.insert(key(r));
+        };
+        if (oi.numSrcs >= 1) use(in.src1);
+        if (oi.numSrcs >= 2) use(in.src2);
+        if (oi.numSrcs >= 3) use(in.src3);
+        if (ir::touchesMem(in.op)) {
+          use(in.mem.base);
+          use(in.mem.index);
+        }
+        if (oi.hasDst && in.dst.isVirtual()) seenDef.insert(key(in.dst));
+      };
+      // The latch tail has already been stripped, so every remaining
+      // instruction in the hot blocks is iteration code.
+      for (int32_t bid : info_.hotBlocks)
+        for (const Inst& in : fn_.block(bid).insts) scan(in);
+      for (int64_t k : seenDef)
+        if (!seenUse.count(k)) renameable_.insert(k);
+      // Anything touched in a side block is shared.
+      for (int32_t bid : info_.sideBlocks) {
+        for (const Inst& in : fn_.block(bid).insts) {
+          const ir::OpInfo& oi = ir::opInfo(in.op);
+          auto drop = [&](Reg r) {
+            if (r.valid()) renameable_.erase((static_cast<int64_t>(r.kind) << 32) | r.id);
+          };
+          if (oi.numSrcs >= 1) drop(in.src1);
+          if (oi.numSrcs >= 2) drop(in.src2);
+          if (oi.numSrcs >= 3) drop(in.src3);
+          if (oi.hasDst) drop(in.dst);
+          if (ir::touchesMem(in.op)) {
+            drop(in.mem.base);
+            drop(in.mem.index);
+          }
+        }
+      }
+    }
+
+    // ---- unrolled copies 1..k-1 --------------------------------------------
+    mainHotBlocks_ = info_.hotBlocks;
+    size_t cursor = fn_.layoutIndex(loop.latch) + 1;
+    std::vector<BasicBlock> sideClones;
+    for (int c = 1; c < unroll_; ++c) {
+      cursor = cloneCopy(c, cursor, loop, &sideClones);
+    }
+    // Rewrite copy 0's accumulator adds to target accumSets_[..][0] — they
+    // already do (copy 0 keeps the original registers / the SV mapping).
+
+    // ---- main latch -----------------------------------------------------------
+    int32_t mlId = fn_.insertBlockAt(cursor++);
+    Reg cnt = fn_.newIntReg();
+    {
+      ir::Builder b(fn_, mlId);
+      for (Inst bump : bumps) {
+        bump.imm *= totalStep_;
+        b.emit(bump);
+      }
+      Inst upd = ivarUpd;
+      upd.imm *= totalStep_;
+      b.emit(upd);
+      if (params_.optimizeLoopControl) {
+        b.emit({.op = Op::IAddCC, .dst = cnt, .src1 = cnt, .imm = -totalStep_});
+        b.jcc(Cond::GE, loop.header);
+      } else {
+        b.emit({.op = Op::IAddI, .dst = cnt, .src1 = cnt, .imm = -totalStep_});
+        b.icmpi(cnt, totalStep_);
+        b.jcc(Cond::GE, loop.header);
+      }
+    }
+
+    // ---- reduction block -------------------------------------------------------
+    int32_t reduceId = fn_.insertBlockAt(cursor++);
+    reduceId_ = reduceId;
+    {
+      ir::Builder b(fn_, reduceId);
+      for (Reg acc : info_.accumulators) {
+        auto& set = accumSets_[acc.id];
+        Reg a0 = set[0];
+        for (size_t i = 1; i < set.size(); ++i) {
+          Op op = vectorized_ ? Op::VAdd : Op::FAdd;
+          b.emit({.op = op, .type = elem_, .dst = a0, .src1 = a0, .src2 = set[i]});
+        }
+        if (vectorized_) {
+          Reg h = fn_.newFpReg();
+          b.emit({.op = Op::VHAdd, .type = elem_, .dst = h, .src1 = a0});
+          b.emit({.op = Op::FAdd, .type = elem_, .dst = acc, .src1 = acc, .src2 = h});
+        }
+      }
+    }
+
+    // ---- remainder loop --------------------------------------------------------
+    Reg rem = fn_.newIntReg();
+    if (totalStep_ > 1) {
+      {
+        ir::Builder b(fn_, reduceId);
+        if (params_.optimizeLoopControl)
+          b.emit({.op = Op::IAddI, .dst = rem, .src1 = cnt, .imm = totalStep_});
+        else
+          b.emit({.op = Op::IMov, .dst = rem, .src1 = cnt});
+        b.icmpi(rem, 0);
+        b.jcc(Cond::LE, loop.exit);
+      }
+      cursor = buildRemainder(cursor, loop, rem, ivarUpd);
+    }
+
+    // ---- side-block clones from unrolled copies --------------------------------
+    for (auto& bb : sideClones) {
+      int32_t id = fn_.insertBlockAt(cursor++);
+      fn_.block(id).insts = std::move(bb.insts);
+      sideCloneIdFix_[bb.id] = id;  // bb.id holds the provisional id
+    }
+    // Patch branches that referenced provisional side-clone ids.
+    for (auto& bb : fn_.blocks)
+      for (auto& in : bb.insts)
+        if (ir::opInfo(in.op).isBranch) {
+          auto it = sideCloneIdFix_.find(in.label);
+          if (it != sideCloneIdFix_.end()) in.label = it->second;
+        }
+
+    // ---- preheader setup block (P2) ---------------------------------------------
+    int32_t p2 = fn_.insertBlockAt(fn_.layoutIndex(loop.header));
+    {
+      ir::Builder b(fn_, p2);
+      for (const Inst& in : preheaderInsts_) b.emit(in);
+      if (params_.optimizeLoopControl) {
+        b.emit({.op = Op::IAddCC, .dst = cnt, .src1 = loop.bound,
+                .imm = -totalStep_});
+        b.jcc(Cond::LT, reduceId);
+      } else {
+        b.emit({.op = Op::IMov, .dst = cnt, .src1 = loop.bound});
+        b.icmpi(cnt, totalStep_);
+        b.jcc(Cond::LT, reduceId);
+      }
+    }
+
+    // Update the loop mark: the main loop now runs header..mainLatch.
+    fn_.loop.latch = mlId;
+    fn_.loop.preheader = p2;
+  }
+
+  /// Clones all body blocks for unroll copy `c`; returns the new cursor.
+  /// Hot clones are inserted at `cursor`; side clones are collected with
+  /// provisional ids (fixed up by the caller).
+  size_t cloneCopy(int c, size_t cursor, const ir::LoopMark& loop,
+                   std::vector<BasicBlock>* sideClones) {
+    // Fresh names for everything the iteration code defines, except
+    // accumulators (those rotate through the AE set).
+    std::unordered_map<int32_t, Reg> renameInt, renameFp;
+    std::unordered_map<int32_t, int32_t> blockMap;
+
+    LatchTail tail{};  // strip info no longer needed: latch already stripped
+
+    // Pre-create hot clone blocks to allow forward label references.
+    for (int32_t bid : info_.hotBlocks) {
+      int32_t nid = fn_.insertBlockAt(cursor++);
+      blockMap[bid] = nid;
+    }
+    // Provisional ids for side clones (negative space to avoid collision).
+    for (int32_t bid : info_.sideBlocks) {
+      BasicBlock bb;
+      bb.id = -1000 - static_cast<int32_t>(sideClones->size());
+      blockMap[bid] = bb.id;
+      sideClones->push_back(bb);
+    }
+
+    auto adjustInst = [&](Inst in, int32_t origBlock) -> std::vector<Inst> {
+      std::vector<Inst> out;
+      (void)origBlock;
+      // Loop-variable uses become adjusted temporaries.
+      if (instUsesReg(in, loop.ivar)) {
+        Reg tmp = fn_.newIntReg();
+        int64_t delta = fn_.loop.dir == ir::LoopDir::Down
+                            ? -static_cast<int64_t>(c) * perCopyStep_
+                            : static_cast<int64_t>(c) * perCopyStep_;
+        out.push_back({.op = Op::IAddI, .dst = tmp, .src1 = loop.ivar,
+                       .imm = delta});
+        auto sub = [&](Reg& r) {
+          if (r == loop.ivar) r = tmp;
+        };
+        sub(in.src1);
+        sub(in.src2);
+        sub(in.src3);
+        if (in.mem.base == loop.ivar) in.mem.base = tmp;
+        if (in.mem.index == loop.ivar) in.mem.index = tmp;
+      }
+      // Array displacements advance by c * perCopyStep_ elements
+      // (bumpBytes is the per-element advance; 0 for non-advancing arrays).
+      if (ir::touchesMem(in.op)) {
+        for (const auto& a : info_.arrays) {
+          if (in.mem.base == a.ptr)
+            in.mem.disp += static_cast<int64_t>(c) * perCopyStep_ * a.bumpBytes;
+        }
+      }
+      // Register renaming: accumulators rotate through the AE set;
+      // iteration-local temps get fresh copies; loop-carried scalars
+      // (e.g. iamax's running maximum) are shared, which is always correct
+      // since the copies execute in original iteration order.
+      auto rename = [&](Reg& r) {
+        if (!r.valid() || !r.isVirtual()) return;
+        if (r == loop.ivar) return;
+        for (auto& [origId, set] : accumSets_) {
+          for (Reg member : set)
+            if (r == member) {
+              r = set[static_cast<size_t>(c) % set.size()];
+              return;
+            }
+          (void)origId;
+        }
+        if (renameable_.count((static_cast<int64_t>(r.kind) << 32) | r.id) == 0)
+          return;
+        auto& map = r.kind == ir::RegKind::Int ? renameInt : renameFp;
+        auto it = map.find(r.id);
+        if (it != map.end()) {
+          r = it->second;
+          return;
+        }
+        Reg fresh = r.kind == ir::RegKind::Int ? fn_.newIntReg() : fn_.newFpReg();
+        map.emplace(r.id, fresh);
+        r = fresh;
+      };
+      const ir::OpInfo& oi = ir::opInfo(in.op);
+      if (oi.numSrcs >= 1) rename(in.src1);
+      if (oi.numSrcs >= 2) rename(in.src2);
+      if (oi.numSrcs >= 3) rename(in.src3);
+      if (ir::touchesMem(in.op)) {
+        rename(in.mem.base);
+        rename(in.mem.index);
+      }
+      if (oi.hasDst) rename(in.dst);
+      // Branch labels into the copy.
+      if (oi.isBranch) {
+        auto it = blockMap.find(in.label);
+        if (it != blockMap.end()) in.label = it->second;
+      }
+      out.push_back(in);
+      return out;
+    };
+
+    for (int32_t bid : info_.hotBlocks) {
+      const BasicBlock& src = fn_.block(bid);
+      std::vector<Inst> cloned;
+      for (const Inst& in : src.insts)
+        for (Inst& out : adjustInst(in, bid)) cloned.push_back(out);
+      fn_.block(blockMap[bid]).insts = std::move(cloned);
+      mainHotBlocks_.push_back(blockMap[bid]);
+    }
+    size_t sideBase = sideClones->size() - info_.sideBlocks.size();
+    for (size_t s = 0; s < info_.sideBlocks.size(); ++s) {
+      const BasicBlock& src = fn_.block(info_.sideBlocks[s]);
+      std::vector<Inst> cloned;
+      for (const Inst& in : src.insts)
+        for (Inst& out : adjustInst(in, src.id)) cloned.push_back(out);
+      (*sideClones)[sideBase + s].insts = std::move(cloned);
+    }
+    (void)tail;
+    return cursor;
+  }
+
+  /// Builds the scalar remainder loop from the pristine body; returns cursor.
+  size_t buildRemainder(size_t cursor, const ir::LoopMark& loop, Reg rem,
+                        const Inst& ivarUpd) {
+    std::unordered_map<int32_t, int32_t> blockMap;
+    size_t numHot = info_.hotBlocks.size();
+    // Pre-create hot remainder blocks.
+    for (size_t i = 0; i < numHot; ++i) {
+      int32_t nid = fn_.insertBlockAt(cursor++);
+      blockMap[pristine_[i].id] = nid;
+    }
+    std::vector<int32_t> sideIds;
+    for (size_t i = numHot; i < pristine_.size(); ++i) {
+      int32_t nid = fn_.insertBlockAt(cursor++);
+      blockMap[pristine_[i].id] = nid;
+      sideIds.push_back(nid);
+    }
+    for (size_t i = 0; i < pristine_.size(); ++i) {
+      std::vector<Inst> cloned;
+      for (Inst in : pristine_[i].insts) {
+        if (ir::opInfo(in.op).isBranch) {
+          auto it = blockMap.find(in.label);
+          if (it != blockMap.end()) in.label = it->second;
+        }
+        cloned.push_back(in);
+      }
+      fn_.block(blockMap[pristine_[i].id]).insts = std::move(cloned);
+    }
+    // Remainder latch tail: ivar update, counter, backedge, exit jump.
+    int32_t remLatch = blockMap[loop.latch];
+    int32_t remHeader = blockMap[loop.header];
+    {
+      ir::Builder b(fn_, remLatch);
+      b.emit(ivarUpd);  // original +-1 update
+      b.emit({.op = Op::IAddCC, .dst = rem, .src1 = rem, .imm = -1});
+      b.jcc(Cond::GT, remHeader);
+      b.jmp(loop.exit);
+    }
+    // Hot remainder blocks were inserted before side blocks, so the latch
+    // falls through correctly; side blocks end with their own jumps.
+    return cursor;
+  }
+
+  // --- PF --------------------------------------------------------------------
+  void insertPrefetches() {
+    const int line = machine_.lineBytes();
+    std::vector<Inst> prefs;
+    for (const auto& a : info_.arrays) {
+      auto it = params_.prefetch.find(a.name);
+      if (it == params_.prefetch.end() || !it->second.enabled) continue;
+      if (!a.prefetchable()) continue;
+      ir::PrefKind kind = it->second.kind;
+      if (kind == ir::PrefKind::W && !machine_.hasPrefW)
+        kind = ir::PrefKind::NTA;
+      int64_t bytesPerIter = a.bumpBytes * totalStep_;
+      int64_t nl = std::max<int64_t>(1, (bytesPerIter + line - 1) / line);
+      for (int64_t j = 0; j < nl; ++j) {
+        ir::Mem target = cisc_idx_.valid()
+                             ? ir::memIdx(a.ptr, cisc_idx_, 1,
+                                          it->second.distBytes + j * line)
+                             : ir::mem(a.ptr, it->second.distBytes + j * line);
+        prefs.push_back({.op = Op::Pref, .mem = target, .pref = kind});
+      }
+    }
+    if (prefs.empty()) return;
+
+    // Insertion slots across the main loop's hot blocks.
+    struct Slot {
+      int32_t block;
+      size_t idx;
+    };
+    std::vector<Slot> slots;
+    for (int32_t bid : mainHotBlocks_) {
+      const BasicBlock& bb = fn_.block(bid);
+      for (size_t i = 0; i <= bb.insts.size(); ++i) {
+        // Never insert after a trailing branch.
+        if (i == bb.insts.size() && !bb.insts.empty() &&
+            ir::opInfo(bb.insts.back().op).isBranch)
+          continue;
+        slots.push_back({bid, i});
+      }
+    }
+    if (slots.empty()) return;
+
+    std::vector<std::pair<Slot, Inst>> placements;
+    if (params_.prefSched == PrefSched::Top) {
+      for (const Inst& p : prefs) placements.push_back({slots.front(), p});
+    } else {
+      for (size_t i = 0; i < prefs.size(); ++i) {
+        size_t pick = slots.size() * (i + 1) / (prefs.size() + 1);
+        pick = std::min(pick, slots.size() - 1);
+        placements.push_back({slots[pick], prefs[i]});
+      }
+    }
+    // Insert from the highest index down so earlier slots stay valid.
+    std::stable_sort(placements.begin(), placements.end(),
+                     [&](const auto& x, const auto& y) {
+                       if (x.first.block != y.first.block)
+                         return fn_.layoutIndex(x.first.block) >
+                                fn_.layoutIndex(y.first.block);
+                       return x.first.idx > y.first.idx;
+                     });
+    for (const auto& [slot, inst] : placements) {
+      auto& insts = fn_.block(slot.block).insts;
+      insts.insert(insts.begin() + static_cast<ptrdiff_t>(slot.idx), inst);
+    }
+  }
+
+  // --- extension: CISC two-array indexing ------------------------------------
+  void applyCiscIndexing() {
+    std::vector<const analysis::ArrayInfo*> bumped;
+    for (const auto& a : info_.arrays)
+      if (a.bumpBytes > 0) bumped.push_back(&a);
+    if (bumped.size() < 2) return;  // nothing to share
+    int64_t perIter = bumped[0]->bumpBytes;
+    for (const auto* a : bumped)
+      if (a->bumpBytes != perIter) return;  // mixed strides: bail out
+
+    Reg idx = fn_.newIntReg();
+    cisc_idx_ = idx;
+    // idx = 0 at the top of the preheader setup block.
+    auto& p2 = fn_.block(fn_.loop.preheader).insts;
+    p2.insert(p2.begin(), Inst{.op = Op::IMovI, .dst = idx, .imm = 0});
+
+    // References go through [ptr + idx + disp].
+    for (int32_t bid : mainHotBlocks_) {
+      for (Inst& in : fn_.block(bid).insts) {
+        if (!ir::touchesMem(in.op)) continue;
+        for (const auto* a : bumped)
+          if (in.mem.base == a->ptr && !in.mem.hasIndex()) in.mem.index = idx;
+      }
+    }
+    // The main latch replaces the per-array bumps with one index update.
+    auto& latch = fn_.block(fn_.loop.latch).insts;
+    bool inserted = false;
+    for (size_t i = 0; i < latch.size();) {
+      bool isBump = latch[i].op == Op::IAddI && latch[i].dst == latch[i].src1;
+      const analysis::ArrayInfo* arr = nullptr;
+      for (const auto* a : bumped)
+        if (latch[i].dst == a->ptr) arr = a;
+      if (isBump && arr != nullptr) {
+        if (!inserted) {
+          latch[i] = Inst{.op = Op::IAddI, .dst = idx, .src1 = idx,
+                          .imm = perIter * totalStep_};
+          inserted = true;
+          ++i;
+        } else {
+          latch.erase(latch.begin() + static_cast<ptrdiff_t>(i));
+        }
+      } else {
+        ++i;
+      }
+    }
+    // Materialize the pointer advance before the reductions/remainder (the
+    // remainder loop still addresses through the plain pointers).
+    auto& reduce = fn_.block(reduceId_).insts;
+    size_t at = 0;
+    for (const auto* a : bumped) {
+      reduce.insert(reduce.begin() + static_cast<ptrdiff_t>(at++),
+                    Inst{.op = Op::IAdd, .dst = a->ptr, .src1 = a->ptr,
+                         .src2 = idx});
+    }
+  }
+
+  // --- extension: block fetch --------------------------------------------------
+  void applyBlockFetch() {
+    const int line = machine_.lineBytes();
+    std::vector<Inst> touches;
+    for (const auto& a : info_.arrays) {
+      if (!a.loaded || a.bumpBytes <= 0) continue;
+      int64_t bytesPerIter = a.bumpBytes * totalStep_;
+      int64_t nl = std::max<int64_t>(1, (bytesPerIter + line - 1) / line);
+      for (int64_t j = 0; j < nl; ++j) {
+        ir::Mem target = cisc_idx_.valid()
+                             ? ir::memIdx(a.ptr, cisc_idx_, 1, j * line)
+                             : ir::mem(a.ptr, j * line);
+        touches.push_back({.op = Op::Touch, .type = elem_, .mem = target});
+      }
+    }
+    if (touches.empty()) return;
+    auto& header = fn_.block(fn_.loop.header).insts;
+    header.insert(header.begin(), touches.begin(), touches.end());
+  }
+
+  // --- WNT --------------------------------------------------------------------
+  void applyWNT() {
+    std::set<int32_t> outPtrs;
+    for (const auto& a : info_.arrays)
+      if (a.stored) outPtrs.insert(a.ptr.id);
+    for (int32_t bid : mainHotBlocks_) {
+      for (Inst& in : fn_.block(bid).insts) {
+        if (in.op == Op::FSt && outPtrs.count(in.mem.base.id))
+          in.op = Op::FStNT;
+        else if (in.op == Op::VSt && outPtrs.count(in.mem.base.id))
+          in.op = Op::VStNT;
+      }
+    }
+  }
+
+  ir::Function fn_;
+  const TuningParams& params_;
+  const arch::MachineConfig& machine_;
+  LoopInfo info_;
+  Scal elem_ = Scal::F64;
+  bool vectorized_ = false;
+  int perCopyStep_ = 1;   ///< elements consumed by one unrolled copy
+  int unroll_ = 1;
+  int accum_expand_ = 1;
+  int64_t totalStep_ = 1; ///< elements per main-loop iteration
+  std::vector<BasicBlock> pristine_;
+  std::vector<Inst> preheaderInsts_;
+  std::unordered_map<int32_t, Reg> regMap_;  ///< SV: fp reg -> vector reg
+  /// Per original accumulator: the expanded register set used by the copies.
+  std::map<int32_t, std::vector<Reg>> accumSets_;
+  std::vector<int32_t> mainHotBlocks_;
+  int32_t reduceId_ = -1;
+  Reg cisc_idx_ = Reg::none();
+  std::unordered_map<int32_t, int32_t> sideCloneIdFix_;
+  /// Keys (kind<<32)|id of registers that may be privatized per unroll copy.
+  std::set<int64_t> renameable_;
+};
+
+}  // namespace
+
+std::optional<ir::Function> applyFundamentalTransforms(
+    const ir::Function& lowered, const TuningParams& params,
+    const arch::MachineConfig& machine, std::string* error) {
+  return LoopXform(lowered, params, machine).run(error);
+}
+
+std::string TuningParams::str() const {
+  std::string s = "SV=" + std::string(simdVectorize ? "Y" : "N") +
+                  " UR=" + std::to_string(unroll) +
+                  " AE=" + std::to_string(accumExpand) +
+                  " WNT=" + std::string(nonTemporalWrites ? "Y" : "N") +
+                  " LC=" + std::string(optimizeLoopControl ? "Y" : "N");
+  if (blockFetch) s += " BF=Y";
+  if (ciscIndexing) s += " CISC=Y";
+  for (const auto& [name, p] : prefetch) {
+    s += " PF(" + name + ")=";
+    if (!p.enabled)
+      s += "none";
+    else
+      s += std::string(ir::prefName(p.kind)) + ":" + std::to_string(p.distBytes);
+  }
+  return s;
+}
+
+}  // namespace ifko::opt

@@ -1,0 +1,38 @@
+// FKO's fundamental transformations (paper Section 2.2.3), applied once and
+// in a fixed order to the loop flagged for tuning:
+//
+//   SV  SIMD vectorization        (scalar body ops -> packed SSE ops)
+//   UR  loop unrolling            (N_u copies, merged pointer/index updates;
+//                                  after SV the computational unrolling is
+//                                  N_u * veclen)
+//   LC  optimized loop control    (biased down-counter with a fused
+//                                  update+test, avoiding the extra compare)
+//   AE  accumulator expansion     (breaks the FP-add dependence chain of
+//                                  reduction scalars across N_a registers)
+//   PF  prefetch                  (instruction kind, distance, scheduling,
+//                                  per array)
+//   WNT non-temporal writes       (on the loop's output arrays)
+//
+// The pipeline also performs the supporting restructuring: a guarded main
+// loop consuming veclen*N_u elements per iteration plus a scalar remainder
+// loop cloned from the pristine body, with reduction epilogues between them.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "arch/machine.h"
+#include "ir/function.h"
+#include "opt/params.h"
+
+namespace ifko::opt {
+
+/// Applies the fundamental transforms to a freshly lowered kernel.
+/// Returns nullopt (with *error set) when the request is malformed; tuning
+/// parameters that are merely unprofitable or inapplicable (e.g. SV on
+/// iamax) degrade gracefully instead of failing.
+[[nodiscard]] std::optional<ir::Function> applyFundamentalTransforms(
+    const ir::Function& lowered, const TuningParams& params,
+    const arch::MachineConfig& machine, std::string* error = nullptr);
+
+}  // namespace ifko::opt

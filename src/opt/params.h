@@ -1,0 +1,63 @@
+// Empirically tuned parameters of FKO's fundamental transforms
+// (paper Sections 2.2.3 and 2.3).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "ir/inst.h"
+
+namespace ifko::opt {
+
+/// Prefetch settings for one array.
+struct PrefParam {
+  bool enabled = false;
+  ir::PrefKind kind = ir::PrefKind::NTA;
+  int distBytes = 0;  ///< fetch-ahead distance from the current iteration
+
+  friend bool operator==(const PrefParam&, const PrefParam&) = default;
+};
+
+/// How prefetch instructions are placed within the unrolled loop body
+/// ("various simple scheduling methodologies").
+enum class PrefSched : uint8_t {
+  Spread,  ///< distributed across the unrolled body (default)
+  Top,     ///< all at the top of the body
+};
+
+struct TuningParams {
+  /// SV: SIMD-vectorize the loop when analysis allows it.
+  bool simdVectorize = true;
+  /// UR: unroll factor (applied after SV, so the computational unrolling is
+  /// unroll * veclen when vectorization succeeds).  1 = no unrolling.
+  int unroll = 1;
+  /// LC: optimized loop control (biased counter with fused test).
+  bool optimizeLoopControl = true;
+  /// AE: number of accumulators per reduction scalar.  1 = off.
+  int accumExpand = 1;
+  /// PF: per-array prefetch, keyed by parameter name ("X", "Y").
+  std::map<std::string, PrefParam> prefetch;
+  PrefSched prefSched = PrefSched::Spread;
+  /// WNT: non-temporal writes on the loop's output arrays.
+  bool nonTemporalWrites = false;
+
+  // --- extensions beyond the paper's evaluated transform set --------------
+  // (both named as planned/future work in Section 3.3; off by default so
+  // the reproduction matches the evaluated FKO)
+
+  /// Block fetch [Wall 2001]: touch every line an iteration will read with
+  /// grouped demand loads at the top of the body ("can be performed
+  /// generally and safely in a compiler, and we are planning to add it").
+  bool blockFetch = false;
+  /// CISC two-array indexing: address all arrays through one shared index
+  /// register, removing the per-array pointer bumps ("FKO presently does
+  /// not exploit the opportunity").
+  bool ciscIndexing = false;
+
+  friend bool operator==(const TuningParams&, const TuningParams&) = default;
+
+  [[nodiscard]] std::string str() const;
+};
+
+}  // namespace ifko::opt

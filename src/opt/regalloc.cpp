@@ -1,0 +1,285 @@
+#include "opt/regalloc.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "opt/liveness.h"
+
+namespace ifko::opt {
+
+using ir::Inst;
+using ir::Op;
+using ir::Reg;
+using ir::RegKind;
+
+namespace {
+
+struct Interval {
+  RegKey key = 0;
+  int64_t start = 0;
+  int64_t end = 0;
+  double weight = 0;
+  int assigned = -1;
+};
+
+struct Builder {
+  const ir::Function& fn;
+  std::map<RegKey, Interval> intervals;
+  std::unordered_map<int32_t, std::pair<int64_t, int64_t>> blockRange;
+
+  void build() {
+    Liveness lv = computeLiveness(fn);
+    // Loop-body block set for weighting.
+    std::set<int32_t> loopBlocks;
+    if (fn.loop.valid) {
+      size_t h = fn.layoutIndex(fn.loop.header);
+      size_t l = fn.layoutIndex(fn.loop.latch);
+      if (h != static_cast<size_t>(-1) && l != static_cast<size_t>(-1))
+        for (size_t i = h; i <= l && i < fn.blocks.size(); ++i)
+          loopBlocks.insert(fn.blocks[i].id);
+    }
+
+    int64_t pos = 0;
+    for (const auto& bb : fn.blocks) {
+      int64_t bStart = pos;
+      double w = loopBlocks.count(bb.id) ? 64.0 : 1.0;
+      for (const auto& in : bb.insts) {
+        for (Reg r : usedRegs(in))
+          if (r.isVirtual()) touch(regKey(r), pos, w);
+        Reg d = definedReg(in);
+        if (d.valid() && d.isVirtual()) touch(regKey(d), pos, w);
+        ++pos;
+      }
+      int64_t bEnd = pos > bStart ? pos - 1 : bStart;
+      blockRange[bb.id] = {bStart, bEnd};
+      // Live-through registers span the whole block.
+      for (RegKey k : lv.liveIn[bb.id]) {
+        if (!keyReg(k).isVirtual()) continue;
+        touch(k, bStart, 0);
+      }
+      for (RegKey k : lv.liveOut[bb.id]) {
+        if (!keyReg(k).isVirtual()) continue;
+        touch(k, bEnd, 0);
+      }
+    }
+    // Parameters are live from entry and must never spill; neither may
+    // spill-code temporaries (see rewriteSpill).
+    for (const auto& p : fn.params) {
+      touch(regKey(p.reg), 0, 0);
+      intervals[regKey(p.reg)].weight += 1e12;
+    }
+    for (RegKey k : *unspillable) {
+      auto it = intervals.find(k);
+      if (it != intervals.end()) it->second.weight += 1e12;
+    }
+  }
+
+  const std::set<RegKey>* unspillable = nullptr;
+
+  void touch(RegKey k, int64_t pos, double weight) {
+    auto [it, fresh] = intervals.try_emplace(k);
+    Interval& iv = it->second;
+    if (fresh) {
+      iv.key = k;
+      iv.start = pos;
+      iv.end = pos;
+    } else {
+      iv.start = std::min(iv.start, pos);
+      iv.end = std::max(iv.end, pos);
+    }
+    iv.weight += weight;
+  }
+};
+
+/// One scan over one register class; returns vregs to spill (empty = fit).
+std::vector<RegKey> scanClass(std::vector<Interval> ivs, int numRegs,
+                              RegAllocKind kind,
+                              std::map<RegKey, int>* assignment) {
+  std::sort(ivs.begin(), ivs.end(), [](const Interval& a, const Interval& b) {
+    if (a.start != b.start) return a.start < b.start;
+    return a.key < b.key;
+  });
+  std::vector<RegKey> spills;
+  std::vector<Interval*> active;
+  std::set<int> freeRegs;
+  for (int i = 0; i < numRegs; ++i) freeRegs.insert(i);
+
+  for (auto& iv : ivs) {
+    // Expire.
+    for (size_t i = active.size(); i-- > 0;) {
+      if (active[i]->end < iv.start) {
+        freeRegs.insert(active[i]->assigned);
+        active.erase(active.begin() + static_cast<ptrdiff_t>(i));
+      }
+    }
+    if (!freeRegs.empty()) {
+      iv.assigned = *freeRegs.begin();
+      freeRegs.erase(freeRegs.begin());
+      active.push_back(&iv);
+      continue;
+    }
+    // Choose a victim: cheapest weight (LinearScan) or furthest end (Basic),
+    // considering the new interval itself.
+    Interval* victim = &iv;
+    auto density = [](const Interval* x) {
+      // Spill cost per cycle of register occupancy: long, rarely-used
+      // intervals are the cheapest to evict.
+      return x->weight / static_cast<double>(x->end - x->start + 1);
+    };
+    for (Interval* a : active) {
+      bool better;
+      if (kind == RegAllocKind::LinearScan) {
+        better = density(a) < density(victim);
+      } else {
+        // Basic: furthest end, but never an unspillable interval.
+        bool aPinned = a->weight >= 1e12, vPinned = victim->weight >= 1e12;
+        better = vPinned ? !aPinned : (!aPinned && a->end > victim->end);
+      }
+      if (better) victim = a;
+    }
+    if (victim == &iv) {
+      spills.push_back(iv.key);
+      continue;
+    }
+    iv.assigned = victim->assigned;
+    spills.push_back(victim->key);
+    victim->assigned = -1;
+    active.erase(std::find(active.begin(), active.end(), victim));
+    active.push_back(&iv);
+  }
+  for (const auto& iv : ivs)
+    if (iv.assigned >= 0) (*assignment)[iv.key] = iv.assigned;
+  return spills;
+}
+
+/// Spill-everywhere rewriting for one vreg.  Freshly created reload/store
+/// temporaries are recorded as unspillable: their live ranges are minimal,
+/// and allowing them to spill again would make the rewrite diverge.
+void rewriteSpill(ir::Function& fn, Reg v, int slot,
+                  std::set<RegKey>* unspillable) {
+  Reg sp = Reg::intReg(ir::kSpillBaseReg);
+  ir::Mem slotMem{.base = sp, .index = Reg::none(), .scale = 1,
+                  .disp = static_cast<int64_t>(slot) * 16};
+  for (auto& bb : fn.blocks) {
+    for (size_t i = 0; i < bb.insts.size(); ++i) {
+      Inst& in = bb.insts[i];
+      bool usesV = false;
+      for (Reg r : usedRegs(in))
+        if (r == v) usesV = true;
+      bool defsV = definedReg(in) == v;
+      if (!usesV && !defsV) continue;
+
+      if (usesV) {
+        Reg tmp = v.kind == RegKind::Int ? fn.newIntReg() : fn.newFpReg();
+        unspillable->insert(regKey(tmp));
+        Inst reload = v.kind == RegKind::Int
+                          ? Inst{.op = Op::ILd, .dst = tmp, .mem = slotMem}
+                          : Inst{.op = Op::VLd, .type = ir::Scal::F64,
+                                 .dst = tmp, .mem = slotMem};
+        auto sub = [&](Reg& r) {
+          if (r == v) r = tmp;
+        };
+        sub(in.src1);
+        sub(in.src2);
+        sub(in.src3);
+        sub(in.mem.base);
+        sub(in.mem.index);
+        bb.insts.insert(bb.insts.begin() + static_cast<ptrdiff_t>(i), reload);
+        ++i;  // `in` moved one forward; i now indexes it again after ++ below
+      }
+      Inst& cur = bb.insts[i];
+      if (defsV) {
+        Reg tmp = v.kind == RegKind::Int ? fn.newIntReg() : fn.newFpReg();
+        unspillable->insert(regKey(tmp));
+        cur.dst = tmp;
+        Inst store = v.kind == RegKind::Int
+                         ? Inst{.op = Op::ISt, .src1 = tmp, .mem = slotMem}
+                         : Inst{.op = Op::VSt, .type = ir::Scal::F64,
+                                .src1 = tmp, .mem = slotMem};
+        bb.insts.insert(bb.insts.begin() + static_cast<ptrdiff_t>(i) + 1, store);
+        ++i;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+RegAllocResult allocateRegisters(ir::Function& fn, RegAllocKind kind) {
+  RegAllocResult result;
+  std::map<RegKey, int> spillSlot;
+  std::set<RegKey> unspillable;
+
+  for (int round = 0; round < 12; ++round) {
+    Builder b{fn};
+    b.unspillable = &unspillable;
+    b.build();
+
+    std::vector<Interval> intIvs, fpIvs;
+    for (auto& [k, iv] : b.intervals) {
+      // Already-spilled vregs were fully rewritten away.
+      if (keyReg(k).kind == RegKind::Int)
+        intIvs.push_back(iv);
+      else
+        fpIvs.push_back(iv);
+    }
+    std::map<RegKey, int> assignment;
+    // Integer register 7 is the spill base; 0..6 are allocatable.
+    std::vector<RegKey> spills =
+        scanClass(intIvs, ir::kNumIntRegs - 1, kind, &assignment);
+    for (RegKey k : scanClass(fpIvs, ir::kNumFpRegs, kind, &assignment))
+      spills.push_back(k);
+
+    if (spills.empty()) {
+      // Apply the assignment.
+      auto apply = [&](Reg& r) {
+        if (!r.valid() || !r.isVirtual()) return;
+        auto it = assignment.find(regKey(r));
+        r = Reg{r.kind, it == assignment.end() ? 0 : it->second};
+      };
+      for (auto& bb : fn.blocks) {
+        for (auto& in : bb.insts) {
+          apply(in.dst);
+          apply(in.src1);
+          apply(in.src2);
+          apply(in.src3);
+          apply(in.mem.base);
+          apply(in.mem.index);
+        }
+      }
+      for (auto& p : fn.params) apply(p.reg);
+      if (fn.loop.valid) {
+        apply(fn.loop.ivar);
+        apply(fn.loop.bound);
+      }
+      fn.regAllocated = true;
+      fn.numSpillSlots = static_cast<int>(spillSlot.size());
+      result.ok = true;
+      result.spillSlots = fn.numSpillSlots;
+      result.spilledValues = static_cast<int>(spillSlot.size());
+      return result;
+    }
+
+    for (RegKey k : spills) {
+      Reg v = keyReg(k);
+      bool isParam = false;
+      for (const auto& p : fn.params)
+        if (p.reg == v) isParam = true;
+      if (isParam) {
+        result.error = "register allocator tried to spill a parameter";
+        return result;
+      }
+      int slot = static_cast<int>(spillSlot.size());
+      auto [it, fresh] = spillSlot.try_emplace(k, slot);
+      rewriteSpill(fn, v, it->second, &unspillable);
+      (void)fresh;
+    }
+  }
+  result.error = "register allocation did not converge";
+  return result;
+}
+
+}  // namespace ifko::opt

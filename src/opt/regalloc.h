@@ -1,0 +1,33 @@
+// Register allocation onto the x86 files: 8 integer registers (one reserved
+// as the spill-area base) and 8 xmm registers.
+//
+// The paper's FKO supports "two types of register allocation"; both are
+// linear-scan variants here, differing in spill choice:
+//  * LinearScan: loop-aware weights (uses inside the tuned loop count far
+//    more), spill the cheapest interval;
+//  * Basic: classic furthest-end spilling with no loop awareness.
+//
+// Spilled values use spill-everywhere rewriting (a reload before each use,
+// a store after each def, 16-byte slots so vector values are safe), then the
+// scan repeats on the rewritten code until it fits.
+#pragma once
+
+#include <string>
+
+#include "ir/function.h"
+
+namespace ifko::opt {
+
+enum class RegAllocKind { LinearScan, Basic };
+
+struct RegAllocResult {
+  bool ok = false;
+  std::string error;
+  int spillSlots = 0;
+  int spilledValues = 0;
+};
+
+RegAllocResult allocateRegisters(ir::Function& fn,
+                                 RegAllocKind kind = RegAllocKind::LinearScan);
+
+}  // namespace ifko::opt

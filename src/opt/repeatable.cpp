@@ -1,0 +1,300 @@
+#include "opt/repeatable.h"
+
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "ir/cfg.h"
+#include "opt/liveness.h"
+
+namespace ifko::opt {
+
+using ir::Inst;
+using ir::Op;
+using ir::Reg;
+
+bool copyPropagation(ir::Function& fn) {
+  bool changed = false;
+  for (auto& bb : fn.blocks) {
+    std::map<RegKey, Reg> copies;  // dst -> src of an active copy
+    auto invalidate = [&](Reg r) {
+      copies.erase(regKey(r));
+      for (auto it = copies.begin(); it != copies.end();) {
+        if (it->second == r)
+          it = copies.erase(it);
+        else
+          ++it;
+      }
+    };
+    for (auto& in : bb.insts) {
+      const ir::OpInfo& info = ir::opInfo(in.op);
+      auto substitute = [&](Reg& r) {
+        if (!r.valid()) return;
+        auto it = copies.find(regKey(r));
+        if (it != copies.end()) {
+          r = it->second;
+          changed = true;
+        }
+      };
+      if (info.numSrcs >= 1) substitute(in.src1);
+      if (info.numSrcs >= 2) substitute(in.src2);
+      if (info.numSrcs >= 3) substitute(in.src3);
+      if (in.op == Op::Ret) substitute(in.src1);
+      if (ir::touchesMem(in.op)) {
+        substitute(in.mem.base);
+        substitute(in.mem.index);
+      }
+      if (info.hasDst) invalidate(in.dst);
+      if ((in.op == Op::IMov || in.op == Op::FMov || in.op == Op::VMov) &&
+          !(in.dst == in.src1))
+        copies[regKey(in.dst)] = in.src1;
+    }
+  }
+  return changed;
+}
+
+bool deadCodeElim(ir::Function& fn) {
+  bool changed = false;
+
+  // Dead induction cycles: a register whose only use is its own
+  // `r = r + imm` update keeps itself alive; break the cycle explicitly.
+  {
+    std::map<RegKey, int> useCount;
+    std::map<RegKey, const Inst*> selfUpdate;
+    for (const auto& bb : fn.blocks) {
+      for (const auto& in : bb.insts) {
+        for (Reg r : usedRegs(in)) ++useCount[regKey(r)];
+        if (in.op == Op::IAddI && in.dst == in.src1)
+          selfUpdate[regKey(in.dst)] = &in;
+      }
+    }
+    for (const auto& p : fn.params) useCount[regKey(p.reg)] += 1000;
+    for (auto& bb : fn.blocks) {
+      for (auto it = bb.insts.begin(); it != bb.insts.end();) {
+        bool isDeadCycle = it->op == Op::IAddI && it->dst == it->src1 &&
+                           useCount[regKey(it->dst)] == 1;
+        if (isDeadCycle) {
+          it = bb.insts.erase(it);
+          changed = true;
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+
+  Liveness lv = computeLiveness(fn);
+  for (auto& bb : fn.blocks) {
+    std::set<RegKey> live = lv.liveOut[bb.id];
+    // Backward scan, removing dead pure instructions.
+    for (size_t i = bb.insts.size(); i-- > 0;) {
+      const Inst& in = bb.insts[i];
+      const ir::OpInfo& info = ir::opInfo(in.op);
+      bool sideEffect = info.writesMem || info.isBranch || info.isTerminator ||
+                        info.setsFlags || in.op == Op::Pref;
+      Reg d = definedReg(in);
+      if (!sideEffect && d.valid() && !live.count(regKey(d))) {
+        bb.insts.erase(bb.insts.begin() + static_cast<ptrdiff_t>(i));
+        changed = true;
+        continue;
+      }
+      if (d.valid()) live.erase(regKey(d));
+      for (Reg r : usedRegs(in)) live.insert(regKey(r));
+    }
+  }
+  return changed;
+}
+
+bool peepholeLoadOp(ir::Function& fn) {
+  bool changed = false;
+  Liveness lv = computeLiveness(fn);
+  for (auto& bb : fn.blocks) {
+    for (size_t i = 0; i < bb.insts.size(); ++i) {
+      const Inst load = bb.insts[i];
+      bool scalar = load.op == Op::FLd;
+      bool vector = load.op == Op::VLd;
+      if (!scalar && !vector) continue;
+      Reg t = load.dst;
+      if (lv.liveOut[bb.id].count(regKey(t))) continue;
+
+      // Find the unique consumer within the block.  Before the consumer, no
+      // store may intervene (conservative aliasing) and neither the loaded
+      // register nor the address registers may be redefined; after it, the
+      // loaded register must be dead.
+      size_t useIdx = SIZE_MAX;
+      bool ok = true;
+      for (size_t j = i + 1; j < bb.insts.size(); ++j) {
+        const Inst& in = bb.insts[j];
+        const ir::OpInfo& info = ir::opInfo(in.op);
+        bool usesT = false;
+        for (Reg r : usedRegs(in))
+          if (r == t) usesT = true;
+        if (useIdx == SIZE_MAX) {
+          if (usesT) {
+            useIdx = j;
+            continue;
+          }
+          if (info.writesMem ||
+              (info.hasDst && (in.dst == t || in.dst == load.mem.base ||
+                               in.dst == load.mem.index))) {
+            ok = false;
+            break;
+          }
+        } else {
+          if (usesT) {
+            ok = false;  // second use: cannot fold
+            break;
+          }
+          if (info.hasDst && in.dst == t) break;  // t dead from here on
+        }
+      }
+      if (!ok || useIdx == SIZE_MAX) continue;
+
+      Inst& use = bb.insts[useIdx];
+      Op newOp = Op::Nop;
+      if (scalar && use.op == Op::FAdd) newOp = Op::FAddM;
+      if (scalar && use.op == Op::FMul) newOp = Op::FMulM;
+      if (vector && use.op == Op::VAdd) newOp = Op::VAddM;
+      if (vector && use.op == Op::VMul) newOp = Op::VMulM;
+      if (newOp == Op::Nop) continue;
+      if (use.src1 == t && use.src2 == t) continue;
+      // Commutative: put the register operand in src1.
+      Reg other = use.src1 == t ? use.src2 : use.src1;
+      use.op = newOp;
+      use.src1 = other;
+      use.src2 = Reg::none();
+      use.mem = load.mem;
+      bb.insts.erase(bb.insts.begin() + static_cast<ptrdiff_t>(i));
+      changed = true;
+      --i;
+    }
+  }
+  return changed;
+}
+
+bool branchChaining(ir::Function& fn) {
+  bool changed = false;
+  // Resolve each branch target through empty/jump-only blocks.
+  auto resolve = [&](int32_t target) {
+    for (int hops = 0; hops < 8; ++hops) {
+      size_t pos = fn.layoutIndex(target);
+      if (pos == static_cast<size_t>(-1)) return target;
+      const ir::BasicBlock& bb = fn.blocks[pos];
+      if (bb.insts.empty()) {
+        if (pos + 1 >= fn.blocks.size()) return target;
+        target = fn.blocks[pos + 1].id;
+        continue;
+      }
+      if (bb.insts.size() == 1 && bb.insts[0].op == Op::Jmp) {
+        if (bb.insts[0].label == target) return target;  // self loop
+        target = bb.insts[0].label;
+        continue;
+      }
+      return target;
+    }
+    return target;
+  };
+  for (auto& bb : fn.blocks) {
+    for (auto& in : bb.insts) {
+      if (!ir::opInfo(in.op).isBranch) continue;
+      int32_t t = resolve(in.label);
+      if (t != in.label) {
+        in.label = t;
+        changed = true;
+      }
+    }
+  }
+  return changed;
+}
+
+bool uselessJumpElim(ir::Function& fn) {
+  bool changed = false;
+  for (size_t i = 0; i + 1 < fn.blocks.size(); ++i) {
+    auto& bb = fn.blocks[i];
+    if (bb.insts.empty()) continue;
+    Inst& last = bb.insts.back();
+    if (last.op == Op::Jmp && last.label == fn.blocks[i + 1].id) {
+      bb.insts.pop_back();
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+bool removeUnreachable(ir::Function& fn) {
+  if (fn.blocks.empty()) return false;
+  std::set<int32_t> reachable;
+  std::vector<size_t> work = {0};
+  reachable.insert(fn.blocks[0].id);
+  while (!work.empty()) {
+    size_t pos = work.back();
+    work.pop_back();
+    for (int32_t s : ir::successors(fn, pos)) {
+      if (reachable.insert(s).second) work.push_back(fn.layoutIndex(s));
+    }
+  }
+  bool changed = false;
+  for (size_t i = fn.blocks.size(); i-- > 0;) {
+    if (!reachable.count(fn.blocks[i].id)) {
+      fn.blocks.erase(fn.blocks.begin() + static_cast<ptrdiff_t>(i));
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+bool mergeBlocks(ir::Function& fn) {
+  bool changed = false;
+  auto preds = ir::predecessors(fn);
+  // Count branch references separately: a block that is a branch target
+  // cannot be merged into its fall-through predecessor without relabeling.
+  std::map<int32_t, int> branchRefs;
+  for (const auto& bb : fn.blocks)
+    for (const auto& in : bb.insts)
+      if (ir::opInfo(in.op).isBranch) ++branchRefs[in.label];
+
+  for (size_t i = 0; i + 1 < fn.blocks.size(); ++i) {
+    ir::BasicBlock& b = fn.blocks[i];
+    ir::BasicBlock& c = fn.blocks[i + 1];
+    bool bFallsOnly =
+        b.insts.empty() || (!ir::opInfo(b.insts.back().op).isBranch &&
+                            !ir::opInfo(b.insts.back().op).isTerminator);
+    if (!bFallsOnly) continue;
+    if (branchRefs[c.id] > 0) continue;
+    if (preds[c.id].size() != 1) continue;
+    // Merge c into b.
+    for (auto& in : c.insts) b.insts.push_back(in);
+    int32_t cId = c.id;
+    // Keep loop metadata coherent.
+    if (fn.loop.valid) {
+      if (fn.loop.header == cId) fn.loop.header = b.id;
+      if (fn.loop.latch == cId) fn.loop.latch = b.id;
+      if (fn.loop.exit == cId) fn.loop.exit = b.id;
+      if (fn.loop.preheader == cId) fn.loop.preheader = b.id;
+    }
+    fn.blocks.erase(fn.blocks.begin() + static_cast<ptrdiff_t>(i) + 1);
+    changed = true;
+    --i;
+    preds = ir::predecessors(fn);
+  }
+  return changed;
+}
+
+int runRepeatable(ir::Function& fn, int maxIters) {
+  int effective = 0;
+  for (int iter = 0; iter < maxIters; ++iter) {
+    bool changed = false;
+    changed |= copyPropagation(fn);
+    changed |= deadCodeElim(fn);
+    changed |= peepholeLoadOp(fn);
+    changed |= branchChaining(fn);
+    changed |= uselessJumpElim(fn);
+    changed |= removeUnreachable(fn);
+    changed |= mergeBlocks(fn);
+    if (!changed) break;
+    ++effective;
+  }
+  return effective;
+}
+
+}  // namespace ifko::opt

@@ -1,0 +1,33 @@
+// FKO's repeatable transformations (paper Section 2.2.4): register-usage
+// and control-flow cleanups that are applied in a series (an "optimization
+// block") repeated while they still change the code.
+//
+//  * copy propagation (several forms: forward within blocks, for both
+//    register classes)
+//  * dead code elimination (liveness-based)
+//  * x86 peephole: fold loads into memory-operand ALU forms (the ISA "is
+//    not a true load/store architecture", which matters with 8 registers)
+//  * branch chaining, useless jump elimination, unreachable-block removal,
+//    and basic-block merging (critical after extensive loop unrolling)
+//
+// Each pass returns true when it changed the function; runRepeatable drives
+// them to a fixed point.
+#pragma once
+
+#include "ir/function.h"
+
+namespace ifko::opt {
+
+bool copyPropagation(ir::Function& fn);
+bool deadCodeElim(ir::Function& fn);
+bool peepholeLoadOp(ir::Function& fn);
+bool branchChaining(ir::Function& fn);
+bool uselessJumpElim(ir::Function& fn);
+bool removeUnreachable(ir::Function& fn);
+bool mergeBlocks(ir::Function& fn);
+
+/// Runs the full optimization block to a fixed point (bounded).
+/// Returns the number of iterations that changed something.
+int runRepeatable(ir::Function& fn, int maxIters = 10);
+
+}  // namespace ifko::opt

@@ -1,0 +1,360 @@
+#include "search/linesearch.h"
+
+#include <algorithm>
+#include <map>
+
+#include "fko/harness.h"
+#include "kernels/tester.h"
+
+namespace ifko::search {
+
+using opt::PrefParam;
+using opt::TuningParams;
+
+namespace {
+
+/// Candidate unroll factors; the paper's Table 3 lands on values like
+/// 1..5, 8, 16, 32, 64.
+std::vector<int> unrollGrid(bool fast, int maxUnroll) {
+  std::vector<int> grid = fast ? std::vector<int>{1, 2, 4, 8}
+                               : std::vector<int>{1, 2, 3, 4, 5, 6, 8, 12,
+                                                  16, 24, 32, 64, 128};
+  grid.erase(std::remove_if(grid.begin(), grid.end(),
+                            [&](int u) { return u > maxUnroll; }),
+             grid.end());
+  return grid;
+}
+
+std::vector<int> accumGrid(bool fast) {
+  return fast ? std::vector<int>{1, 2, 4} : std::vector<int>{1, 2, 3, 4, 5, 8, 16};
+}
+
+/// Prefetch distances in lines ahead; 0 encodes "no prefetch".
+std::vector<int> distGrid(bool fast) {
+  return fast ? std::vector<int>{0, 2, 16}
+              : std::vector<int>{0, 1, 2, 3, 4, 6, 8, 12, 16, 20, 24, 28, 32};
+}
+
+}  // namespace
+
+opt::TuningParams fkoDefaults(const fko::AnalysisReport& report,
+                              const arch::MachineConfig& machine) {
+  TuningParams p;
+  p.simdVectorize = true;  // SV = Yes
+  p.nonTemporalWrites = false;
+  const int line = machine.lineBytes();
+  // L_e: elements per line, counted in SIMD vectors when vectorized.
+  int elemBytes = report.vectorizable && p.simdVectorize
+                      ? ir::kVecBytes
+                      : scalBytes(report.elemType);
+  p.unroll = std::max(1, line / elemBytes);
+  p.accumExpand = 1;  // AE = No
+  for (const auto& a : report.arrays) {
+    if (!a.prefetchable) continue;
+    p.prefetch[a.name] = {true, ir::PrefKind::NTA, 2 * line};
+  }
+  return p;
+}
+
+uint64_t timeParams(const kernels::KernelSpec& spec,
+                    const arch::MachineConfig& machine,
+                    const opt::TuningParams& params,
+                    const SearchConfig& config) {
+  fko::CompileOptions opts;
+  opts.tuning = params;
+  auto compiled = fko::compileKernel(spec.hilSource(), opts, machine);
+  if (!compiled.ok) return 0;
+  auto t = sim::timeKernel(machine, compiled.fn, spec, config.n,
+                           config.context, config.seed);
+  return t.cycles;
+}
+
+std::vector<std::string> paramsRow(const opt::TuningParams& params,
+                                   const fko::AnalysisReport& analysis) {
+  std::vector<std::string> row;
+  bool sv = params.simdVectorize && analysis.vectorizable;
+  row.push_back(std::string(sv ? "Y" : "N") + ":" +
+                (params.nonTemporalWrites ? "Y" : "N"));
+  auto prefCell = [&](const std::string& name) -> std::string {
+    bool exists = false;
+    for (const auto& a : analysis.arrays)
+      if (a.name == name) exists = true;
+    if (!exists) return "n/a:0";
+    auto it = params.prefetch.find(name);
+    if (it == params.prefetch.end() || !it->second.enabled) return "none:0";
+    return std::string(ir::prefName(it->second.kind)) + ":" +
+           std::to_string(it->second.distBytes);
+  };
+  row.push_back(prefCell("X"));
+  row.push_back(prefCell("Y"));
+  row.push_back(std::to_string(params.unroll) + ":" +
+                std::to_string(params.accumExpand > 1 ? params.accumExpand : 0));
+  return row;
+}
+
+namespace {
+
+class LineSearch {
+ public:
+  LineSearch(std::string source, const kernels::KernelSpec* spec,
+             const arch::MachineConfig& machine, const SearchConfig& config)
+      : source_(std::move(source)), spec_(spec), machine_(machine),
+        config_(config) {}
+
+  TuneResult run() {
+    TuneResult result;
+    result.analysis = fko::analyzeKernel(source_, machine_);
+    if (!result.analysis.ok) {
+      result.error = result.analysis.error;
+      return result;
+    }
+    const fko::AnalysisReport& rep = result.analysis;
+
+    analysis_ = rep;
+    cur_ = fkoDefaults(rep, machine_);
+    result.defaults = cur_;
+    uint64_t curCycles = evaluate(cur_);
+    if (curCycles == 0) {
+      result.error = "default parameters failed to compile/time";
+      return result;
+    }
+    result.defaultCycles = curCycles;
+
+    const int line = machine_.lineBytes();
+    auto sweep = [&](const std::string& dim,
+                     const std::vector<TuningParams>& candidates) {
+      for (const TuningParams& cand : candidates) {
+        uint64_t c = evaluate(cand);
+        if (c != 0 && c < curCycles) {
+          curCycles = c;
+          cur_ = cand;
+        }
+      }
+      ledger_.push_back({dim, curCycles});
+    };
+
+    // --- WNT ------------------------------------------------------------------
+    {
+      std::vector<TuningParams> cands;
+      bool hasStores = false;
+      for (const auto& a : rep.arrays) hasStores |= a.stored;
+      if (hasStores) {
+        TuningParams t = cur_;
+        t.nonTemporalWrites = !t.nonTemporalWrites;
+        cands.push_back(t);
+      }
+      sweep("WNT", cands);
+    }
+
+    // --- PF distance: a 1-D sweep per array, committed sequentially, with
+    // a second round since the arrays' distances interact through the bus
+    // (the paper's relaxation of strict 1-D searches).
+    {
+      int prefetchableArrays = 0;
+      for (const auto& a : rep.arrays)
+        if (a.prefetchable) ++prefetchableArrays;
+      int rounds = prefetchableArrays > 1 ? 2 : 1;
+      for (int round = 0; round < rounds; ++round) {
+        for (const auto& a : rep.arrays) {
+          if (!a.prefetchable) continue;
+          for (int mult : distGrid(config_.fast)) {
+            TuningParams t = cur_;
+            PrefParam& pp = t.prefetch[a.name];
+            if (mult == 0) {
+              pp.enabled = false;
+              pp.distBytes = 0;
+            } else {
+              pp.enabled = true;
+              pp.distBytes = mult * line;
+            }
+            uint64_t c = evaluate(t);
+            if (c != 0 && c < curCycles) {
+              curCycles = c;
+              cur_ = t;
+            }
+          }
+        }
+      }
+      ledger_.push_back({"PF DST", curCycles});
+    }
+
+    // --- PF instruction kind (sequential per-array commits) ------------------
+    {
+      for (const auto& a : rep.arrays) {
+        if (!a.prefetchable) continue;
+        auto it = cur_.prefetch.find(a.name);
+        if (it == cur_.prefetch.end() || !it->second.enabled) continue;
+        ir::PrefKind curKind = it->second.kind;
+        for (ir::PrefKind kind : rep.prefKinds) {
+          if (kind == curKind) continue;
+          TuningParams t = cur_;
+          t.prefetch[a.name].kind = kind;
+          uint64_t c = evaluate(t);
+          if (c != 0 && c < curCycles) {
+            curCycles = c;
+            cur_ = t;
+          }
+        }
+      }
+      ledger_.push_back({"PF INS", curCycles});
+    }
+
+    // --- UR ---------------------------------------------------------------------
+    {
+      std::vector<TuningParams> cands;
+      for (int u : unrollGrid(config_.fast, rep.maxUnroll)) {
+        if (u == cur_.unroll) continue;
+        TuningParams t = cur_;
+        t.unroll = u;
+        t.accumExpand = std::min(t.accumExpand, u);
+        cands.push_back(t);
+      }
+      sweep("UR", cands);
+    }
+
+    // --- AE ---------------------------------------------------------------------
+    {
+      std::vector<TuningParams> cands;
+      if (rep.numAccumulators > 0) {
+        for (int m : accumGrid(config_.fast)) {
+          if (m == cur_.accumExpand || m > cur_.unroll) continue;
+          TuningParams t = cur_;
+          t.accumExpand = m;
+          cands.push_back(t);
+        }
+      }
+      sweep("AE", cands);
+    }
+
+    // --- restricted 2-D (UR, AE): strongly interacting pair --------------------
+    if (rep.numAccumulators > 0 && !config_.fast) {
+      std::vector<TuningParams> cands;
+      std::vector<int> urs = unrollGrid(false, rep.maxUnroll);
+      auto near = [&](int v, const std::vector<int>& grid) {
+        std::vector<int> out;
+        auto it = std::find(grid.begin(), grid.end(), v);
+        if (it == grid.end()) return out;
+        if (it != grid.begin()) out.push_back(*(it - 1));
+        if (it + 1 != grid.end()) out.push_back(*(it + 1));
+        return out;
+      };
+      std::vector<int> urCands = near(cur_.unroll, urs);
+      urCands.push_back(cur_.unroll);
+      std::vector<int> aeCands = near(cur_.accumExpand, accumGrid(false));
+      aeCands.push_back(cur_.accumExpand);
+      for (int u : urCands)
+        for (int m : aeCands) {
+          if (m > u) continue;
+          if (u == cur_.unroll && m == cur_.accumExpand) continue;
+          TuningParams t = cur_;
+          t.unroll = u;
+          t.accumExpand = m;
+          cands.push_back(t);
+        }
+      sweep("UR*AE", cands);
+    }
+
+    // --- extensions (opt-in): block fetch and CISC indexing ----------------
+    if (config_.searchExtensions) {
+      {
+        std::vector<TuningParams> cands;
+        TuningParams t = cur_;
+        t.blockFetch = !t.blockFetch;
+        cands.push_back(t);
+        // Block fetch wants whole blocks per iteration: retry deeper unrolls.
+        for (int u : {8, 16, 32}) {
+          if (u > rep.maxUnroll) continue;
+          TuningParams t2 = cur_;
+          t2.blockFetch = true;
+          t2.unroll = u;
+          cands.push_back(t2);
+        }
+        sweep("BF", cands);
+      }
+      {
+        std::vector<TuningParams> cands;
+        TuningParams t = cur_;
+        t.ciscIndexing = !t.ciscIndexing;
+        cands.push_back(t);
+        sweep("CISC", cands);
+      }
+    }
+
+    result.best = cur_;
+    result.bestCycles = curCycles;
+    result.ledger = ledger_;
+    result.evaluations = evaluations_;
+    result.ok = true;
+    return result;
+  }
+
+ private:
+  /// Compile + test + time one candidate; memoized.  Returns 0 on failure.
+  uint64_t evaluate(const TuningParams& params) {
+    std::string key = params.str();
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+    ++evaluations_;
+
+    fko::CompileOptions opts;
+    opts.tuning = params;
+    auto compiled = fko::compileKernel(source_, opts, machine_);
+    uint64_t cycles = 0;
+    if (compiled.ok) {
+      bool pass = true;
+      if (config_.testerN > 0) {
+        if (spec_ != nullptr) {
+          pass = kernels::testKernel(*spec_, compiled.fn, config_.testerN).ok;
+        } else {
+          pass = fko::testAgainstUnoptimized(source_, compiled.fn,
+                                             config_.testerN)
+                     .ok;
+        }
+      }
+      if (pass) {
+        uint64_t c;
+        if (spec_ != nullptr) {
+          c = sim::timeKernel(machine_, compiled.fn, *spec_, config_.n,
+                              config_.context, config_.seed)
+                  .cycles;
+        } else {
+          int64_t strideElems = 1;
+          for (const auto& a : analysis_.arrays)
+            strideElems = std::max(strideElems, a.strideElems);
+          c = fko::timeCompiled(machine_, compiled.fn, config_.n,
+                                config_.context, config_.seed, strideElems)
+                  .cycles;
+        }
+        cycles = c;
+      }
+    }
+    cache_[key] = cycles;
+    return cycles;
+  }
+
+  std::string source_;
+  fko::AnalysisReport analysis_;
+  const kernels::KernelSpec* spec_;
+  const arch::MachineConfig& machine_;
+  const SearchConfig& config_;
+  TuningParams cur_;
+  std::vector<DimensionResult> ledger_;
+  std::map<std::string, uint64_t> cache_;
+  int evaluations_ = 0;
+};
+
+}  // namespace
+
+TuneResult tuneKernel(const kernels::KernelSpec& spec,
+                      const arch::MachineConfig& machine,
+                      const SearchConfig& config) {
+  return LineSearch(spec.hilSource(), &spec, machine, config).run();
+}
+
+TuneResult tuneSource(const std::string& hilSource,
+                      const arch::MachineConfig& machine,
+                      const SearchConfig& config) {
+  return LineSearch(hilSource, nullptr, machine, config).run();
+}
+
+}  // namespace ifko::search

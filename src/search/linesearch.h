@@ -1,0 +1,97 @@
+// The iFKO search drivers (paper Section 2.3): a modified line search over
+// the fundamental transform parameters.
+//
+// Defaults (the paper's "intelligent start values", with L the line size of
+// the first prefetchable cache and L_e the number of elements of the loop's
+// type in such a line — counted in SIMD vectors when vectorization applies):
+//   SV = Yes, WNT = No, PF = (prefetchnta, 2*L), UR = L_e, AE = No.
+//
+// The search then sweeps one dimension at a time in the order the paper's
+// Figure 7 reports contributions — WNT, PF distance, PF instruction, UR,
+// AE — holding the rest fixed, and finishes with a restricted 2-D
+// refinement of the strongly-interacting (UR, AE) pair.  Every candidate is
+// timed on the simulated machine and checked by the tester ("unnecessary in
+// theory, but useful in practice").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/machine.h"
+#include "fko/compiler.h"
+#include "kernels/registry.h"
+#include "opt/params.h"
+#include "sim/timer.h"
+
+namespace ifko::search {
+
+struct SearchConfig {
+  int64_t n = 80000;  ///< problem size to time (paper: 80000 / 1024)
+  sim::TimeContext context = sim::TimeContext::OutOfCache;
+  uint64_t seed = 42;
+  /// Verify each candidate's output at this length (0 disables the tester).
+  int64_t testerN = 256;
+  /// Reduced grids for smoke tests.
+  bool fast = false;
+  /// Also search the extension transforms (block fetch, CISC indexing) the
+  /// paper lists as planned work.  Off by default so Table 3 matches the
+  /// evaluated FKO.
+  bool searchExtensions = false;
+};
+
+/// One completed line-search dimension, for the Figure 7 ledger.
+struct DimensionResult {
+  std::string name;      ///< "WNT", "PF DST", "PF INS", "UR", "AE", "UR*AE"
+  uint64_t cyclesAfter;  ///< best cycles once this dimension was tuned
+};
+
+struct TuneResult {
+  bool ok = false;
+  std::string error;
+  opt::TuningParams defaults;  ///< FKO's statically chosen parameters
+  opt::TuningParams best;
+  uint64_t defaultCycles = 0;  ///< "FKO": no empirical search
+  uint64_t bestCycles = 0;     ///< "ifko": after the search
+  std::vector<DimensionResult> ledger;
+  int evaluations = 0;
+  fko::AnalysisReport analysis;
+
+  [[nodiscard]] double speedupOverDefaults() const {
+    return bestCycles == 0 ? 0.0
+                           : static_cast<double>(defaultCycles) /
+                                 static_cast<double>(bestCycles);
+  }
+};
+
+/// FKO's default parameters for this kernel/machine (no search).
+[[nodiscard]] opt::TuningParams fkoDefaults(const fko::AnalysisReport& report,
+                                            const arch::MachineConfig& machine);
+
+/// Runs the full iterative search on a surveyed BLAS kernel (candidates
+/// are checked against the hand-written reference implementations).
+[[nodiscard]] TuneResult tuneKernel(const kernels::KernelSpec& spec,
+                                    const arch::MachineConfig& machine,
+                                    const SearchConfig& config);
+
+/// Runs the full iterative search on an arbitrary HIL kernel.  Candidates
+/// are checked differentially against the unoptimized lowering of the same
+/// source (fko::testAgainstUnoptimized), so no reference implementation is
+/// required — the "generalize it enough to tune almost any floating point
+/// kernel" goal of the paper.
+[[nodiscard]] TuneResult tuneSource(const std::string& hilSource,
+                                    const arch::MachineConfig& machine,
+                                    const SearchConfig& config);
+
+/// Times one parameter set (compile + simulate).  Exposed for the
+/// benchmarks' fixed-parameter runs; returns 0 cycles on compile failure.
+[[nodiscard]] uint64_t timeParams(const kernels::KernelSpec& spec,
+                                  const arch::MachineConfig& machine,
+                                  const opt::TuningParams& params,
+                                  const SearchConfig& config);
+
+/// Table 3 style row: "Y:N  nta:1024  none:0  4:2".
+[[nodiscard]] std::vector<std::string> paramsRow(
+    const opt::TuningParams& params, const fko::AnalysisReport& analysis);
+
+}  // namespace ifko::search

@@ -1,0 +1,83 @@
+// Functional interpreter for the virtual ISA.
+//
+// Plays two roles from the paper's Figure 1: it is the *tester* (does the
+// transformed kernel still compute the right answer?) and it feeds the
+// *timer*: every executed instruction is streamed to an optional observer,
+// which the timing model consumes to produce a cycle count.  Functional
+// semantics and timing are deliberately decoupled so each can be tested on
+// its own.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <variant>
+#include <vector>
+
+#include "ir/function.h"
+#include "sim/memory.h"
+
+namespace ifko::sim {
+
+/// One 16-byte xmm register value with typed lane access.
+struct VReg16 {
+  alignas(16) std::array<uint8_t, 16> b{};
+
+  [[nodiscard]] double d(int lane) const {
+    double v;
+    std::memcpy(&v, b.data() + lane * 8, 8);
+    return v;
+  }
+  void setD(int lane, double v) { std::memcpy(b.data() + lane * 8, &v, 8); }
+  [[nodiscard]] float f(int lane) const {
+    float v;
+    std::memcpy(&v, b.data() + lane * 4, 4);
+    return v;
+  }
+  void setF(int lane, float v) { std::memcpy(b.data() + lane * 4, &v, 4); }
+};
+
+/// Argument for one kernel parameter: integer/pointer or FP scalar.
+using ArgValue = std::variant<int64_t, double>;
+
+/// What the observer sees for each executed instruction.
+struct InstEvent {
+  const ir::Inst* inst = nullptr;
+  uint64_t addr = 0;         ///< effective address for memory ops, else 0
+  uint32_t accessBytes = 0;  ///< size of the memory access, 0 if none
+  bool taken = false;        ///< branch outcome (conditional branches)
+  uint64_t pcId = 0;         ///< stable id of the static instruction
+};
+
+class InstObserver {
+ public:
+  virtual ~InstObserver() = default;
+  virtual void onInst(const InstEvent& ev) = 0;
+};
+
+struct RunResult {
+  std::optional<int64_t> intResult;
+  std::optional<double> fpResult;
+  uint64_t dynInsts = 0;
+};
+
+class Interp {
+ public:
+  /// `fn` must outlive the interpreter.  `maxDynInsts` bounds runaway loops.
+  Interp(const ir::Function& fn, Memory& mem, InstObserver* observer = nullptr,
+         uint64_t maxDynInsts = 1ull << 33);
+
+  /// Binds `args` (one per parameter, same order) and executes from the
+  /// first block until Ret.  Throws std::runtime_error on machine faults
+  /// (bad memory access, dynamic instruction budget exceeded).
+  RunResult run(std::span<const ArgValue> args);
+
+ private:
+  const ir::Function& fn_;
+  Memory& mem_;
+  InstObserver* observer_;
+  uint64_t max_dyn_;
+};
+
+}  // namespace ifko::sim

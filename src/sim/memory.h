@@ -1,0 +1,69 @@
+// Flat byte-addressable memory image for the simulated machine.
+//
+// Kernel operands (the BLAS vectors), the spill area, and any scratch data
+// live here.  Addresses are plain byte offsets; address 0 is kept unmapped
+// so stray null dereferences fault loudly.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+namespace ifko::sim {
+
+class Memory {
+ public:
+  /// Creates an image of `size` bytes.  The first 64 bytes are reserved
+  /// (unallocatable) so that address 0 never aliases real data.
+  explicit Memory(size_t size) : bytes_(size, 0), brk_(64) {
+    if (size < 128) throw std::invalid_argument("Memory too small");
+  }
+
+  /// Bump-allocates `size` bytes aligned to `align` (a power of two).
+  [[nodiscard]] uint64_t allocate(size_t size, size_t align = 64) {
+    uint64_t addr = (brk_ + align - 1) & ~(static_cast<uint64_t>(align) - 1);
+    if (addr + size > bytes_.size())
+      throw std::out_of_range("Memory::allocate: image exhausted");
+    brk_ = addr + size;
+    return addr;
+  }
+
+  template <typename T>
+  [[nodiscard]] T read(uint64_t addr) const {
+    check(addr, sizeof(T));
+    T v;
+    std::memcpy(&v, bytes_.data() + addr, sizeof(T));
+    return v;
+  }
+
+  template <typename T>
+  void write(uint64_t addr, T v) {
+    check(addr, sizeof(T));
+    std::memcpy(bytes_.data() + addr, &v, sizeof(T));
+  }
+
+  void readBytes(uint64_t addr, void* out, size_t n) const {
+    check(addr, n);
+    std::memcpy(out, bytes_.data() + addr, n);
+  }
+
+  void writeBytes(uint64_t addr, const void* in, size_t n) {
+    check(addr, n);
+    std::memcpy(bytes_.data() + addr, in, n);
+  }
+
+  [[nodiscard]] size_t size() const { return bytes_.size(); }
+
+ private:
+  void check(uint64_t addr, size_t n) const {
+    if (addr < 64 || addr + n > bytes_.size())
+      throw std::out_of_range("simulated memory access out of bounds at " +
+                              std::to_string(addr));
+  }
+
+  std::vector<uint8_t> bytes_;
+  uint64_t brk_;
+};
+
+}  // namespace ifko::sim

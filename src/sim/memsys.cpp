@@ -1,0 +1,376 @@
+#include "sim/memsys.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace ifko::sim {
+
+MemSystem::MemSystem(const arch::MachineConfig& cfg)
+    : cfg_(cfg), line_bytes_(cfg.lineBytes()) {
+  for (const auto& lc : cfg.caches) {
+    Level level;
+    level.cfg = lc;
+    level.numSets = lc.sizeBytes / (lc.lineBytes * lc.assoc);
+    assert(level.numSets > 0);
+    level.lines.resize(static_cast<size_t>(level.numSets) * lc.assoc);
+    levels_.push_back(std::move(level));
+  }
+}
+
+MemSystem::Line* MemSystem::Level::find(uint64_t laddr) {
+  uint64_t set = (laddr / cfg.lineBytes) % static_cast<uint64_t>(numSets);
+  Line* base = lines.data() + set * cfg.assoc;
+  for (int i = 0; i < cfg.assoc; ++i)
+    if (base[i].valid && base[i].tag == laddr) return &base[i];
+  return nullptr;
+}
+
+MemSystem::Line& MemSystem::Level::victim(uint64_t laddr) {
+  uint64_t set = (laddr / cfg.lineBytes) % static_cast<uint64_t>(numSets);
+  Line* base = lines.data() + set * cfg.assoc;
+  // Invalid way first; then the oldest non-temporal line (prefetchnta marks
+  // its fills as first-out); then plain LRU.
+  Line* oldestNt = nullptr;
+  Line* oldest = base;
+  for (int i = 0; i < cfg.assoc; ++i) {
+    if (!base[i].valid) return base[i];
+    if (base[i].nt && (oldestNt == nullptr || base[i].lastUse < oldestNt->lastUse))
+      oldestNt = &base[i];
+    if (base[i].lastUse < oldest->lastUse) oldest = &base[i];
+  }
+  return oldestNt != nullptr ? *oldestNt : *oldest;
+}
+
+uint64_t MemSystem::busAcquire(uint64_t now, BusDir dir) {
+  return busAcquireImpl(now, dir, /*buffered=*/false);
+}
+
+uint64_t MemSystem::busAcquireImpl(uint64_t now, BusDir dir, bool buffered) {
+  const uint64_t cycles = static_cast<uint64_t>(std::llround(
+      static_cast<double>(line_bytes_) / cfg_.busBytesPerCycle));
+  stats_.busBytes += static_cast<uint64_t>(line_bytes_);
+  if (buffered) {
+    // Buffered writes (writebacks, WC flushes) are pure bandwidth
+    // consumers: they extend the bus schedule from wherever it stands and
+    // never synchronize with the (possibly late) request time -- the
+    // controller drains them opportunistically.
+    bus_last_dir_ = dir;
+    bus_free_ += cycles;
+    return bus_free_ - cycles;
+  }
+  uint64_t start = std::max(now, bus_free_);
+  // A read that follows written data pays the turnaround (DRAM
+  // write-to-read).  This asymmetry is what block fetch exploits by
+  // grouping reads before writes.
+  if (dir == BusDir::Read && bus_last_dir_ == BusDir::Write)
+    start += static_cast<uint64_t>(cfg_.busTurnaround);
+  bus_last_dir_ = dir;
+  bus_free_ = start + cycles;
+  return start;
+}
+
+void MemSystem::installLine(Level& level, uint64_t laddr, uint64_t now,
+                            uint64_t fillReady, bool dirty, bool exclusive,
+                            bool ntHint) {
+  if (Line* hit = level.find(laddr)) {
+    hit->dirty = hit->dirty || dirty;
+    hit->exclusive = hit->exclusive || exclusive;
+    hit->fillReady = std::max(hit->fillReady, fillReady);
+    hit->lastUse = use_counter_++;
+    hit->nt = hit->nt && ntHint;
+    return;
+  }
+  Line& v = level.victim(laddr);
+  if (v.valid && v.dirty) {
+    // Writeback: buffered by the controller, occupies bandwidth but causes
+    // no read/write turnaround and nothing waits on it.
+    busAcquireImpl(now, BusDir::Write, /*buffered=*/true);
+    ++stats_.writebacks;
+  }
+  v.valid = true;
+  v.tag = laddr;
+  v.dirty = dirty;
+  v.exclusive = exclusive;
+  v.fillReady = fillReady;
+  // Non-temporal fills are marked first-out (prefetchnta's "nearest cache,
+  // do not pollute" behaviour) but age normally among themselves.
+  v.nt = ntHint;
+  v.lastUse = use_counter_++;
+}
+
+uint64_t MemSystem::fetchLine(uint64_t laddr, uint64_t now, bool forWrite,
+                              bool intoL1, bool intoL2, bool ntHint) {
+  // Deduplicate against in-flight fills.
+  if (auto it = inflight_.find(laddr); it != inflight_.end()) {
+    uint64_t ready = it->second;
+    if (ready <= now) inflight_.erase(it);
+    return std::max(ready, now);
+  }
+  // MSHR capacity: block until a slot frees (drop stale entries first).
+  for (;;) {
+    for (auto it = inflight_.begin(); it != inflight_.end();) {
+      if (it->second <= now)
+        it = inflight_.erase(it);
+      else
+        ++it;
+    }
+    if (inflight_.size() <
+        static_cast<size_t>(cfg_.maxOutstandingMisses))
+      break;
+    // Wait for the earliest outstanding fill.
+    uint64_t earliest = UINT64_MAX;
+    for (const auto& [a, t] : inflight_) earliest = std::min(earliest, t);
+    now = std::max(now, earliest);
+  }
+  uint64_t grant = busAcquire(now, BusDir::Read);
+  uint64_t ready = grant + static_cast<uint64_t>(cfg_.memLatency);
+  inflight_[laddr] = ready;
+  ++stats_.loadMissMem;
+#ifdef IFKO_DEBUG_MEM
+  std::fprintf(stderr,
+               "fetch %#llx now=%llu grant=%llu ready=%llu inflight=%zu\n",
+               (unsigned long long)laddr, (unsigned long long)now,
+               (unsigned long long)grant, (unsigned long long)ready,
+               inflight_.size());
+#endif
+  if (intoL2 && levels_.size() > 1)
+    installLine(levels_[1], laddr, now, ready, forWrite && false, forWrite,
+                ntHint && !intoL1);
+  if (intoL1)
+    installLine(levels_[0], laddr, now, ready, false, forWrite, ntHint);
+  return ready;
+}
+
+uint64_t MemSystem::load(uint64_t addr, uint32_t bytes, uint64_t now) {
+  ++stats_.loads;
+  uint64_t laddr = lineAddr(addr);
+  // A 16-byte access can straddle two lines only if misaligned; kernels keep
+  // vectors aligned, so model the access by its first line.
+  (void)bytes;
+  Level& l1 = levels_[0];
+  if (Line* hit = l1.find(laddr)) {
+    hit->lastUse = use_counter_++;
+    return std::max(now + l1.cfg.latency, hit->fillReady + l1.cfg.latency);
+  }
+  ++stats_.loadMissL1;
+  trainHwPrefetcher(laddr, now);
+  if (levels_.size() > 1) {
+    Level& l2 = levels_[1];
+    if (Line* hit = l2.find(laddr)) {
+      hit->lastUse = use_counter_++;
+      uint64_t ready =
+          std::max(now + l2.cfg.latency,
+                   hit->fillReady + static_cast<uint64_t>(l2.cfg.latency));
+      installLine(l1, laddr, now, ready, false, hit->exclusive, false);
+      return ready;
+    }
+  }
+  uint64_t ready = fetchLine(laddr, now, /*forWrite=*/false, /*intoL1=*/true,
+                             /*intoL2=*/true, /*ntHint=*/false);
+  return std::max(ready, now + l1.cfg.latency);
+}
+
+void MemSystem::trainHwPrefetcher(uint64_t laddr, uint64_t now) {
+  if (cfg_.hwPrefetchDepth <= 0) return;
+  // Find a stream this miss continues.
+  Stream* match = nullptr;
+  for (auto& s : streams_)
+    if (s.streak > 0 &&
+        laddr == s.lastLine + static_cast<uint64_t>(line_bytes_))
+      match = &s;
+  if (match == nullptr) {
+    // Start (or restart) a stream in the least recently used slot.
+    Stream* victim = &streams_[0];
+    for (auto& s : streams_)
+      if (s.lastUse < victim->lastUse) victim = &s;
+    victim->lastLine = laddr;
+    victim->streak = 1;
+    victim->lastUse = ++use_counter_;
+    return;
+  }
+  match->lastLine = laddr;
+  match->streak += 1;
+  match->lastUse = ++use_counter_;
+  if (match->streak < cfg_.hwPrefetchTrainStreak) return;
+
+  for (int d = 1; d <= cfg_.hwPrefetchDepth; ++d) {
+    uint64_t target = laddr + static_cast<uint64_t>(d) *
+                                  static_cast<uint64_t>(line_bytes_);
+    // Like the 2005 hardware, the stream prefetcher does not cross 4KB
+    // page boundaries (software prefetch does -- one of its advantages).
+    if ((target >> 12) != (laddr >> 12)) break;
+    if (levels_.size() > 1 && levels_[1].find(target) != nullptr) continue;
+    if (levels_[0].find(target) != nullptr) continue;
+    if (inflight_.count(target) != 0) continue;
+    if (inflight_.size() >= static_cast<size_t>(cfg_.maxOutstandingMisses))
+      break;
+    if (bus_free_ > now + static_cast<uint64_t>(cfg_.prefetchDropBacklog))
+      break;  // like software prefetch, throttled when the bus is backed up
+    ++stats_.hwPrefetches;
+    fetchLine(target, now, /*forWrite=*/false, /*intoL1=*/false,
+              /*intoL2=*/true, /*ntHint=*/false);
+  }
+}
+
+uint64_t MemSystem::store(uint64_t addr, uint32_t bytes, uint64_t now) {
+  ++stats_.stores;
+  (void)bytes;
+  uint64_t laddr = lineAddr(addr);
+
+  // Store buffer: commits are asynchronous until the buffer fills.
+  auto reserveSlot = [&](uint64_t ready) -> uint64_t {
+    store_buffer_.push_back(ready);
+    if (store_buffer_.size() <= static_cast<size_t>(cfg_.storeBufferEntries))
+      return now + 1;
+    // Oldest entry must drain first.
+    auto oldest = std::min_element(store_buffer_.begin(), store_buffer_.end());
+    uint64_t wait = *oldest;
+    store_buffer_.erase(oldest);
+    return std::max(now + 1, wait);
+  };
+
+  Level& l1 = levels_[0];
+  Line* l1hit = l1.find(laddr);
+  if (l1hit == nullptr) trainHwPrefetcher(laddr, now);
+  if (Line* hit = l1hit) {
+    hit->lastUse = use_counter_++;
+    uint64_t extra = 0;
+    if (!hit->exclusive) {
+      // Ownership upgrade: short address-only transaction; costs the store
+      // a few cycles but transfers no data.
+      extra = 4;
+      hit->exclusive = true;
+    }
+    hit->dirty = true;
+    return reserveSlot(std::max(hit->fillReady, now + 1 + extra));
+  }
+  if (levels_.size() > 1) {
+    Level& l2 = levels_[1];
+    if (Line* hit = l2.find(laddr)) {
+      hit->lastUse = use_counter_++;
+      uint64_t extra = 0;
+      if (!hit->exclusive) {
+        extra = 4;
+        hit->exclusive = true;
+      }
+      hit->dirty = true;
+      installLine(l1, laddr, now, hit->fillReady, true, true, false);
+      return reserveSlot(std::max(hit->fillReady, now + 1 + extra));
+    }
+  }
+  // Write-allocate miss: read-for-ownership fetch, then the store commits.
+  ++stats_.storeRFOs;
+  uint64_t ready = fetchLine(laddr, now, /*forWrite=*/true, /*intoL1=*/true,
+                             /*intoL2=*/true, /*ntHint=*/false);
+  if (Line* hit = l1.find(laddr)) hit->dirty = true;
+  return reserveSlot(ready);
+}
+
+void MemSystem::flushWC(uint64_t now, size_t idx) {
+  WcEntry& e = wc_[idx];
+  if (e.line == UINT64_MAX) return;
+  // Partial lines transfer at full line cost (uncombined WC flush); any
+  // pending NT-flush penalty is charged to the bus here.
+  bus_free_ += wc_extra_delay_;
+  busAcquireImpl(now, BusDir::Write, /*buffered=*/true);
+  e.line = UINT64_MAX;
+  e.bytes = 0;
+  wc_extra_delay_ = 0;
+}
+
+uint64_t MemSystem::storeNT(uint64_t addr, uint32_t bytes, uint64_t now) {
+  ++stats_.ntStores;
+  uint64_t laddr = lineAddr(addr);
+
+  // NT stores bypass the caches; a line that is currently cached must be
+  // invalidated (and on machines where NT interacts poorly with cached
+  // read-modify-write streams, pay the flush penalty).
+  bool wasCached = false;
+  for (auto& level : levels_) {
+    if (Line* hit = level.find(laddr)) {
+      wasCached = true;
+      if (hit->dirty) {
+        busAcquireImpl(now, BusDir::Write, /*buffered=*/true);
+        ++stats_.writebacks;
+      }
+      hit->valid = false;
+    }
+  }
+  if (wasCached && !cfg_.ntStoreCheapWhenCached) {
+    ++stats_.ntFlushes;
+    wc_extra_delay_ += static_cast<uint64_t>(cfg_.ntFlushPenalty);
+  }
+
+  if (wc_.empty()) wc_.resize(static_cast<size_t>(cfg_.wcBuffers));
+  size_t slot = SIZE_MAX;
+  for (size_t i = 0; i < wc_.size(); ++i)
+    if (wc_[i].line == laddr) slot = i;
+  if (slot == SIZE_MAX) {
+    // Take a free buffer, or evict (flush) the least recently used one.
+    for (size_t i = 0; i < wc_.size() && slot == SIZE_MAX; ++i)
+      if (wc_[i].line == UINT64_MAX) slot = i;
+    if (slot == SIZE_MAX) {
+      slot = 0;
+      for (size_t i = 1; i < wc_.size(); ++i)
+        if (wc_[i].lastUse < wc_[slot].lastUse) slot = i;
+      flushWC(now, slot);
+    }
+    wc_[slot].line = laddr;
+    wc_[slot].bytes = 0;
+  }
+  wc_[slot].bytes += bytes;
+  wc_[slot].lastUse = ++use_counter_;
+  if (wc_[slot].bytes >= static_cast<uint32_t>(line_bytes_)) flushWC(now, slot);
+  return now + 1;
+}
+
+void MemSystem::prefetch(ir::PrefKind kind, uint64_t addr, uint64_t now) {
+  uint64_t laddr = lineAddr(addr);
+  // Already resident or in flight: nothing to do (not counted as dropped).
+  if (levels_[0].find(laddr) != nullptr) return;
+  bool l2Resident = levels_.size() > 1 && levels_[1].find(laddr) != nullptr;
+  if (inflight_.count(laddr) != 0) return;
+
+  // The drop rule: a busy bus or full MSHRs silently discards the prefetch.
+  for (auto it = inflight_.begin(); it != inflight_.end();) {
+    if (it->second <= now)
+      it = inflight_.erase(it);
+    else
+      ++it;
+  }
+  if (inflight_.size() >= static_cast<size_t>(cfg_.maxOutstandingMisses) ||
+      bus_free_ > now + static_cast<uint64_t>(cfg_.prefetchDropBacklog)) {
+    ++stats_.prefDropped;
+    return;
+  }
+
+  bool intoL1 = kind != ir::PrefKind::T1;
+  bool intoL2 = kind == ir::PrefKind::T0 || kind == ir::PrefKind::T1 ||
+                kind == ir::PrefKind::W;
+  bool ntHint = kind == ir::PrefKind::NTA;
+  bool forWrite = kind == ir::PrefKind::W;
+  ++stats_.prefIssued;
+  if (l2Resident) {
+    // L2 -> L1 move: no memory traffic, just install.
+    Line* hit = levels_[1].find(laddr);
+    if (intoL1)
+      installLine(levels_[0], laddr, now,
+                  now + levels_[1].cfg.latency, false, hit->exclusive, ntHint);
+    return;
+  }
+  fetchLine(laddr, now, forWrite, intoL1, intoL2, ntHint);
+}
+
+void MemSystem::warm(uint64_t addr, uint64_t bytes) {
+  uint64_t first = lineAddr(addr);
+  uint64_t last = lineAddr(addr + (bytes == 0 ? 0 : bytes - 1));
+  for (uint64_t laddr = first; laddr <= last;
+       laddr += static_cast<uint64_t>(line_bytes_)) {
+    for (auto& level : levels_)
+      installLine(level, laddr, 0, 0, false, true, false);
+  }
+}
+
+}  // namespace ifko::sim

@@ -1,0 +1,34 @@
+#include "sim/timer.h"
+
+#include "sim/interp.h"
+
+namespace ifko::sim {
+
+std::string_view contextName(TimeContext ctx) {
+  return ctx == TimeContext::OutOfCache ? "out-of-cache" : "in-L2";
+}
+
+TimeResult timeKernel(const arch::MachineConfig& machine,
+                      const ir::Function& fn, const kernels::KernelSpec& spec,
+                      int64_t n, TimeContext ctx, uint64_t seed) {
+  kernels::KernelData data = kernels::makeKernelData(spec, n, seed);
+  MemSystem mem(machine);
+  if (ctx == TimeContext::InL2) {
+    const uint64_t bytes =
+        static_cast<uint64_t>(n) * scalBytes(spec.prec);
+    mem.warm(data.xAddr, bytes);
+    if (data.yAddr != 0) mem.warm(data.yAddr, bytes);
+  }
+  TimingModel timing(machine, mem);
+  Interp interp(fn, *data.mem, &timing);
+  RunResult run = interp.run(data.args(fn));
+
+  TimeResult out;
+  out.cycles = timing.cycles();
+  out.dynInsts = run.dynInsts;
+  out.mem = mem.stats();
+  out.core = timing.stats();
+  return out;
+}
+
+}  // namespace ifko::sim

@@ -1,0 +1,46 @@
+// The timer from the paper's Figure 1 (standing in for the ATLAS L1 BLAS
+// kernel timers): runs a compiled kernel on the co-simulated machine and
+// reports cycle-accurate results.
+//
+// Two usage contexts from the paper's evaluation:
+//  * OutOfCache: operands start uncached (N=80000 in the paper);
+//  * InL2: operands are pre-loaded into the caches before timing (N=1024),
+//    the ATLAS timers' cache-warming protocol.
+//
+// The simulator is deterministic, so the paper's repeat-six-take-minimum
+// protocol collapses to a single run.
+#pragma once
+
+#include "arch/machine.h"
+#include "ir/function.h"
+#include "kernels/registry.h"
+#include "kernels/tester.h"
+#include "sim/memsys.h"
+#include "sim/timing.h"
+
+namespace ifko::sim {
+
+enum class TimeContext { OutOfCache, InL2 };
+
+struct TimeResult {
+  uint64_t cycles = 0;
+  uint64_t dynInsts = 0;
+  MemSystem::Stats mem;
+  TimingModel::Stats core;
+
+  /// MFLOPS given the FLOP count charged for the run.
+  [[nodiscard]] double mflops(double flops, double ghz) const {
+    if (cycles == 0) return 0;
+    return flops * ghz * 1000.0 / static_cast<double>(cycles);
+  }
+};
+
+/// Times `fn` (a compiled kernel for `spec`) at length `n`.
+[[nodiscard]] TimeResult timeKernel(const arch::MachineConfig& machine,
+                                    const ir::Function& fn,
+                                    const kernels::KernelSpec& spec, int64_t n,
+                                    TimeContext ctx, uint64_t seed = 42);
+
+[[nodiscard]] std::string_view contextName(TimeContext ctx);
+
+}  // namespace ifko::sim

@@ -1,0 +1,211 @@
+#include "sim/timing.h"
+
+#include <algorithm>
+
+namespace ifko::sim {
+
+using ir::Op;
+using ir::Reg;
+using ir::RegKind;
+
+TimingModel::TimingModel(const arch::MachineConfig& cfg, MemSystem& mem)
+    : cfg_(cfg), mem_(mem) {
+  rob_retire_.assign(static_cast<size_t>(cfg.robSize), 0);
+  predictor_.assign(1024, 1);  // weakly not-taken
+}
+
+uint64_t TimingModel::readyOf(Reg r) const {
+  if (!r.valid()) return 0;
+  const auto& v = r.kind == RegKind::Int ? int_ready_ : fp_ready_;
+  return static_cast<size_t>(r.id) < v.size() ? v[static_cast<size_t>(r.id)] : 0;
+}
+
+void TimingModel::setReady(Reg r, uint64_t t) {
+  auto& v = r.kind == RegKind::Int ? int_ready_ : fp_ready_;
+  if (static_cast<size_t>(r.id) >= v.size())
+    v.resize(static_cast<size_t>(r.id) + 64, 0);
+  v[static_cast<size_t>(r.id)] = t;
+}
+
+uint64_t TimingModel::memOperandReady(const ir::Inst& inst) const {
+  uint64_t t = readyOf(inst.mem.base);
+  if (inst.mem.hasIndex()) t = std::max(t, readyOf(inst.mem.index));
+  return t;
+}
+
+uint64_t TimingModel::acquireUnit(Unit u, uint64_t earliest, int occupancy) {
+  if (u == Unit::None) return earliest;
+  if (u == Unit::Int) {
+    // Two integer ALUs: pick whichever frees first.
+    size_t best = unit_free_[0] <= unit_free_[1] ? 0 : 1;
+    uint64_t start = std::max(earliest, unit_free_[best]);
+    unit_free_[best] = start + static_cast<uint64_t>(occupancy);
+    return start;
+  }
+  if (u == Unit::FpAny) {
+    // Logical/shuffle/blend micro-ops issue to whichever FP pipe is free
+    // (both evaluation machines had two FP pipes accepting them).
+    size_t best = unit_free_[2] <= unit_free_[3] ? 2 : 3;
+    uint64_t start = std::max(earliest, unit_free_[best]);
+    unit_free_[best] = start + static_cast<uint64_t>(occupancy);
+    return start;
+  }
+  size_t idx = u == Unit::FpAdd ? 2 : u == Unit::FpMul ? 3 : u == Unit::Load ? 4 : 5;
+  uint64_t start = std::max(earliest, unit_free_[idx]);
+  unit_free_[idx] = start + static_cast<uint64_t>(occupancy);
+  return start;
+}
+
+TimingModel::Cost TimingModel::costOf(const ir::Inst& inst) const {
+  const bool vec = ir::opInfo(inst.op).isVector;
+  const int vocc = vec ? cfg_.vecOccupancy : 1;
+  switch (inst.op) {
+    case Op::IMovI: case Op::IMov: case Op::IAdd: case Op::ISub:
+    case Op::IAddI: case Op::IShlI: case Op::IAddCC: case Op::ICmp:
+    case Op::ICmpI:
+      return {Unit::Int, cfg_.latInt, 1};
+    case Op::IMul:
+      return {Unit::Int, 3, 1};
+    case Op::Jmp: case Op::Jcc: case Op::Ret:
+      return {Unit::Int, 1, 1};
+    case Op::ILd: case Op::FLd: case Op::VLd:
+      return {Unit::Load, 0, vocc};  // latency comes from the memory system
+    case Op::ISt: case Op::FSt: case Op::FStNT: case Op::VSt: case Op::VStNT:
+      return {Unit::Store, 0, vocc};
+    case Op::FLdI: case Op::FMov: case Op::FAbs: case Op::FNeg:
+      return {Unit::FpAny, cfg_.latFMisc, 1};
+    case Op::VMov: case Op::VAbs: case Op::VBcast: case Op::VZero:
+    case Op::VCmpGT: case Op::VAnd: case Op::VAndN: case Op::VOr:
+    case Op::VSel: case Op::VMovMsk: case Op::VIota: case Op::VExt:
+      return {Unit::FpAny, cfg_.latFMisc, vocc};
+    case Op::FToI:
+      return {Unit::FpAdd, cfg_.latFAdd, 1};
+    case Op::FAdd: case Op::FSub: case Op::FMax: case Op::FCmp:
+      return {Unit::FpAdd, cfg_.latFAdd, 1};
+    case Op::VAdd: case Op::VSub: case Op::VMax:
+      return {Unit::FpAdd, cfg_.latFAdd, vocc};
+    case Op::VHAdd: case Op::VHMax:
+      return {Unit::FpAdd, cfg_.latFAdd + cfg_.latFMisc, vocc};
+    case Op::FMul:
+      return {Unit::FpMul, cfg_.latFMul, 1};
+    case Op::VMul:
+      return {Unit::FpMul, cfg_.latFMul, vocc};
+    case Op::FDiv:
+      return {Unit::FpMul, cfg_.latFDiv, cfg_.latFDiv};  // unpipelined
+    case Op::FAddM: case Op::VAddM:
+      return {Unit::FpAdd, cfg_.latFAdd, vocc};
+    case Op::FMulM: case Op::VMulM:
+      return {Unit::FpMul, cfg_.latFMul, vocc};
+    case Op::Pref: case Op::Touch:
+      return {Unit::Load, 0, 1};
+    case Op::Nop:
+      return {Unit::None, 0, 0};
+  }
+  return {Unit::None, 1, 1};
+}
+
+void TimingModel::onInst(const InstEvent& ev) {
+  const ir::Inst& inst = *ev.inst;
+  const ir::OpInfo& info = ir::opInfo(inst.op);
+  ++stats_.insts;
+
+  // ---- in-order issue, issueWidth per cycle, bounded by the ROB ----------
+  uint64_t robGate = rob_retire_[rob_pos_];  // retire time robSize insts ago
+  uint64_t issueAt = std::max(issue_cycle_, robGate);
+  if (issueAt > issue_cycle_) {
+    issue_cycle_ = issueAt;
+    issued_in_cycle_ = 0;
+  }
+  if (++issued_in_cycle_ >= cfg_.issueWidth) {
+    ++issue_cycle_;
+    issued_in_cycle_ = 0;
+  }
+
+  // ---- operand readiness ---------------------------------------------------
+  // Stores issue their memory request at address-generation time; the data
+  // only gates the final commit (real OOO cores start the RFO as soon as
+  // the address is known).
+  const bool isStore = info.writesMem;
+  uint64_t deps = issueAt;
+  if (!isStore) {
+    if (info.numSrcs >= 1) deps = std::max(deps, readyOf(inst.src1));
+    if (info.numSrcs >= 2) deps = std::max(deps, readyOf(inst.src2));
+    if (info.numSrcs >= 3) deps = std::max(deps, readyOf(inst.src3));
+  }
+  if (inst.op == Op::Ret && inst.src1.valid())
+    deps = std::max(deps, readyOf(inst.src1));
+  if (ir::touchesMem(inst.op)) deps = std::max(deps, memOperandReady(inst));
+  if (info.readsFlags) deps = std::max(deps, flags_ready_);
+  uint64_t storeDataReady = isStore ? readyOf(inst.src1) : 0;
+
+  Cost cost = costOf(inst);
+  uint64_t execStart = acquireUnit(cost.unit, deps, cost.occupancy);
+  uint64_t complete = execStart + static_cast<uint64_t>(cost.latency);
+
+  // ---- memory and control specifics ---------------------------------------
+  switch (inst.op) {
+    case Op::ILd: case Op::FLd: case Op::VLd:
+      complete = mem_.load(ev.addr, ev.accessBytes, execStart);
+      break;
+    case Op::Touch:
+      // The fill is initiated (and nothing waits on the value).
+      mem_.load(ev.addr, ev.accessBytes, execStart);
+      complete = execStart + 1;
+      break;
+    case Op::FAddM: case Op::FMulM: case Op::VAddM: case Op::VMulM: {
+      // Fused load + arithmetic: the load micro-op goes first.
+      uint64_t loadStart = acquireUnit(Unit::Load, deps, 1);
+      uint64_t dataReady = mem_.load(ev.addr, ev.accessBytes, loadStart);
+      uint64_t start = std::max(execStart, dataReady);
+      complete = start + static_cast<uint64_t>(cost.latency);
+      break;
+    }
+    case Op::ISt: case Op::FSt: case Op::VSt:
+      complete = std::max(mem_.store(ev.addr, ev.accessBytes, execStart),
+                          storeDataReady);
+      break;
+    case Op::FStNT: case Op::VStNT:
+      // NT stores drain through the write-combining buffer once the data
+      // arrives.
+      complete = std::max(mem_.storeNT(ev.addr, ev.accessBytes,
+                                       std::max(execStart, storeDataReady)),
+                          storeDataReady);
+      break;
+    case Op::Pref:
+      mem_.prefetch(inst.pref, ev.addr, execStart);
+      complete = execStart + 1;
+      break;
+    case Op::Jcc: {
+      ++stats_.branches;
+      uint8_t& ctr = predictor_[ev.pcId % predictor_.size()];
+      bool predictedTaken = ctr >= 2;
+      if (predictedTaken != ev.taken) {
+        ++stats_.mispredicts;
+        // The front end restarts after the branch resolves.
+        uint64_t resolve = std::max(deps, execStart);
+        issue_cycle_ =
+            std::max(issue_cycle_,
+                     resolve + static_cast<uint64_t>(cfg_.mispredictPenalty));
+        issued_in_cycle_ = 0;
+      }
+      if (ev.taken && ctr < 3) ++ctr;
+      if (!ev.taken && ctr > 0) --ctr;
+      break;
+    }
+    default:
+      break;
+  }
+
+  if (info.hasDst) setReady(inst.dst, complete);
+  if (info.setsFlags) flags_ready_ = complete;
+
+  // ---- in-order retire -----------------------------------------------------
+  uint64_t retire = std::max(complete, last_retire_);
+  last_retire_ = retire;
+  rob_retire_[rob_pos_] = retire;
+  rob_pos_ = (rob_pos_ + 1) % rob_retire_.size();
+
+  max_complete_ = std::max(max_complete_, retire);
+}
+
+}  // namespace ifko::sim

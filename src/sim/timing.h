@@ -1,0 +1,85 @@
+// Out-of-order core timing model.
+//
+// Consumes the functional interpreter's instruction stream (as an
+// InstObserver) and produces a cycle count.  The model is a scoreboard with
+// the structural limits that matter for the paper's transforms:
+//
+//  * issue width and ROB size (bounds memory-level parallelism, which is
+//    why software prefetch still matters on an OOO core);
+//  * per-unit latencies and occupancy (FP add/mul chains bound reductions
+//    -- the stall accumulator expansion removes; 128-bit SSE ops occupy
+//    their unit for two cycles on these 64-bit-datapath machines);
+//  * a 2-bit branch predictor with a deep-pipeline mispredict penalty
+//    (why scalar iamax suffers on data with frequent new maxima and why
+//    its unrolled loop control matters);
+//  * the memory system (MemSystem) for loads/stores/prefetches.
+//
+// "Modern x86 architectures are relatively insensitive to scheduling" --
+// the paper's observation holds here too: within the window, execution
+// order is chosen by operand readiness, not program order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/machine.h"
+#include "sim/interp.h"
+#include "sim/memsys.h"
+
+namespace ifko::sim {
+
+class TimingModel : public InstObserver {
+ public:
+  TimingModel(const arch::MachineConfig& cfg, MemSystem& mem);
+
+  void onInst(const InstEvent& ev) override;
+
+  /// Completion cycle of everything observed so far.
+  [[nodiscard]] uint64_t cycles() const { return max_complete_; }
+
+  struct Stats {
+    uint64_t insts = 0;
+    uint64_t branches = 0;
+    uint64_t mispredicts = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  enum class Unit : uint8_t { Int, FpAdd, FpMul, FpAny, Load, Store, None };
+  struct Cost {
+    Unit unit = Unit::None;
+    int latency = 1;
+    int occupancy = 1;
+  };
+  [[nodiscard]] Cost costOf(const ir::Inst& inst) const;
+
+  uint64_t readyOf(ir::Reg r) const;
+  void setReady(ir::Reg r, uint64_t t);
+  uint64_t memOperandReady(const ir::Inst& inst) const;
+  /// Earliest cycle a unit of this class is free; books the occupancy.
+  uint64_t acquireUnit(Unit u, uint64_t earliest, int occupancy);
+
+  const arch::MachineConfig& cfg_;
+  MemSystem& mem_;
+
+  std::vector<uint64_t> int_ready_;
+  std::vector<uint64_t> fp_ready_;
+  uint64_t flags_ready_ = 0;
+
+  uint64_t issue_cycle_ = 0;
+  int issued_in_cycle_ = 0;
+  std::vector<uint64_t> rob_retire_;  ///< circular, robSize entries
+  size_t rob_pos_ = 0;
+  uint64_t last_retire_ = 0;
+
+  // Functional units: int x2, fpadd, fpmul, load, store.
+  uint64_t unit_free_[6] = {0, 0, 0, 0, 0, 0};
+
+  // 2-bit saturating counters indexed by a hash of the static instruction.
+  std::vector<uint8_t> predictor_;
+
+  uint64_t max_complete_ = 0;
+  Stats stats_;
+};
+
+}  // namespace ifko::sim

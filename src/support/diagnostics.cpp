@@ -1,0 +1,50 @@
+#include "support/diagnostics.h"
+
+#include <sstream>
+
+namespace ifko {
+
+std::string SourceLoc::str() const {
+  if (!valid()) return "<no-loc>";
+  std::ostringstream os;
+  os << line << ":" << col;
+  return os.str();
+}
+
+std::string Diagnostic::str() const {
+  std::ostringstream os;
+  switch (severity) {
+    case DiagSeverity::Note: os << "note"; break;
+    case DiagSeverity::Warning: os << "warning"; break;
+    case DiagSeverity::Error: os << "error"; break;
+  }
+  if (loc.valid()) os << " at " << loc.str();
+  os << ": " << message;
+  return os.str();
+}
+
+void DiagnosticEngine::error(SourceLoc loc, std::string msg) {
+  diags_.push_back({DiagSeverity::Error, loc, std::move(msg)});
+  ++error_count_;
+}
+
+void DiagnosticEngine::warning(SourceLoc loc, std::string msg) {
+  diags_.push_back({DiagSeverity::Warning, loc, std::move(msg)});
+}
+
+void DiagnosticEngine::note(SourceLoc loc, std::string msg) {
+  diags_.push_back({DiagSeverity::Note, loc, std::move(msg)});
+}
+
+std::string DiagnosticEngine::str() const {
+  std::ostringstream os;
+  for (const auto& d : diags_) os << d.str() << "\n";
+  return os.str();
+}
+
+void DiagnosticEngine::clear() {
+  diags_.clear();
+  error_count_ = 0;
+}
+
+}  // namespace ifko

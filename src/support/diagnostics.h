@@ -1,0 +1,59 @@
+// Diagnostic machinery shared by the HIL front end and the FKO driver.
+//
+// The front end reports user-visible errors (bad HIL source) through a
+// DiagnosticEngine; internal invariant violations use assertions.  This split
+// follows the paper's system structure: HIL input is user-supplied, while IR
+// is produced and consumed only by the toolchain itself.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ifko {
+
+/// A position in a HIL source buffer.  Lines and columns are 1-based;
+/// a default-constructed location means "no position" (driver-level errors).
+struct SourceLoc {
+  uint32_t line = 0;
+  uint32_t col = 0;
+
+  [[nodiscard]] bool valid() const { return line != 0; }
+  [[nodiscard]] std::string str() const;
+  friend bool operator==(const SourceLoc&, const SourceLoc&) = default;
+};
+
+enum class DiagSeverity { Note, Warning, Error };
+
+struct Diagnostic {
+  DiagSeverity severity = DiagSeverity::Error;
+  SourceLoc loc;
+  std::string message;
+
+  [[nodiscard]] std::string str() const;
+};
+
+/// Collects diagnostics during a front-end run.  Never throws; callers check
+/// hasErrors() after each phase.
+class DiagnosticEngine {
+ public:
+  void error(SourceLoc loc, std::string msg);
+  void warning(SourceLoc loc, std::string msg);
+  void note(SourceLoc loc, std::string msg);
+
+  [[nodiscard]] bool hasErrors() const { return error_count_ > 0; }
+  [[nodiscard]] size_t errorCount() const { return error_count_; }
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
+    return diags_;
+  }
+  /// All diagnostics rendered one per line (convenient for tests/messages).
+  [[nodiscard]] std::string str() const;
+
+  void clear();
+
+ private:
+  std::vector<Diagnostic> diags_;
+  size_t error_count_ = 0;
+};
+
+}  // namespace ifko

@@ -1,0 +1,18 @@
+#include "support/env.h"
+
+#include <cstdlib>
+
+namespace ifko {
+
+int64_t envInt(const std::string& name, int64_t fallback) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  long long parsed = std::strtoll(v, &end, 10);
+  if (end == v) return fallback;
+  return parsed;
+}
+
+bool envFast() { return envInt("IFKO_FAST", 0) != 0; }
+
+}  // namespace ifko

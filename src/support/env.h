@@ -1,0 +1,20 @@
+// Environment-variable overrides for benchmark scale.
+//
+// The paper runs N=80000 out-of-cache and N=1024 in-L2; those are the
+// defaults here.  Export IFKO_N_OOC / IFKO_N_INL2 / IFKO_FAST=1 to scale the
+// benchmarks down (e.g. in CI).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ifko {
+
+/// Returns the integer value of `name`, or `fallback` when unset/unparsable.
+[[nodiscard]] int64_t envInt(const std::string& name, int64_t fallback);
+
+/// True when IFKO_FAST is set to a non-zero value: benches shrink problem
+/// sizes and sweep grids to smoke-test scale.
+[[nodiscard]] bool envFast();
+
+}  // namespace ifko

@@ -1,0 +1,38 @@
+// Deterministic RNG (SplitMix64) used by tests, workload generators and the
+// timer's data initialization.  Simulation results must be bit-reproducible,
+// so all randomness flows through explicitly seeded instances of this.
+#pragma once
+
+#include <cstdint>
+
+namespace ifko {
+
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) {
+    return lo + (hi - lo) * nextDouble();
+  }
+
+  /// Uniform integer in [0, n).  n must be > 0.
+  uint64_t below(uint64_t n) { return next() % n; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace ifko

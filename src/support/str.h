@@ -1,0 +1,19 @@
+// Small string helpers used across the toolchain.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ifko {
+
+[[nodiscard]] std::string_view trim(std::string_view s);
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char sep);
+[[nodiscard]] bool startsWith(std::string_view s, std::string_view prefix);
+/// Replace every occurrence of `from` in `s` with `to`.
+[[nodiscard]] std::string replaceAll(std::string s, std::string_view from,
+                                     std::string_view to);
+/// Printf-light double formatting with fixed decimals.
+[[nodiscard]] std::string fmtFixed(double v, int decimals);
+
+}  // namespace ifko

@@ -1,0 +1,56 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ifko {
+
+void TextTable::setHeader(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+}
+
+void TextTable::addRow(std::vector<std::string> cells) {
+  rows_.push_back({std::move(cells), pending_rule_});
+  pending_rule_ = false;
+}
+
+void TextTable::addRule() { pending_rule_ = true; }
+
+std::string TextTable::str() const {
+  // Compute column widths over header and all rows.
+  std::vector<size_t> w;
+  auto widen = [&w](const std::vector<std::string>& cells) {
+    if (cells.size() > w.size()) w.resize(cells.size(), 0);
+    for (size_t i = 0; i < cells.size(); ++i)
+      w[i] = std::max(w[i], cells[i].size());
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r.cells);
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < w.size(); ++i) {
+      std::string c = i < cells.size() ? cells[i] : "";
+      os << c << std::string(w[i] - c.size(), ' ');
+      if (i + 1 < w.size()) os << "  ";
+    }
+    os << "\n";
+  };
+  auto rule = [&] {
+    size_t total = 0;
+    for (size_t i = 0; i < w.size(); ++i) total += w[i] + (i + 1 < w.size() ? 2 : 0);
+    os << std::string(total, '-') << "\n";
+  };
+
+  if (!header_.empty()) {
+    emit(header_);
+    rule();
+  }
+  for (const auto& r : rows_) {
+    if (r.rule_before) rule();
+    emit(r.cells);
+  }
+  return os.str();
+}
+
+}  // namespace ifko

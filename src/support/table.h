@@ -1,0 +1,31 @@
+// Plain-text table rendering used by the benchmark harness to print
+// paper-style tables and figure series.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ifko {
+
+/// Column-aligned text table.  Cells are strings; the first row added with
+/// setHeader() is separated from the body by a rule.
+class TextTable {
+ public:
+  void setHeader(std::vector<std::string> cells);
+  void addRow(std::vector<std::string> cells);
+  /// Insert a horizontal rule before the next row.
+  void addRule();
+
+  [[nodiscard]] std::string str() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule_before = false;
+  };
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+  bool pending_rule_ = false;
+};
+
+}  // namespace ifko

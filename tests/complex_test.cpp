@@ -1,0 +1,76 @@
+// Complex Level 1 BLAS (interleaved layout, stride-2 bumps).
+#include <gtest/gtest.h>
+
+#include "analysis/loopinfo.h"
+#include "arch/machine.h"
+#include "fko/compiler.h"
+#include "hil/lower.h"
+#include "kernels/complex_blas.h"
+#include "search/linesearch.h"
+
+namespace ifko {
+namespace {
+
+TEST(Complex, InterleavedKernelsAreNotVectorized) {
+  // Complex SIMD needs shuffles FKO does not emit; the stride-2 bump keeps
+  // the vectorizer honest.
+  DiagnosticEngine d;
+  auto fn = hil::compileHil(kernels::caxpySource(ir::Scal::F32), d);
+  ASSERT_TRUE(fn.has_value()) << d.str();
+  auto info = analysis::analyzeLoop(*fn);
+  ASSERT_TRUE(info.found);
+  EXPECT_FALSE(info.vectorizable);
+}
+
+TEST(Complex, CscalCorrectAcrossTransforms) {
+  for (ir::Scal prec : {ir::Scal::F32, ir::Scal::F64}) {
+    for (int ur : {1, 3, 8}) {
+      fko::CompileOptions opts;
+      opts.tuning.unroll = ur;
+      opts.tuning.nonTemporalWrites = ur == 8;
+      opts.tuning.prefetch["Y"] = {true, ir::PrefKind::NTA, 768};
+      auto r = fko::compileKernel(kernels::cscalSource(prec), opts,
+                                  arch::p4e());
+      ASSERT_TRUE(r.ok) << r.error;
+      for (int64_t n : {0, 1, 7, 100}) {
+        auto outcome = kernels::testCscal(r.fn, n);
+        ASSERT_TRUE(outcome.ok) << "ur=" << ur << " n=" << n << ": "
+                                << outcome.message;
+      }
+    }
+  }
+}
+
+TEST(Complex, CaxpyCorrectAcrossTransforms) {
+  for (int ur : {1, 4}) {
+    for (bool cisc : {false, true}) {
+      fko::CompileOptions opts;
+      opts.tuning.unroll = ur;
+      opts.tuning.ciscIndexing = cisc;
+      auto r = fko::compileKernel(kernels::caxpySource(ir::Scal::F64), opts,
+                                  arch::opteron());
+      ASSERT_TRUE(r.ok) << r.error;
+      for (int64_t n : {0, 2, 63, 128}) {
+        auto outcome = kernels::testCaxpy(r.fn, n);
+        ASSERT_TRUE(outcome.ok) << "ur=" << ur << " cisc=" << cisc
+                                << " n=" << n << ": " << outcome.message;
+      }
+    }
+  }
+}
+
+TEST(Complex, TunesEndToEnd) {
+  search::SearchConfig cfg;
+  cfg.n = 4096;
+  cfg.fast = true;
+  auto r = search::tuneSource(kernels::caxpySource(ir::Scal::F32),
+                              arch::p4e(), cfg);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_LE(r.bestCycles, r.defaultCycles);
+  EXPECT_FALSE(r.analysis.vectorizable);
+  // Stride 2 is visible in the analysis (and sizes the tuner's operands).
+  for (const auto& a : r.analysis.arrays) EXPECT_EQ(a.strideElems, 2);
+}
+
+}  // namespace
+}  // namespace ifko

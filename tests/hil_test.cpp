@@ -1,0 +1,374 @@
+#include <gtest/gtest.h>
+
+#include "hil/lexer.h"
+#include "hil/lower.h"
+#include "hil/parser.h"
+#include "hil/sema.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+#include "kernels/registry.h"
+
+namespace ifko::hil {
+namespace {
+
+TEST(Lexer, BasicTokens) {
+  DiagnosticEngine d;
+  auto toks = lex("LOOP i = 0, N  # comment\n x += 1.5;", d);
+  ASSERT_FALSE(d.hasErrors());
+  ASSERT_GE(toks.size(), 9u);
+  EXPECT_EQ(toks[0].kind, Tok::KwLoop);
+  EXPECT_EQ(toks[1].kind, Tok::Ident);
+  EXPECT_EQ(toks[1].text, "i");
+  EXPECT_EQ(toks[2].kind, Tok::Assign);
+  EXPECT_EQ(toks[3].kind, Tok::Number);
+  EXPECT_TRUE(toks[3].isIntLiteral);
+  EXPECT_EQ(toks[4].kind, Tok::Comma);
+  EXPECT_EQ(toks[6].kind, Tok::Ident);
+  EXPECT_EQ(toks[7].kind, Tok::PlusAssign);
+  EXPECT_EQ(toks[8].kind, Tok::Number);
+  EXPECT_FALSE(toks[8].isIntLiteral);
+  EXPECT_DOUBLE_EQ(toks[8].number, 1.5);
+  EXPECT_EQ(toks.back().kind, Tok::Eof);
+}
+
+TEST(Lexer, TracksLocations) {
+  DiagnosticEngine d;
+  auto toks = lex("a\n  b", d);
+  EXPECT_EQ(toks[0].loc.line, 1u);
+  EXPECT_EQ(toks[1].loc.line, 2u);
+  EXPECT_EQ(toks[1].loc.col, 3u);
+}
+
+TEST(Lexer, ReportsBadCharacter) {
+  DiagnosticEngine d;
+  (void)lex("a @ b", d);
+  EXPECT_TRUE(d.hasErrors());
+}
+
+TEST(Lexer, ScientificNumbers) {
+  DiagnosticEngine d;
+  auto toks = lex("1e3 2.5e-2", d);
+  ASSERT_FALSE(d.hasErrors());
+  EXPECT_DOUBLE_EQ(toks[0].number, 1000.0);
+  EXPECT_DOUBLE_EQ(toks[1].number, 0.025);
+}
+
+std::unique_ptr<Routine> parseOk(std::string_view src) {
+  DiagnosticEngine d;
+  auto r = parse(src, d);
+  EXPECT_FALSE(d.hasErrors()) << d.str();
+  return r;
+}
+
+TEST(Parser, ParsesDotKernel) {
+  kernels::KernelSpec spec{kernels::BlasOp::Dot, ir::Scal::F64};
+  auto r = parseOk(spec.hilSource());
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->name, "dot");
+  ASSERT_EQ(r->params.size(), 3u);
+  EXPECT_EQ(r->params[0].name, "X");
+  EXPECT_EQ(r->params[0].cls, ParamClass::Vec);
+  EXPECT_EQ(r->params[2].cls, ParamClass::Int);
+  EXPECT_EQ(r->type, FpType::F64);
+  EXPECT_EQ(r->fpScalars.size(), 3u);
+  // dot = 0; loop; return
+  ASSERT_EQ(r->stmts.size(), 3u);
+  EXPECT_EQ(r->stmts[1]->kind, Stmt::Kind::Loop);
+  EXPECT_FALSE(r->stmts[1]->loopDown);
+  EXPECT_EQ(r->stmts[1]->body.size(), 5u);
+}
+
+TEST(Parser, ParsesDownLoopAndLabels) {
+  kernels::KernelSpec spec{kernels::BlasOp::Iamax, ir::Scal::F32};
+  auto r = parseOk(spec.hilSource());
+  ASSERT_TRUE(r);
+  const Stmt* loop = nullptr;
+  for (const auto& s : r->stmts)
+    if (s->kind == Stmt::Kind::Loop) loop = s.get();
+  ASSERT_TRUE(loop);
+  EXPECT_TRUE(loop->loopDown);
+  EXPECT_EQ(r->intScalars.size(), 1u);
+}
+
+TEST(Parser, AcceptsDepthTwoNesting) {
+  // Depth-2 nesting is supported (the inner loop is the tuned one); sema
+  // rejects anything deeper or with sibling loops.
+  DiagnosticEngine d;
+  auto r = parse(R"(
+ROUTINE t;
+PARAMS :: X = VEC(in), N = INT;
+TYPE double;
+LOOP i = 0, N
+LOOP_BODY
+LOOP j = 0, N
+LOOP_BODY
+LOOP_END
+LOOP_END
+END
+)", d);
+  EXPECT_TRUE(r != nullptr);
+  EXPECT_FALSE(d.hasErrors());
+}
+
+TEST(Sema, RejectsDepthThreeNesting) {
+  DiagnosticEngine d;
+  auto r = parse(R"(
+ROUTINE t;
+PARAMS :: X = VEC(in), N = INT;
+TYPE double;
+SCALARS :: x;
+LOOP a = 0, N
+LOOP_BODY
+LOOP b = 0, N
+LOOP_BODY
+LOOP c = 0, N
+LOOP_BODY
+  x = X[0];
+  X += 1;
+LOOP_END
+LOOP_END
+LOOP_END
+END
+)", d);
+  ASSERT_TRUE(r != nullptr);
+  analyze(*r, d);
+  EXPECT_TRUE(d.hasErrors());
+}
+
+TEST(Sema, RejectsSiblingLoops) {
+  DiagnosticEngine d;
+  auto r = parse(R"(
+ROUTINE t;
+PARAMS :: X = VEC(in), N = INT;
+TYPE double;
+SCALARS :: x;
+LOOP a = 0, N
+LOOP_BODY
+  x = X[0];
+LOOP_END
+LOOP b = 0, N
+LOOP_BODY
+  x = X[0];
+LOOP_END
+END
+)", d);
+  ASSERT_TRUE(r != nullptr);
+  analyze(*r, d);
+  EXPECT_TRUE(d.hasErrors());
+}
+
+TEST(Sema, RejectsPointerRewindWithoutNestedLoop) {
+  DiagnosticEngine d;
+  auto r = parse(R"(
+ROUTINE t;
+PARAMS :: X = VEC(in), N = INT;
+TYPE double;
+SCALARS :: x;
+LOOP i = 0, N
+LOOP_BODY
+  x = X[0];
+  X -= N;
+LOOP_END
+END
+)", d);
+  ASSERT_TRUE(r != nullptr);
+  analyze(*r, d);
+  EXPECT_TRUE(d.hasErrors());
+}
+
+TEST(Parser, RejectsBadStep) {
+  DiagnosticEngine d;
+  auto r = parse(R"(
+ROUTINE t;
+PARAMS :: N = INT;
+TYPE double;
+LOOP i = N, 0, -2
+LOOP_BODY
+LOOP_END
+END
+)", d);
+  EXPECT_FALSE(r);
+}
+
+TEST(Parser, NoPrefMarkup) {
+  auto r = parseOk(R"(
+ROUTINE t;
+PARAMS :: X = VEC(in,nopref), N = INT;
+TYPE float;
+SCALARS :: x;
+LOOP i = 0, N
+LOOP_BODY
+  x = X[0];
+  X += 1;
+LOOP_END
+END
+)");
+  ASSERT_TRUE(r);
+  EXPECT_TRUE(r->params[0].noPrefetch);
+}
+
+Symbols semaOn(std::string_view src, DiagnosticEngine& d) {
+  auto r = parse(src, d);
+  EXPECT_TRUE(r) << d.str();
+  return analyze(*r, d);
+}
+
+TEST(Sema, AllKernelsAnalyzeClean) {
+  for (const auto& spec : kernels::allKernels()) {
+    DiagnosticEngine d;
+    semaOn(spec.hilSource(), d);
+    EXPECT_FALSE(d.hasErrors()) << spec.name() << ": " << d.str();
+  }
+}
+
+TEST(Sema, RejectsUndeclaredName) {
+  DiagnosticEngine d;
+  semaOn(R"(
+ROUTINE t;
+PARAMS :: N = INT;
+TYPE double;
+SCALARS :: x;
+LOOP i = 0, N
+LOOP_BODY
+  x = bogus;
+LOOP_END
+END
+)", d);
+  EXPECT_TRUE(d.hasErrors());
+}
+
+TEST(Sema, RejectsRefAfterBump) {
+  DiagnosticEngine d;
+  semaOn(R"(
+ROUTINE t;
+PARAMS :: X = VEC(inout), N = INT;
+TYPE double;
+SCALARS :: x;
+LOOP i = 0, N
+LOOP_BODY
+  X += 1;
+  x = X[0];
+LOOP_END
+END
+)", d);
+  EXPECT_TRUE(d.hasErrors());
+}
+
+TEST(Sema, RejectsStoreToInVector) {
+  DiagnosticEngine d;
+  semaOn(R"(
+ROUTINE t;
+PARAMS :: X = VEC(in), N = INT;
+TYPE double;
+SCALARS :: x;
+LOOP i = 0, N
+LOOP_BODY
+  x = X[0];
+  X[0] = x;
+  X += 1;
+LOOP_END
+END
+)", d);
+  EXPECT_TRUE(d.hasErrors());
+}
+
+TEST(Sema, RejectsAssignToLoopVar) {
+  DiagnosticEngine d;
+  semaOn(R"(
+ROUTINE t;
+PARAMS :: N = INT;
+TYPE double;
+INTS :: k;
+LOOP i = 0, N
+LOOP_BODY
+  i = 3;
+LOOP_END
+END
+)", d);
+  EXPECT_TRUE(d.hasErrors());
+}
+
+TEST(Sema, RejectsGotoUndefinedLabel) {
+  DiagnosticEngine d;
+  semaOn(R"(
+ROUTINE t;
+PARAMS :: N = INT;
+TYPE double;
+LOOP i = 0, N
+LOOP_BODY
+  GOTO nowhere;
+LOOP_END
+END
+)", d);
+  EXPECT_TRUE(d.hasErrors());
+}
+
+TEST(Sema, RejectsFpAssignToInt) {
+  DiagnosticEngine d;
+  semaOn(R"(
+ROUTINE t;
+PARAMS :: N = INT;
+TYPE double;
+SCALARS :: x;
+INTS :: k;
+LOOP i = 0, N
+LOOP_BODY
+  x = 1.5;
+  k = x;
+LOOP_END
+END
+)", d);
+  EXPECT_TRUE(d.hasErrors());
+}
+
+TEST(Lower, AllKernelsLowerToValidIR) {
+  for (const auto& spec : kernels::allKernels()) {
+    DiagnosticEngine d;
+    auto fn = compileHil(spec.hilSource(), d);
+    ASSERT_TRUE(fn.has_value()) << spec.name() << ": " << d.str();
+    auto problems = ir::verify(*fn);
+    EXPECT_TRUE(problems.empty())
+        << spec.name() << ":\n"
+        << ir::print(*fn) << "\nproblems:\n"
+        << (problems.empty() ? "" : problems[0]);
+    EXPECT_TRUE(fn->loop.valid) << spec.name();
+  }
+}
+
+TEST(Lower, DotHasExpectedShape) {
+  kernels::KernelSpec spec{kernels::BlasOp::Dot, ir::Scal::F64};
+  DiagnosticEngine d;
+  auto fn = compileHil(spec.hilSource(), d);
+  ASSERT_TRUE(fn.has_value()) << d.str();
+  EXPECT_EQ(fn->retType, ir::RetType::F64);
+  EXPECT_EQ(fn->params.size(), 3u);
+  EXPECT_TRUE(fn->params[0].vecRead);
+  EXPECT_FALSE(fn->params[0].vecWritten);
+  // preheader + header(+latch merged) + exit at minimum
+  EXPECT_GE(fn->blocks.size(), 3u);
+  EXPECT_TRUE(fn->loop.valid);
+  EXPECT_EQ(fn->loop.dir, ir::LoopDir::Up);
+}
+
+TEST(Lower, IamaxReturnsInt) {
+  kernels::KernelSpec spec{kernels::BlasOp::Iamax, ir::Scal::F64};
+  DiagnosticEngine d;
+  auto fn = compileHil(spec.hilSource(), d);
+  ASSERT_TRUE(fn.has_value()) << d.str();
+  EXPECT_EQ(fn->retType, ir::RetType::Int);
+  EXPECT_EQ(fn->loop.dir, ir::LoopDir::Down);
+}
+
+TEST(Lower, CopyMarksIntent) {
+  kernels::KernelSpec spec{kernels::BlasOp::Copy, ir::Scal::F32};
+  DiagnosticEngine d;
+  auto fn = compileHil(spec.hilSource(), d);
+  ASSERT_TRUE(fn.has_value());
+  const ir::Param* y = fn->findParam("Y");
+  ASSERT_TRUE(y);
+  EXPECT_TRUE(y->vecWritten);
+  EXPECT_FALSE(y->vecRead);
+}
+
+}  // namespace
+}  // namespace ifko::hil

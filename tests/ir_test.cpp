@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/cfg.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+
+namespace ifko::ir {
+namespace {
+
+Function makeEmptyFn() {
+  Function fn;
+  fn.name = "t";
+  return fn;
+}
+
+TEST(Inst, OpInfoBasics) {
+  EXPECT_EQ(opInfo(Op::FAdd).numSrcs, 2);
+  EXPECT_TRUE(opInfo(Op::FAdd).hasDst);
+  EXPECT_TRUE(opInfo(Op::FLd).readsMem);
+  EXPECT_TRUE(opInfo(Op::VSt).writesMem);
+  EXPECT_TRUE(opInfo(Op::Jmp).isTerminator);
+  EXPECT_FALSE(opInfo(Op::Jcc).isTerminator);  // may fall through
+  EXPECT_TRUE(opInfo(Op::Jcc).isBranch);
+  EXPECT_TRUE(opInfo(Op::ICmp).setsFlags);
+  EXPECT_TRUE(opInfo(Op::VAdd).isVector);
+  EXPECT_EQ(opInfo(Op::VMovMsk).dstKind, RegKind::Int);
+  EXPECT_TRUE(touchesMem(Op::Pref));
+  EXPECT_FALSE(touchesMem(Op::FAdd));
+}
+
+TEST(Inst, CondNegation) {
+  EXPECT_EQ(negate(Cond::EQ), Cond::NE);
+  EXPECT_EQ(negate(Cond::LT), Cond::GE);
+  EXPECT_EQ(negate(Cond::GE), Cond::LT);
+  EXPECT_EQ(negate(Cond::LE), Cond::GT);
+}
+
+TEST(Inst, TypeNames) {
+  EXPECT_EQ(scalBytes(Scal::F32), 4);
+  EXPECT_EQ(scalBytes(Scal::F64), 8);
+  EXPECT_EQ(vecLanes(Scal::F32), 4);
+  EXPECT_EQ(vecLanes(Scal::F64), 2);
+}
+
+TEST(Reg, VirtualVsPhysical) {
+  Reg v = Reg::intReg(kVirtBase + 3);
+  EXPECT_TRUE(v.isVirtual());
+  EXPECT_FALSE(v.isPhysical());
+  Reg p = Reg::fpReg(2);
+  EXPECT_TRUE(p.isPhysical());
+  EXPECT_EQ(p.str(), "x2");
+  EXPECT_EQ(v.str(), "rv3");
+  EXPECT_FALSE(Reg::none().valid());
+}
+
+TEST(Function, BlockManagement) {
+  Function fn = makeEmptyFn();
+  int32_t a = fn.addBlock();
+  int32_t b = fn.addBlock();
+  EXPECT_NE(a, b);
+  EXPECT_EQ(fn.layoutIndex(a), 0u);
+  EXPECT_EQ(fn.layoutIndex(b), 1u);
+  int32_t c = fn.insertBlockAt(1);
+  EXPECT_EQ(fn.layoutIndex(c), 1u);
+  EXPECT_EQ(fn.layoutIndex(b), 2u);
+  fn.removeBlock(c);
+  EXPECT_EQ(fn.layoutIndex(b), 1u);
+}
+
+TEST(Builder, EmitsIntoBlock) {
+  Function fn = makeEmptyFn();
+  int32_t b0 = fn.addBlock();
+  Builder b(fn, b0);
+  Reg x = b.imovi(5);
+  Reg y = b.iaddi(x, 2);
+  b.icmpi(y, 7);
+  b.ret();
+  EXPECT_EQ(fn.block(b0).insts.size(), 4u);
+  EXPECT_EQ(fn.block(b0).insts[0].op, Op::IMovI);
+  EXPECT_TRUE(fn.block(b0).hardTerminator() != nullptr);
+}
+
+TEST(Printer, ContainsBlocksAndOps) {
+  Function fn = makeEmptyFn();
+  int32_t b0 = fn.addBlock();
+  Builder b(fn, b0);
+  Reg p = fn.newIntReg();
+  fn.params.push_back({.name = "X", .kind = ParamKind::PtrF64, .reg = p});
+  Reg v = b.fld(Scal::F64, mem(p, 8));
+  b.fst(Scal::F64, mem(p, 16), v);
+  b.ret();
+  std::string s = print(fn);
+  EXPECT_NE(s.find("bb0:"), std::string::npos);
+  EXPECT_NE(s.find("fld.f64"), std::string::npos);
+  EXPECT_NE(s.find("+ 8"), std::string::npos);
+}
+
+TEST(Cfg, SuccessorsOfConditional) {
+  Function fn = makeEmptyFn();
+  int32_t b0 = fn.addBlock();
+  int32_t b1 = fn.addBlock();
+  int32_t b2 = fn.addBlock();
+  Builder b(fn, b0);
+  Reg x = b.imovi(1);
+  b.icmpi(x, 0);
+  b.jcc(Cond::EQ, b2);
+  Builder b1b(fn, b1);
+  b1b.ret();
+  Builder b2b(fn, b2);
+  b2b.ret();
+  auto succ = successors(fn, 0);
+  ASSERT_EQ(succ.size(), 2u);
+  EXPECT_EQ(succ[0], b2);  // taken target first
+  EXPECT_EQ(succ[1], b1);  // fall-through
+  auto preds = predecessors(fn);
+  EXPECT_EQ(preds[b1].size(), 1u);
+  EXPECT_EQ(preds[b2].size(), 1u);
+}
+
+TEST(Cfg, RetHasNoSuccessors) {
+  Function fn = makeEmptyFn();
+  int32_t b0 = fn.addBlock();
+  fn.addBlock();
+  Builder b(fn, b0);
+  b.ret();
+  EXPECT_TRUE(successors(fn, 0).empty());
+}
+
+TEST(Verifier, AcceptsMinimalFunction) {
+  Function fn = makeEmptyFn();
+  Builder b(fn, fn.addBlock());
+  b.ret();
+  EXPECT_TRUE(verify(fn).empty());
+}
+
+TEST(Verifier, RejectsFallOffEnd) {
+  Function fn = makeEmptyFn();
+  Builder b(fn, fn.addBlock());
+  b.imovi(1);
+  auto problems = verify(fn);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("falls off"), std::string::npos);
+}
+
+TEST(Verifier, RejectsBranchToUnknownBlock) {
+  Function fn = makeEmptyFn();
+  Builder b(fn, fn.addBlock());
+  b.jmp(99);
+  auto problems = verify(fn);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("unknown block"), std::string::npos);
+}
+
+TEST(Verifier, RejectsBranchNotLast) {
+  Function fn = makeEmptyFn();
+  int32_t b0 = fn.addBlock();
+  Builder b(fn, b0);
+  b.jmp(b0);
+  b.imovi(1);
+  b.ret();
+  auto problems = verify(fn);
+  ASSERT_FALSE(problems.empty());
+}
+
+TEST(Verifier, RejectsWrongRegisterClass) {
+  Function fn = makeEmptyFn();
+  Builder b(fn, fn.addBlock());
+  Reg i = fn.newIntReg();
+  // FAdd on integer registers is malformed.
+  b.emit({.op = Op::FAdd, .type = Scal::F64, .dst = i, .src1 = i, .src2 = i});
+  b.ret();
+  auto problems = verify(fn);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("register class"), std::string::npos);
+}
+
+TEST(Verifier, RejectsUseBeforeDef) {
+  Function fn = makeEmptyFn();
+  Builder b(fn, fn.addBlock());
+  Reg x = fn.newIntReg();
+  b.iaddi(x, 1);  // x never defined
+  b.ret();
+  auto problems = verify(fn);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("before definition"), std::string::npos);
+}
+
+TEST(Verifier, AcceptsParamUse) {
+  Function fn = makeEmptyFn();
+  Reg p = fn.newIntReg();
+  fn.params.push_back({.name = "N", .kind = ParamKind::Int, .reg = p});
+  Builder b(fn, fn.addBlock());
+  b.iaddi(p, 1);
+  b.ret();
+  EXPECT_TRUE(verify(fn).empty());
+}
+
+TEST(Verifier, DefOnOnePathOnlyIsRejected) {
+  // bb0: jcc -> bb2 ; bb1: def x ; bb2: use x  (x undefined when jcc taken)
+  Function fn = makeEmptyFn();
+  int32_t b0 = fn.addBlock();
+  int32_t b1 = fn.addBlock();
+  int32_t b2 = fn.addBlock();
+  Reg n = fn.newIntReg();
+  fn.params.push_back({.name = "N", .kind = ParamKind::Int, .reg = n});
+  Builder b(fn, b0);
+  b.icmpi(n, 0);
+  b.jcc(Cond::EQ, b2);
+  Builder bb1(fn, b1);
+  Reg x = fn.newIntReg();
+  bb1.emit({.op = Op::IMovI, .dst = x, .imm = 3});
+  Builder bb2(fn, b2);
+  bb2.iaddi(x, 1);
+  bb2.ret();
+  auto problems = verify(fn);
+  ASSERT_FALSE(problems.empty());
+}
+
+TEST(Verifier, RejectsVirtualRegAfterRegalloc) {
+  Function fn = makeEmptyFn();
+  fn.regAllocated = true;
+  Builder b(fn, fn.addBlock());
+  Reg v = fn.newIntReg();  // virtual
+  b.emit({.op = Op::IMovI, .dst = v, .imm = 1});
+  b.ret();
+  auto problems = verify(fn);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("virtual register after regalloc"),
+            std::string::npos);
+}
+
+TEST(Verifier, RejectsRetWithoutValueWhenTyped) {
+  Function fn = makeEmptyFn();
+  fn.retType = RetType::Int;
+  Builder b(fn, fn.addBlock());
+  b.ret();
+  auto problems = verify(fn);
+  ASSERT_FALSE(problems.empty());
+}
+
+}  // namespace
+}  // namespace ifko::ir

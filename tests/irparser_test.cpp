@@ -1,0 +1,109 @@
+// Round-trip property: parse(print(fn)) reconstructs the function, for
+// every kernel at every interesting pipeline stage, and the reconstruction
+// is operationally identical (same printed form, verifies, and computes the
+// same results on the functional simulator).
+#include <gtest/gtest.h>
+
+#include "arch/machine.h"
+#include "atlas/handkernels.h"
+#include "fko/compiler.h"
+#include "hil/lower.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+#include "kernels/registry.h"
+#include "kernels/tester.h"
+
+namespace ifko::ir {
+namespace {
+
+void expectRoundTrip(const Function& fn, const std::string& label) {
+  std::string text = print(fn);
+  std::string error;
+  auto back = parse(text, &error);
+  ASSERT_TRUE(back.has_value()) << label << ": " << error << "\n" << text;
+  EXPECT_EQ(print(*back), text) << label;
+  EXPECT_EQ(back->name, fn.name);
+  EXPECT_EQ(back->retType, fn.retType);
+  EXPECT_EQ(back->regAllocated, fn.regAllocated);
+  EXPECT_EQ(back->numSpillSlots, fn.numSpillSlots);
+  EXPECT_EQ(back->params.size(), fn.params.size());
+  EXPECT_EQ(back->loop.valid, fn.loop.valid);
+  if (fn.loop.valid) {
+    EXPECT_EQ(back->loop.header, fn.loop.header);
+    EXPECT_EQ(back->loop.latch, fn.loop.latch);
+    EXPECT_EQ(back->loop.dir, fn.loop.dir);
+  }
+  EXPECT_EQ(verify(*back).size(), verify(fn).size()) << label;
+}
+
+TEST(IrParser, RoundTripsEveryLoweredKernel) {
+  for (const auto& spec : kernels::extendedKernels()) {
+    DiagnosticEngine d;
+    auto fn = hil::compileHil(spec.hilSource(), d);
+    ASSERT_TRUE(fn.has_value());
+    expectRoundTrip(*fn, spec.name() + " (lowered)");
+  }
+}
+
+TEST(IrParser, RoundTripsOptimizedAndAllocatedKernels) {
+  for (const auto& spec : kernels::allKernels()) {
+    fko::CompileOptions opts;
+    opts.tuning.unroll = 4;
+    opts.tuning.accumExpand = 2;
+    opts.tuning.prefetch["X"] = {true, ir::PrefKind::T0, 512};
+    opts.tuning.nonTemporalWrites = true;
+    auto r = fko::compileKernel(spec.hilSource(), opts, arch::opteron());
+    ASSERT_TRUE(r.ok) << spec.name();
+    expectRoundTrip(r.fn, spec.name() + " (compiled)");
+  }
+}
+
+TEST(IrParser, RoundTripsHandWrittenKernels) {
+  expectRoundTrip(atlas::iamaxSimd(Scal::F32), "iamax_simd/f32");
+  expectRoundTrip(atlas::copyBlockFetch(Scal::F64), "blockfetch");
+  expectRoundTrip(atlas::copyCisc(Scal::F32, true), "cisc_nt");
+}
+
+TEST(IrParser, ParsedKernelComputesIdentically) {
+  kernels::KernelSpec spec{kernels::BlasOp::Dot, ir::Scal::F64};
+  fko::CompileOptions opts;
+  opts.tuning.unroll = 3;
+  auto r = fko::compileKernel(spec.hilSource(), opts, arch::p4e());
+  ASSERT_TRUE(r.ok);
+  std::string error;
+  auto back = parse(print(r.fn), &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  auto outcome = kernels::testKernel(spec, *back, 100);
+  EXPECT_TRUE(outcome.ok) << outcome.message;
+}
+
+TEST(IrParser, RejectsGarbage) {
+  std::string error;
+  EXPECT_FALSE(parse("", &error).has_value());
+  EXPECT_FALSE(parse("not a function", &error).has_value());
+  EXPECT_FALSE(parse("func f()\n  imovi rv0, 1\n", &error).has_value());
+  EXPECT_NE(error.find("before any block"), std::string::npos);
+  EXPECT_FALSE(parse("func f()\nbb0:\n  bogusop r1, r2\n", &error).has_value());
+  EXPECT_NE(error.find("bogusop"), std::string::npos);
+  EXPECT_FALSE(parse("func f()\nbb0:\n  imovi rv0\n", &error).has_value());
+  EXPECT_FALSE(parse("func f(\n", &error).has_value());
+}
+
+TEST(IrParser, ParsesNegativeDisplacementsAndIndexedMem) {
+  Function fn;
+  fn.name = "m";
+  Reg p = fn.newIntReg();
+  Reg idx = fn.newIntReg();
+  fn.params.push_back({.name = "X", .kind = ParamKind::PtrF64, .reg = p});
+  fn.params.push_back({.name = "I", .kind = ParamKind::Int, .reg = idx});
+  fn.addBlock();
+  fn.blocks[0].insts.push_back(
+      Inst{.op = Op::FLd, .type = Scal::F64, .dst = fn.newFpReg(),
+           .mem = Mem{.base = p, .index = idx, .scale = 8, .disp = -16}});
+  fn.blocks[0].insts.push_back(Inst{.op = Op::Ret});
+  expectRoundTrip(fn, "indexed-negative-disp");
+}
+
+}  // namespace
+}  // namespace ifko::ir

@@ -1,0 +1,126 @@
+// The iFKO line search: defaults per the paper's formula, monotone
+// improvement, ledger bookkeeping, and end-to-end tuning sanity.
+#include <gtest/gtest.h>
+
+#include "arch/machine.h"
+#include "search/linesearch.h"
+
+namespace ifko::search {
+namespace {
+
+using kernels::BlasOp;
+using kernels::KernelSpec;
+
+SearchConfig fastConfig(int64_t n = 4096) {
+  SearchConfig c;
+  c.n = n;
+  c.fast = true;
+  c.testerN = 64;
+  return c;
+}
+
+TEST(Defaults, MatchPaperFormula) {
+  // SV=Yes, WNT=No, PF=(nta, 2L), UR=L_e, AE=No.
+  KernelSpec dot{BlasOp::Dot, ir::Scal::F64};
+  auto rep = fko::analyzeKernel(dot.hilSource(), arch::p4e());
+  ASSERT_TRUE(rep.ok);
+  auto p = fkoDefaults(rep, arch::p4e());
+  EXPECT_TRUE(p.simdVectorize);
+  EXPECT_FALSE(p.nonTemporalWrites);
+  EXPECT_EQ(p.accumExpand, 1);
+  // Vectorized double: L_e = 64/16 = 4 vectors per line.
+  EXPECT_EQ(p.unroll, 4);
+  ASSERT_TRUE(p.prefetch.count("X"));
+  EXPECT_EQ(p.prefetch.at("X").kind, ir::PrefKind::NTA);
+  EXPECT_EQ(p.prefetch.at("X").distBytes, 128);  // 2*L
+  ASSERT_TRUE(p.prefetch.count("Y"));
+}
+
+TEST(Defaults, ScalarUnrollUsesElementSize) {
+  // iamax is not vectorizable: L_e counts scalars (64/4=16 for float).
+  KernelSpec iamax{BlasOp::Iamax, ir::Scal::F32};
+  auto rep = fko::analyzeKernel(iamax.hilSource(), arch::p4e());
+  ASSERT_TRUE(rep.ok);
+  auto p = fkoDefaults(rep, arch::p4e());
+  EXPECT_EQ(p.unroll, 16);
+}
+
+TEST(LineSearch, ImprovesOrMatchesDefaults) {
+  for (BlasOp op : {BlasOp::Dot, BlasOp::Copy, BlasOp::Iamax}) {
+    KernelSpec spec{op, ir::Scal::F64};
+    auto r = tuneKernel(spec, arch::p4e(), fastConfig());
+    ASSERT_TRUE(r.ok) << spec.name() << ": " << r.error;
+    EXPECT_LE(r.bestCycles, r.defaultCycles) << spec.name();
+    EXPECT_GT(r.evaluations, 1) << spec.name();
+  }
+}
+
+TEST(LineSearch, LedgerIsMonotoneAndOrdered) {
+  KernelSpec spec{BlasOp::Asum, ir::Scal::F32};
+  auto r = tuneKernel(spec, arch::opteron(), fastConfig());
+  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_GE(r.ledger.size(), 5u);
+  EXPECT_EQ(r.ledger[0].name, "WNT");
+  EXPECT_EQ(r.ledger[1].name, "PF DST");
+  EXPECT_EQ(r.ledger[2].name, "PF INS");
+  EXPECT_EQ(r.ledger[3].name, "UR");
+  EXPECT_EQ(r.ledger[4].name, "AE");
+  uint64_t prev = r.defaultCycles;
+  for (const auto& d : r.ledger) {
+    EXPECT_LE(d.cyclesAfter, prev) << d.name;
+    prev = d.cyclesAfter;
+  }
+  EXPECT_EQ(r.ledger.back().cyclesAfter, r.bestCycles);
+}
+
+TEST(LineSearch, Deterministic) {
+  KernelSpec spec{BlasOp::Scal, ir::Scal::F32};
+  auto a = tuneKernel(spec, arch::p4e(), fastConfig());
+  auto b = tuneKernel(spec, arch::p4e(), fastConfig());
+  ASSERT_TRUE(a.ok && b.ok);
+  EXPECT_EQ(a.bestCycles, b.bestCycles);
+  EXPECT_EQ(a.best, b.best);
+}
+
+TEST(LineSearch, InCacheContextDiffersFromOutOfCache) {
+  KernelSpec spec{BlasOp::Asum, ir::Scal::F64};
+  SearchConfig cold = fastConfig(4096);
+  SearchConfig warm = fastConfig(1024);
+  warm.context = sim::TimeContext::InL2;
+  auto a = tuneKernel(spec, arch::p4e(), cold);
+  auto b = tuneKernel(spec, arch::p4e(), warm);
+  ASSERT_TRUE(a.ok && b.ok);
+  // In-cache runs far faster per element.
+  EXPECT_LT(static_cast<double>(b.bestCycles) / 1024.0,
+            static_cast<double>(a.bestCycles) / 4096.0);
+}
+
+TEST(LineSearch, ParamsRowFormat) {
+  KernelSpec spec{BlasOp::Copy, ir::Scal::F64};
+  auto rep = fko::analyzeKernel(spec.hilSource(), arch::p4e());
+  auto p = fkoDefaults(rep, arch::p4e());
+  auto row = paramsRow(p, rep);
+  ASSERT_EQ(row.size(), 4u);
+  EXPECT_EQ(row[0], "Y:N");
+  EXPECT_EQ(row[1], "nta:128");
+  EXPECT_EQ(row[3], "4:0");
+
+  KernelSpec asum{BlasOp::Asum, ir::Scal::F64};
+  auto rep2 = fko::analyzeKernel(asum.hilSource(), arch::p4e());
+  auto row2 = paramsRow(fkoDefaults(rep2, arch::p4e()), rep2);
+  EXPECT_EQ(row2[2], "n/a:0");  // no Y operand
+}
+
+TEST(LineSearch, TimeParamsMatchesEvaluate) {
+  KernelSpec spec{BlasOp::Dot, ir::Scal::F32};
+  auto rep = fko::analyzeKernel(spec.hilSource(), arch::p4e());
+  auto p = fkoDefaults(rep, arch::p4e());
+  SearchConfig c = fastConfig();
+  uint64_t t1 = timeParams(spec, arch::p4e(), p, c);
+  uint64_t t2 = timeParams(spec, arch::p4e(), p, c);
+  EXPECT_GT(t1, 0u);
+  EXPECT_EQ(t1, t2);
+}
+
+}  // namespace
+}  // namespace ifko::search

@@ -1,0 +1,191 @@
+// Detailed memory-system and ISA-semantics tests added alongside the
+// calibration work: write-combining buffers, the hardware prefetcher's page
+// discipline, ownership upgrades, the store buffer, and the VExt/FToI/Touch
+// instructions.
+#include <gtest/gtest.h>
+
+#include "arch/machine.h"
+#include "ir/builder.h"
+#include "sim/interp.h"
+#include "sim/memsys.h"
+#include "sim/timing.h"
+#include "opt/repeatable.h"
+
+namespace ifko::sim {
+namespace {
+
+arch::MachineConfig tiny() {
+  arch::MachineConfig m = arch::opteron();
+  m.name = "tiny";
+  m.caches = {{.sizeBytes = 1024, .lineBytes = 64, .assoc = 2, .latency = 3},
+              {.sizeBytes = 4096, .lineBytes = 64, .assoc = 4, .latency = 10}};
+  m.memLatency = 100;
+  m.busBytesPerCycle = 2.0;
+  m.busTurnaround = 8;
+  m.maxOutstandingMisses = 4;
+  m.hwPrefetchDepth = 0;  // keep the hardware prefetcher out of unit tests
+  m.wcBuffers = 2;
+  return m;
+}
+
+TEST(WcBuffers, TwoInterleavedNtStreamsCombineWithTwoBuffers) {
+  // Stores alternate between two line-sized streams; with >= 2 WC buffers
+  // each line flushes exactly once when complete: 2 lines -> 128 bus bytes.
+  sim::MemSystem mem(tiny());
+  uint64_t now = 0;
+  for (int i = 0; i < 8; ++i) {
+    now = mem.storeNT(0x10000 + 8u * static_cast<uint64_t>(i), 8, now);
+    now = mem.storeNT(0x20000 + 8u * static_cast<uint64_t>(i), 8, now);
+  }
+  EXPECT_EQ(mem.stats().busBytes, 128u);
+}
+
+TEST(WcBuffers, ThreeStreamsThrashTwoBuffers) {
+  // A third stream evicts partially-filled buffers: partial lines flush at
+  // full line cost, so traffic exceeds the 3-line minimum.
+  arch::MachineConfig m = tiny();
+  m.wcBuffers = 2;
+  sim::MemSystem mem(m);
+  uint64_t now = 0;
+  for (int i = 0; i < 8; ++i) {
+    now = mem.storeNT(0x10000 + 8u * static_cast<uint64_t>(i), 8, now);
+    now = mem.storeNT(0x20000 + 8u * static_cast<uint64_t>(i), 8, now);
+    now = mem.storeNT(0x30000 + 8u * static_cast<uint64_t>(i), 8, now);
+  }
+  EXPECT_GT(mem.stats().busBytes, 3u * 64u);
+}
+
+TEST(HwPrefetcher, DoesNotCrossPageBoundary) {
+  arch::MachineConfig m = arch::p4e();
+  m.hwPrefetchDepth = 8;
+  sim::MemSystem mem(m);
+  // Train right up to the end of a 4KB page: the prefetcher must not fetch
+  // the first lines of the next page.
+  uint64_t page = 0x40000;
+  uint64_t now = 0;
+  for (int i = 56; i < 64; ++i)  // last 8 lines of the page
+    now = mem.load(page + 64u * static_cast<uint64_t>(i), 8, now) + 1;
+  // The first access on the next page must be a fresh memory miss (nothing
+  // was fetched across the boundary) — it pays full memory latency.  (It
+  // also retrains the stream, so ahead-fetches on the *new* page follow.)
+  uint64_t start = now + 1000;
+  uint64_t ready = mem.load(page + 4096, 8, start);
+  EXPECT_GE(ready - start, static_cast<uint64_t>(m.memLatency));
+}
+
+TEST(MemSystem, UpgradeChargesStoreNotBus) {
+  // A store to a line loaded shared costs a small latency but transfers no
+  // line of data.
+  sim::MemSystem mem(tiny());
+  uint64_t t = mem.load(0x5000, 8, 0);
+  uint64_t bytesAfterLoad = mem.stats().busBytes;
+  uint64_t commit = mem.store(0x5000, 8, t);
+  EXPECT_EQ(mem.stats().busBytes, bytesAfterLoad);
+  EXPECT_GE(commit, t + 1);
+  // Second store to the now-exclusive line is cheaper.
+  uint64_t commit2 = mem.store(0x5008, 8, commit);
+  EXPECT_LE(commit2 - commit, commit - t);
+}
+
+TEST(MemSystem, StoreBufferEventuallyBackpressures) {
+  arch::MachineConfig m = tiny();
+  m.storeBufferEntries = 4;
+  sim::MemSystem mem(m);
+  // Miss-stores to distinct lines: the first few commit at now+1, then the
+  // buffer is full and commits wait for RFO fills.
+  uint64_t firstCommit = mem.store(0x100000, 8, 0);
+  EXPECT_EQ(firstCommit, 1u);
+  uint64_t lastCommit = 0;
+  for (int i = 1; i < 12; ++i)
+    lastCommit = mem.store(0x100000 + 64u * static_cast<uint64_t>(i), 8, 0);
+  EXPECT_GT(lastCommit, 100u);  // waits on a fill
+}
+
+// --- newer ISA ops --------------------------------------------------------------
+
+TEST(IsaOps, VExtExtractsLanes) {
+  ir::Function fn;
+  fn.name = "vext";
+  ir::Reg p = fn.newIntReg();
+  fn.params.push_back({.name = "X", .kind = ir::ParamKind::PtrF32, .reg = p});
+  ir::Builder b(fn, fn.addBlock());
+  ir::Reg v = b.vld(ir::Scal::F32, ir::mem(p, 0));
+  ir::Reg lane2 = fn.newFpReg();
+  b.emit({.op = ir::Op::VExt, .type = ir::Scal::F32, .dst = lane2, .src1 = v,
+          .imm = 2});
+  b.retVal(lane2);
+  fn.retType = ir::RetType::F32;
+
+  Memory mem(4096);
+  uint64_t addr = mem.allocate(16, 16);
+  for (int l = 0; l < 4; ++l)
+    mem.write<float>(addr + static_cast<uint64_t>(l) * 4,
+                     static_cast<float>(10 + l));
+  Interp interp(fn, mem);
+  auto r = interp.run(std::vector<ArgValue>{static_cast<int64_t>(addr)});
+  ASSERT_TRUE(r.fpResult.has_value());
+  EXPECT_FLOAT_EQ(static_cast<float>(*r.fpResult), 12.0f);
+}
+
+TEST(IsaOps, FToITruncates) {
+  ir::Function fn;
+  fn.name = "ftoi";
+  ir::Builder b(fn, fn.addBlock());
+  ir::Reg f = b.fldi(ir::Scal::F64, 41.9);
+  ir::Reg i = fn.newIntReg();
+  b.emit({.op = ir::Op::FToI, .type = ir::Scal::F64, .dst = i, .src1 = f});
+  b.retVal(i);
+  fn.retType = ir::RetType::Int;
+  Memory mem(4096);
+  Interp interp(fn, mem);
+  auto r = interp.run({});
+  ASSERT_TRUE(r.intResult.has_value());
+  EXPECT_EQ(*r.intResult, 41);  // truncation, not rounding
+}
+
+TEST(IsaOps, TouchFetchesWithoutBlocking) {
+  // A Touch initiates the fill; a later load hits.
+  arch::MachineConfig m = tiny();
+  sim::MemSystem msys(m);
+  sim::TimingModel timing(m, msys);
+
+  ir::Function fn;
+  fn.name = "touch";
+  ir::Reg p = fn.newIntReg();
+  fn.params.push_back({.name = "X", .kind = ir::ParamKind::PtrF64, .reg = p});
+  ir::Builder b(fn, fn.addBlock());
+  b.emit({.op = ir::Op::Touch, .type = ir::Scal::F64, .mem = ir::mem(p, 0)});
+  b.ret();
+
+  Memory mem(1 << 16);
+  uint64_t addr = mem.allocate(64, 64);
+  Interp interp(fn, mem, &timing);
+  interp.run(std::vector<ArgValue>{static_cast<int64_t>(addr)});
+  // Touch completes immediately (+1) while the line fill proceeds.
+  EXPECT_LT(timing.cycles(), static_cast<uint64_t>(m.memLatency));
+  EXPECT_EQ(msys.stats().loadMissMem, 1u);
+}
+
+TEST(IsaOps, TouchSurvivesDeadCodeElimination) {
+  // Unlike a dead FLd, a Touch has no destination and must be kept.
+  ir::Function fn;
+  fn.name = "t";
+  ir::Reg p = fn.newIntReg();
+  fn.params.push_back({.name = "X", .kind = ir::ParamKind::PtrF64, .reg = p});
+  ir::Builder b(fn, fn.addBlock());
+  b.emit({.op = ir::Op::Touch, .type = ir::Scal::F64, .mem = ir::mem(p, 0)});
+  (void)b.fld(ir::Scal::F64, ir::mem(p, 8));  // dead load: removable
+  b.ret();
+  (void)opt::deadCodeElim(fn);
+  size_t touches = 0, loads = 0;
+  for (const auto& bb : fn.blocks)
+    for (const auto& in : bb.insts) {
+      touches += in.op == ir::Op::Touch;
+      loads += in.op == ir::Op::FLd;
+    }
+  EXPECT_EQ(touches, 1u);
+  EXPECT_EQ(loads, 0u);
+}
+
+}  // namespace
+}  // namespace ifko::sim

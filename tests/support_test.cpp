@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "support/diagnostics.h"
+#include "support/env.h"
+#include "support/rng.h"
+#include "support/str.h"
+#include "support/table.h"
+
+namespace ifko {
+namespace {
+
+TEST(Str, TrimRemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Str, SplitOnSeparator) {
+  auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Str, SplitEmptyStringYieldsOneEmptyPart) {
+  auto parts = split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(Str, StartsWith) {
+  EXPECT_TRUE(startsWith("prefetchnta", "pref"));
+  EXPECT_FALSE(startsWith("pre", "prefetch"));
+}
+
+TEST(Str, ReplaceAllSubstitutesEveryOccurrence) {
+  EXPECT_EQ(replaceAll("TYPE @T; x @T", "@T", "double"),
+            "TYPE double; x double");
+  EXPECT_EQ(replaceAll("abc", "", "x"), "abc");
+}
+
+TEST(Str, FmtFixed) {
+  EXPECT_EQ(fmtFixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fmtFixed(100.0, 0), "100");
+}
+
+TEST(Rng, Deterministic) {
+  SplitMix64 a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsDiffer) {
+  SplitMix64 a(1), b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, UniformWithinRange) {
+  SplitMix64 rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.uniform(-1.0, 1.0);
+    EXPECT_GE(v, -1.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, BelowStaysBelow) {
+  SplitMix64 rng(13);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Diagnostics, CountsErrorsOnly) {
+  DiagnosticEngine d;
+  d.warning({1, 1}, "w");
+  EXPECT_FALSE(d.hasErrors());
+  d.error({2, 3}, "boom");
+  EXPECT_TRUE(d.hasErrors());
+  EXPECT_EQ(d.errorCount(), 1u);
+  EXPECT_NE(d.str().find("error at 2:3: boom"), std::string::npos);
+}
+
+TEST(Diagnostics, ClearResets) {
+  DiagnosticEngine d;
+  d.error({}, "x");
+  d.clear();
+  EXPECT_FALSE(d.hasErrors());
+  EXPECT_TRUE(d.diagnostics().empty());
+}
+
+TEST(Table, AlignsColumns) {
+  TextTable t;
+  t.setHeader({"name", "value"});
+  t.addRow({"x", "1"});
+  t.addRow({"longer", "22"});
+  std::string s = t.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(Table, RuleBetweenRows) {
+  TextTable t;
+  t.addRow({"a"});
+  t.addRule();
+  t.addRow({"b"});
+  std::string s = t.str();
+  size_t a = s.find("a"), dash = s.find("-"), b = s.find("b");
+  EXPECT_LT(a, dash);
+  EXPECT_LT(dash, b);
+}
+
+TEST(Env, FallbackWhenUnset) {
+  EXPECT_EQ(envInt("IFKO_SURELY_UNSET_VAR_12345", 42), 42);
+}
+
+TEST(Env, ParsesValue) {
+  ::setenv("IFKO_TEST_ENV_VAR", "123", 1);
+  EXPECT_EQ(envInt("IFKO_TEST_ENV_VAR", 0), 123);
+  ::unsetenv("IFKO_TEST_ENV_VAR");
+}
+
+}  // namespace
+}  // namespace ifko

@@ -1,0 +1,339 @@
+// Property tests for FKO's fundamental transforms: ANY combination of
+// tuning parameters must preserve kernel semantics on the functional
+// simulator (the paper's tester exists precisely because this invariant is
+// what empirical tuning leans on).
+#include <gtest/gtest.h>
+
+#include "analysis/loopinfo.h"
+#include "arch/machine.h"
+#include "hil/lower.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+#include "kernels/registry.h"
+#include "kernels/tester.h"
+#include "opt/loop_xform.h"
+#include "support/rng.h"
+
+namespace ifko {
+namespace {
+
+using kernels::BlasOp;
+using kernels::KernelSpec;
+
+ir::Function lowerKernel(const KernelSpec& spec) {
+  DiagnosticEngine d;
+  auto fn = hil::compileHil(spec.hilSource(), d);
+  EXPECT_TRUE(fn.has_value()) << d.str();
+  return std::move(*fn);
+}
+
+// ---------------------------------------------------------------------------
+// Loop analysis expectations per kernel.
+
+TEST(LoopAnalysis, DotIsVectorizableWithOneAccumulator) {
+  auto fn = lowerKernel({BlasOp::Dot, ir::Scal::F64});
+  auto info = analysis::analyzeLoop(fn);
+  ASSERT_TRUE(info.found) << info.problem;
+  EXPECT_TRUE(info.vectorizable) << info.whyNotVectorizable;
+  EXPECT_EQ(info.accumulators.size(), 1u);
+  EXPECT_EQ(info.arrays.size(), 2u);
+  EXPECT_TRUE(info.arrays[0].loaded);
+  EXPECT_FALSE(info.arrays[0].stored);
+  EXPECT_FALSE(info.ivarUsedInBody);
+  EXPECT_TRUE(info.sideBlocks.empty());
+}
+
+TEST(LoopAnalysis, AsumIsVectorizable) {
+  auto fn = lowerKernel({BlasOp::Asum, ir::Scal::F32});
+  auto info = analysis::analyzeLoop(fn);
+  ASSERT_TRUE(info.found);
+  EXPECT_TRUE(info.vectorizable) << info.whyNotVectorizable;
+  EXPECT_EQ(info.accumulators.size(), 1u);
+}
+
+TEST(LoopAnalysis, IamaxIsNotVectorizable) {
+  // "neither icc nor ifko automatically vectorize" iamax (paper Section 3.3).
+  auto fn = lowerKernel({BlasOp::Iamax, ir::Scal::F64});
+  auto info = analysis::analyzeLoop(fn);
+  ASSERT_TRUE(info.found) << info.problem;
+  EXPECT_FALSE(info.vectorizable);
+  EXPECT_FALSE(info.sideBlocks.empty());
+  EXPECT_TRUE(info.ivarUsedInBody);
+  EXPECT_TRUE(info.accumulators.empty());
+}
+
+TEST(LoopAnalysis, SwapHasTwoStoredArraysNoAccumulators) {
+  auto fn = lowerKernel({BlasOp::Swap, ir::Scal::F32});
+  auto info = analysis::analyzeLoop(fn);
+  ASSERT_TRUE(info.found);
+  EXPECT_TRUE(info.vectorizable) << info.whyNotVectorizable;
+  EXPECT_EQ(info.arrays.size(), 2u);
+  for (const auto& a : info.arrays) {
+    EXPECT_TRUE(a.loaded);
+    EXPECT_TRUE(a.stored);
+    EXPECT_TRUE(a.prefetchable());
+    EXPECT_EQ(a.bumpBytes, 4);
+  }
+}
+
+TEST(LoopAnalysis, AxpyYIsNotAnAccumulator) {
+  // y is reloaded each iteration: not a valid AE target.
+  auto fn = lowerKernel({BlasOp::Axpy, ir::Scal::F64});
+  auto info = analysis::analyzeLoop(fn);
+  ASSERT_TRUE(info.found);
+  EXPECT_TRUE(info.accumulators.empty());
+}
+
+TEST(LoopAnalysis, NoPrefMarkupDisablesPrefetch) {
+  DiagnosticEngine d;
+  auto fn = hil::compileHil(R"(
+ROUTINE t;
+PARAMS :: X = VEC(in,nopref), N = INT;
+TYPE double;
+SCALARS :: x, s;
+s = 0.0;
+LOOP i = 0, N
+LOOP_BODY
+  x = X[0];
+  s += x;
+  X += 1;
+LOOP_END
+RETURN s;
+END
+)", d);
+  ASSERT_TRUE(fn.has_value()) << d.str();
+  auto info = analysis::analyzeLoop(*fn);
+  ASSERT_TRUE(info.found);
+  ASSERT_EQ(info.arrays.size(), 1u);
+  EXPECT_FALSE(info.arrays[0].prefetchable());
+}
+
+// ---------------------------------------------------------------------------
+// Structural expectations.
+
+size_t countOp(const ir::Function& fn, ir::Op op) {
+  size_t n = 0;
+  for (const auto& bb : fn.blocks)
+    for (const auto& in : bb.insts)
+      if (in.op == op) ++n;
+  return n;
+}
+
+TEST(Transforms, VectorizationProducesVectorOps) {
+  auto fn = lowerKernel({BlasOp::Dot, ir::Scal::F32});
+  opt::TuningParams p;
+  p.simdVectorize = true;
+  std::string err;
+  auto out = opt::applyFundamentalTransforms(fn, p, arch::p4e(), &err);
+  ASSERT_TRUE(out.has_value()) << err;
+  EXPECT_GT(countOp(*out, ir::Op::VLd), 0u);
+  EXPECT_GT(countOp(*out, ir::Op::VMul), 0u);
+  EXPECT_EQ(countOp(*out, ir::Op::VHAdd), 1u);
+  // Remainder loop retains scalar ops.
+  EXPECT_GT(countOp(*out, ir::Op::FLd), 0u);
+}
+
+TEST(Transforms, UnrollDuplicatesBody) {
+  auto fn = lowerKernel({BlasOp::Copy, ir::Scal::F64});
+  opt::TuningParams p1, p4;
+  p1.simdVectorize = p4.simdVectorize = false;
+  p1.unroll = 1;
+  p4.unroll = 4;
+  std::string err;
+  auto f1 = opt::applyFundamentalTransforms(fn, p1, arch::p4e(), &err);
+  auto f4 = opt::applyFundamentalTransforms(fn, p4, arch::p4e(), &err);
+  ASSERT_TRUE(f1 && f4) << err;
+  // UR=1 has no remainder loop (step 1); UR=4 has 4 main copies plus the
+  // scalar remainder.
+  EXPECT_EQ(countOp(*f1, ir::Op::FLd), 1u);
+  EXPECT_EQ(countOp(*f4, ir::Op::FLd), 5u);
+}
+
+TEST(Transforms, WntReplacesMainLoopStores) {
+  auto fn = lowerKernel({BlasOp::Copy, ir::Scal::F64});
+  opt::TuningParams p;
+  p.simdVectorize = true;
+  p.nonTemporalWrites = true;
+  std::string err;
+  auto out = opt::applyFundamentalTransforms(fn, p, arch::p4e(), &err);
+  ASSERT_TRUE(out.has_value()) << err;
+  EXPECT_GT(countOp(*out, ir::Op::VStNT), 0u);
+  EXPECT_EQ(countOp(*out, ir::Op::VSt), 0u);
+  // The scalar remainder keeps temporal stores.
+  EXPECT_EQ(countOp(*out, ir::Op::FSt), 1u);
+}
+
+TEST(Transforms, PrefetchCountMatchesLinesPerIteration) {
+  auto fn = lowerKernel({BlasOp::Asum, ir::Scal::F64});
+  opt::TuningParams p;
+  p.simdVectorize = true;  // 2 elements per copy
+  p.unroll = 8;            // 16 doubles = 128 bytes = 2 lines per iteration
+  p.prefetch["X"] = {true, ir::PrefKind::NTA, 1024};
+  std::string err;
+  auto out = opt::applyFundamentalTransforms(fn, p, arch::p4e(), &err);
+  ASSERT_TRUE(out.has_value()) << err;
+  EXPECT_EQ(countOp(*out, ir::Op::Pref), 2u);
+}
+
+TEST(Transforms, PrefetchWFallsBackWithoutPrefW) {
+  auto fn = lowerKernel({BlasOp::Asum, ir::Scal::F64});
+  opt::TuningParams p;
+  p.prefetch["X"] = {true, ir::PrefKind::W, 512};
+  std::string err;
+  auto out = opt::applyFundamentalTransforms(fn, p, arch::p4e(), &err);
+  ASSERT_TRUE(out.has_value()) << err;
+  for (const auto& bb : out->blocks)
+    for (const auto& in : bb.insts)
+      if (in.op == ir::Op::Pref) {
+        EXPECT_NE(in.pref, ir::PrefKind::W);
+      }
+}
+
+TEST(Transforms, AccumExpansionCreatesExtraAccumulators) {
+  auto fn = lowerKernel({BlasOp::Dot, ir::Scal::F64});
+  opt::TuningParams p;
+  p.simdVectorize = true;
+  p.unroll = 4;
+  p.accumExpand = 4;
+  std::string err;
+  auto out = opt::applyFundamentalTransforms(fn, p, arch::p4e(), &err);
+  ASSERT_TRUE(out.has_value()) << err;
+  // 4 vector accumulators: 1 SV init + 3 AE inits.
+  EXPECT_EQ(countOp(*out, ir::Op::VZero), 4u);
+}
+
+TEST(Transforms, LoopControlOffUsesExplicitCompare) {
+  auto fn = lowerKernel({BlasOp::Copy, ir::Scal::F64});
+  opt::TuningParams on, off;
+  on.optimizeLoopControl = true;
+  off.optimizeLoopControl = false;
+  std::string err;
+  auto fOn = opt::applyFundamentalTransforms(fn, on, arch::p4e(), &err);
+  auto fOff = opt::applyFundamentalTransforms(fn, off, arch::p4e(), &err);
+  ASSERT_TRUE(fOn && fOff);
+  EXPECT_GT(countOp(*fOn, ir::Op::IAddCC), 0u);
+  EXPECT_GT(countOp(*fOff, ir::Op::ICmpI), countOp(*fOn, ir::Op::ICmpI));
+}
+
+// ---------------------------------------------------------------------------
+// Semantic preservation sweep: every kernel x a grid of parameter sets x
+// several lengths (including remainder-heavy ones).
+
+struct SweepCase {
+  KernelSpec spec;
+  opt::TuningParams params;
+  int label;
+};
+
+std::vector<opt::TuningParams> paramGrid() {
+  std::vector<opt::TuningParams> grid;
+  for (bool sv : {false, true}) {
+    for (int ur : {1, 2, 3, 4, 8}) {
+      opt::TuningParams p;
+      p.simdVectorize = sv;
+      p.unroll = ur;
+      grid.push_back(p);
+    }
+  }
+  {
+    opt::TuningParams p;  // AE-heavy
+    p.unroll = 6;
+    p.accumExpand = 3;
+    grid.push_back(p);
+    p.simdVectorize = false;
+    grid.push_back(p);
+  }
+  {
+    opt::TuningParams p;  // prefetch + WNT + LC off
+    p.unroll = 4;
+    p.prefetch["X"] = {true, ir::PrefKind::NTA, 512};
+    p.prefetch["Y"] = {true, ir::PrefKind::T0, 320};
+    p.nonTemporalWrites = true;
+    p.optimizeLoopControl = false;
+    grid.push_back(p);
+  }
+  {
+    opt::TuningParams p;  // prefetch at top, scalar
+    p.simdVectorize = false;
+    p.unroll = 5;  // non-power-of-two
+    p.prefetch["X"] = {true, ir::PrefKind::T1, 128};
+    p.prefSched = opt::PrefSched::Top;
+    grid.push_back(p);
+  }
+  return grid;
+}
+
+class XformSemantics
+    : public testing::TestWithParam<std::tuple<KernelSpec, int>> {};
+
+TEST_P(XformSemantics, PreservesKernelSemantics) {
+  auto [spec, gridIdx] = GetParam();
+  opt::TuningParams params = paramGrid()[static_cast<size_t>(gridIdx)];
+  auto lowered = lowerKernel(spec);
+  std::string err;
+  auto fn =
+      opt::applyFundamentalTransforms(lowered, params, arch::p4e(), &err);
+  ASSERT_TRUE(fn.has_value()) << spec.name() << " " << params.str() << ": "
+                              << err;
+  auto problems = ir::verify(*fn);
+  ASSERT_TRUE(problems.empty())
+      << spec.name() << " " << params.str() << "\n"
+      << problems[0] << "\n"
+      << ir::print(*fn);
+  for (int64_t n : {0, 1, 2, 3, 5, 7, 8, 15, 16, 63, 64, 100, 257}) {
+    auto outcome = kernels::testKernel(spec, *fn, n);
+    ASSERT_TRUE(outcome.ok) << spec.name() << " n=" << n << " "
+                            << params.str() << ": " << outcome.message;
+  }
+}
+
+std::string sweepName(
+    const testing::TestParamInfo<std::tuple<KernelSpec, int>>& info) {
+  return std::get<0>(info.param).name() + "_g" +
+         std::to_string(std::get<1>(info.param));
+}
+
+std::vector<KernelSpec> allSpecs() { return kernels::allKernels(); }
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, XformSemantics,
+    testing::Combine(testing::ValuesIn(allSpecs()),
+                     testing::Range(0, static_cast<int>(paramGrid().size()))),
+    sweepName);
+
+// Randomized property sweep: random parameter combinations on random
+// kernels must stay correct.
+TEST(XformSemantics, RandomizedParameterFuzz) {
+  SplitMix64 rng(20260705);
+  const auto& specs = kernels::allKernels();
+  for (int iter = 0; iter < 60; ++iter) {
+    const auto& spec = specs[rng.below(specs.size())];
+    opt::TuningParams p;
+    p.simdVectorize = rng.below(2) == 0;
+    p.unroll = static_cast<int>(rng.below(12)) + 1;
+    p.accumExpand = static_cast<int>(rng.below(4)) + 1;
+    p.optimizeLoopControl = rng.below(2) == 0;
+    p.nonTemporalWrites = rng.below(2) == 0;
+    p.prefSched = rng.below(2) == 0 ? opt::PrefSched::Spread : opt::PrefSched::Top;
+    for (const char* arr : {"X", "Y"}) {
+      if (rng.below(2) == 0) {
+        opt::PrefParam pp;
+        pp.enabled = true;
+        pp.kind = static_cast<ir::PrefKind>(rng.below(4));
+        pp.distBytes = static_cast<int>(rng.below(32)) * 64;
+        p.prefetch[arr] = pp;
+      }
+    }
+    auto lowered = lowerKernel(spec);
+    std::string err;
+    auto fn = opt::applyFundamentalTransforms(lowered, p, arch::opteron(), &err);
+    ASSERT_TRUE(fn.has_value()) << spec.name() << " " << p.str() << ": " << err;
+    int64_t n = static_cast<int64_t>(rng.below(300));
+    auto outcome = kernels::testKernel(spec, *fn, n, rng.next());
+    ASSERT_TRUE(outcome.ok) << spec.name() << " n=" << n << " " << p.str()
+                            << ": " << outcome.message;
+  }
+}
+
+}  // namespace
+}  // namespace ifko

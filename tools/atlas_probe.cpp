@@ -1,0 +1,34 @@
+// Developer utility: show per-variant ATLAS timings for one kernel.
+#include <cstdio>
+#include <cstring>
+
+#include "atlas/atlas.h"
+#include "kernels/tester.h"
+
+using namespace ifko;
+
+int main(int argc, char** argv) {
+  int64_t n = argc > 1 ? std::atoll(argv[1]) : 80000;
+  bool inl2 = argc > 2 && std::strcmp(argv[2], "inl2") == 0;
+  for (auto prec : {ir::Scal::F32, ir::Scal::F64}) {
+    for (auto op : {kernels::BlasOp::Iamax, kernels::BlasOp::Copy}) {
+      kernels::KernelSpec spec{op, prec};
+      for (const auto& m : arch::allMachines()) {
+        auto pool = atlas::variantPool(spec, m);
+        std::printf("%s on %s n=%lld %s:\n", spec.name().c_str(),
+                    m.name.c_str(), static_cast<long long>(n),
+                    inl2 ? "inL2" : "ooc");
+        for (auto& v : pool) {
+          auto t = sim::timeKernel(m, v.fn, spec, n,
+                                   inl2 ? sim::TimeContext::InL2
+                                        : sim::TimeContext::OutOfCache);
+          std::printf("  %-18s%s %10llu cycles (%.2f cyc/elem)\n",
+                      v.name.c_str(), v.assembly ? "*" : " ",
+                      static_cast<unsigned long long>(t.cycles),
+                      static_cast<double>(t.cycles) / static_cast<double>(n));
+        }
+      }
+    }
+  }
+  return 0;
+}

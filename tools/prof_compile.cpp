@@ -1,0 +1,45 @@
+// Developer utility: profile one FKO compile + test configuration.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "arch/machine.h"
+#include "fko/compiler.h"
+#include "kernels/registry.h"
+#include "kernels/tester.h"
+
+using namespace ifko;
+using Clock = std::chrono::steady_clock;
+
+int main(int argc, char** argv) {
+  int ur = argc > 1 ? std::atoi(argv[1]) : 16;
+  int ae = argc > 2 ? std::atoi(argv[2]) : 8;
+  kernels::KernelSpec spec{kernels::BlasOp::Asum, ir::Scal::F32};
+  fko::CompileOptions opts;
+  opts.tuning.unroll = ur;
+  opts.tuning.accumExpand = ae;
+  opts.tuning.optimizeLoopControl = false;
+  opts.runRepeatable = argc > 3 ? std::atoi(argv[3]) != 0 : true;
+  opts.runRegalloc = argc > 4 ? std::atoi(argv[4]) != 0 : true;
+  auto t0 = Clock::now();
+  auto r = fko::compileKernel(spec.hilSource(), opts, arch::opteron());
+  auto t1 = Clock::now();
+  std::printf("compile ok=%d err=%s insts=%zu spills=%d in %lld ms\n", r.ok,
+              r.error.c_str(), r.ok ? r.fn.instCount() : 0, r.spillSlots,
+              static_cast<long long>(
+                  std::chrono::duration_cast<std::chrono::milliseconds>(t1 - t0)
+                      .count()));
+  if (r.ok) {
+    auto data = kernels::makeKernelData(spec, 250);
+    sim::Interp interp(r.fn, *data.mem, nullptr, 1 << 20);
+    try {
+      auto run = interp.run(data.args(r.fn));
+      std::printf("ran %llu dyn insts, fp=%f\n",
+                  static_cast<unsigned long long>(run.dynInsts),
+                  run.fpResult.value_or(-1));
+    } catch (const std::exception& e) {
+      std::printf("RUN FAULT: %s\n", e.what());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Developer utility: time one kernel configuration and dump stats.
+#include <cstdio>
+#include <cstring>
+
+#include "baseline/baseline.h"
+#include "fko/compiler.h"
+#include "kernels/tester.h"
+#include "search/linesearch.h"
+#include "sim/timer.h"
+
+using namespace ifko;
+
+int main(int argc, char** argv) {
+  int64_t n = argc > 1 ? std::atoll(argv[1]) : 20000;
+  kernels::KernelSpec spec{kernels::BlasOp::Copy, ir::Scal::F32};
+  if (argc > 2 && std::strcmp(argv[2], "ddot") == 0)
+    spec = {kernels::BlasOp::Dot, ir::Scal::F64};
+
+  for (const auto& m : arch::allMachines()) {
+    auto rep = fko::analyzeKernel(spec.hilSource(), m);
+    auto params = search::fkoDefaults(rep, m);
+    fko::CompileOptions opts;
+    opts.tuning = params;
+    auto r = fko::compileKernel(spec.hilSource(), opts, m);
+    if (!r.ok) {
+      std::printf("compile failed: %s\n", r.error.c_str());
+      return 1;
+    }
+    auto t = sim::timeKernel(m, r.fn, spec, n, sim::TimeContext::OutOfCache);
+    std::printf(
+        "%s %s n=%lld: %llu cyc (%.2f/elem) insts=%llu\n"
+        "  loads=%llu missL1=%llu missMem=%llu stores=%llu rfo=%llu nt=%llu\n"
+        "  prefIssued=%llu prefDropped=%llu hw=%llu wb=%llu busBytes=%llu\n"
+        "  branches=%llu mispredicts=%llu\n",
+        spec.name().c_str(), m.name.c_str(), (long long)n,
+        (unsigned long long)t.cycles, (double)t.cycles / (double)n,
+        (unsigned long long)t.dynInsts, (unsigned long long)t.mem.loads,
+        (unsigned long long)t.mem.loadMissL1,
+        (unsigned long long)t.mem.loadMissMem,
+        (unsigned long long)t.mem.stores, (unsigned long long)t.mem.storeRFOs,
+        (unsigned long long)t.mem.ntStores,
+        (unsigned long long)t.mem.prefIssued,
+        (unsigned long long)t.mem.prefDropped,
+        (unsigned long long)t.mem.hwPrefetches,
+        (unsigned long long)t.mem.writebacks,
+        (unsigned long long)t.mem.busBytes,
+        (unsigned long long)t.core.branches,
+        (unsigned long long)t.core.mispredicts);
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Developer utility: dump the timing of a window of dynamic instructions.
+#include <cstdio>
+#include <cstdlib>
+
+#include "fko/compiler.h"
+#include "kernels/tester.h"
+#include "search/linesearch.h"
+#include "sim/timer.h"
+
+using namespace ifko;
+
+namespace {
+
+class Tracer : public sim::InstObserver {
+ public:
+  Tracer(const arch::MachineConfig& cfg, sim::MemSystem& mem, uint64_t from,
+         uint64_t to)
+      : inner_(cfg, mem), from_(from), to_(to) {}
+
+  void onInst(const sim::InstEvent& ev) override {
+    uint64_t before = inner_.cycles();
+    inner_.onInst(ev);
+    ++count_;
+    if (count_ >= from_ && count_ <= to_) {
+      std::printf("%6llu  maxC=%8llu (+%4lld)  %s%s\n",
+                  (unsigned long long)count_,
+                  (unsigned long long)inner_.cycles(),
+                  (long long)(inner_.cycles() - before),
+                  ev.inst->str().c_str(), ev.taken ? " [taken]" : "");
+    }
+  }
+  sim::TimingModel inner_;
+  uint64_t count_ = 0, from_, to_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t from = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 400;
+  uint64_t to = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 460;
+  kernels::KernelSpec spec{kernels::BlasOp::Copy, ir::Scal::F32};
+  arch::MachineConfig m = arch::p4e();
+  auto rep = fko::analyzeKernel(spec.hilSource(), m);
+  fko::CompileOptions opts;
+  opts.tuning = search::fkoDefaults(rep, m);
+  auto r = fko::compileKernel(spec.hilSource(), opts, m);
+  if (!r.ok) return 1;
+  auto data = kernels::makeKernelData(spec, 20000);
+  sim::MemSystem mem(m);
+  Tracer tracer(m, mem, from, to);
+  sim::Interp interp(r.fn, *data.mem, &tracer);
+  interp.run(data.args(r.fn));
+  std::printf("total %llu cycles\n",
+              (unsigned long long)tracer.inner_.cycles());
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Developer utility: run the full iFKO line search for one kernel and show
+// the ledger.
+#include <cstdio>
+#include <cstring>
+
+#include "search/linesearch.h"
+
+using namespace ifko;
+
+int main(int argc, char** argv) {
+  int64_t n = argc > 1 ? std::atoll(argv[1]) : 20000;
+  const char* opName = argc > 2 ? argv[2] : "dot";
+  const char* mName = argc > 3 ? argv[3] : "p4e";
+  bool inl2 = argc > 4 && std::strcmp(argv[4], "inl2") == 0;
+
+  kernels::BlasOp op = kernels::BlasOp::Dot;
+  for (auto o : kernels::allOps())
+    if (kernels::opName(o) == opName) op = o;
+  arch::MachineConfig m =
+      std::strcmp(mName, "opteron") == 0 ? arch::opteron() : arch::p4e();
+
+  for (auto prec : {ir::Scal::F32, ir::Scal::F64}) {
+    kernels::KernelSpec spec{op, prec};
+    search::SearchConfig cfg;
+    cfg.n = n;
+    cfg.context = inl2 ? sim::TimeContext::InL2 : sim::TimeContext::OutOfCache;
+    auto r = search::tuneKernel(spec, m, cfg);
+    if (!r.ok) {
+      std::printf("%s: search failed: %s\n", spec.name().c_str(),
+                  r.error.c_str());
+      continue;
+    }
+    std::printf("%s on %s (%s): FKO %llu -> ifko %llu cycles (%.2fx), %d evals\n",
+                spec.name().c_str(), m.name.c_str(),
+                inl2 ? "inL2" : "ooc",
+                (unsigned long long)r.defaultCycles,
+                (unsigned long long)r.bestCycles, r.speedupOverDefaults(),
+                r.evaluations);
+    uint64_t prev = r.defaultCycles;
+    for (const auto& d : r.ledger) {
+      std::printf("  %-7s -> %10llu  (+%5.1f%%)\n", d.name.c_str(),
+                  (unsigned long long)d.cyclesAfter,
+                  100.0 * (static_cast<double>(prev) /
+                               static_cast<double>(d.cyclesAfter) -
+                           1.0));
+      prev = d.cyclesAfter;
+    }
+    auto row = search::paramsRow(r.best, r.analysis);
+    std::printf("  best: SV:WNT=%s PF_X=%s PF_Y=%s UR:AE=%s\n", row[0].c_str(),
+                row[1].c_str(), row[2].c_str(), row[3].c_str());
+  }
+  return 0;
+}
