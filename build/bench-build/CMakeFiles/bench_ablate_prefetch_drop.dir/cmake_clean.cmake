@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablate_prefetch_drop"
+  "../bench/bench_ablate_prefetch_drop.pdb"
+  "CMakeFiles/bench_ablate_prefetch_drop.dir/bench_ablate_prefetch_drop.cpp.o"
+  "CMakeFiles/bench_ablate_prefetch_drop.dir/bench_ablate_prefetch_drop.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_prefetch_drop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

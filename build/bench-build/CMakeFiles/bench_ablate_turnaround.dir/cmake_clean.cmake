@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablate_turnaround"
+  "../bench/bench_ablate_turnaround.pdb"
+  "CMakeFiles/bench_ablate_turnaround.dir/bench_ablate_turnaround.cpp.o"
+  "CMakeFiles/bench_ablate_turnaround.dir/bench_ablate_turnaround.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_turnaround.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablate_window"
+  "../bench/bench_ablate_window.pdb"
+  "CMakeFiles/bench_ablate_window.dir/bench_ablate_window.cpp.o"
+  "CMakeFiles/bench_ablate_window.dir/bench_ablate_window.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

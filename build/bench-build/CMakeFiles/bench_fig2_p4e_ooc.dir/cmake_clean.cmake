@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_p4e_ooc"
+  "../bench/bench_fig2_p4e_ooc.pdb"
+  "CMakeFiles/bench_fig2_p4e_ooc.dir/bench_fig2_p4e_ooc.cpp.o"
+  "CMakeFiles/bench_fig2_p4e_ooc.dir/bench_fig2_p4e_ooc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_p4e_ooc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

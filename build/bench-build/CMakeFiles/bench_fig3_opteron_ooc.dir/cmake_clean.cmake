@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_opteron_ooc"
+  "../bench/bench_fig3_opteron_ooc.pdb"
+  "CMakeFiles/bench_fig3_opteron_ooc.dir/bench_fig3_opteron_ooc.cpp.o"
+  "CMakeFiles/bench_fig3_opteron_ooc.dir/bench_fig3_opteron_ooc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_opteron_ooc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig4_p4e_inl2.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5a_mflops"
+  "../bench/bench_fig5a_mflops.pdb"
+  "CMakeFiles/bench_fig5a_mflops.dir/bench_fig5a_mflops.cpp.o"
+  "CMakeFiles/bench_fig5a_mflops.dir/bench_fig5a_mflops.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5a_mflops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_contributions"
+  "../bench/bench_fig7_contributions.pdb"
+  "CMakeFiles/bench_fig7_contributions.dir/bench_fig7_contributions.cpp.o"
+  "CMakeFiles/bench_fig7_contributions.dir/bench_fig7_contributions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_contributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

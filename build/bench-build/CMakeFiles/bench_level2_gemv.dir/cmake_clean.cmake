@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_level2_gemv"
+  "../bench/bench_level2_gemv.pdb"
+  "CMakeFiles/bench_level2_gemv.dir/bench_level2_gemv.cpp.o"
+  "CMakeFiles/bench_level2_gemv.dir/bench_level2_gemv.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_level2_gemv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

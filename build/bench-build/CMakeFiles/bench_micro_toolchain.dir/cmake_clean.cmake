@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_toolchain"
+  "../bench/bench_micro_toolchain.pdb"
+  "CMakeFiles/bench_micro_toolchain.dir/bench_micro_toolchain.cpp.o"
+  "CMakeFiles/bench_micro_toolchain.dir/bench_micro_toolchain.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_toolchain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

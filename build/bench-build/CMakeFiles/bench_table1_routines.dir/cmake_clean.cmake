@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_routines"
+  "../bench/bench_table1_routines.pdb"
+  "CMakeFiles/bench_table1_routines.dir/bench_table1_routines.cpp.o"
+  "CMakeFiles/bench_table1_routines.dir/bench_table1_routines.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_routines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/context_adaptation.dir/context_adaptation.cpp.o"
+  "CMakeFiles/context_adaptation.dir/context_adaptation.cpp.o.d"
+  "context_adaptation"
+  "context_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/context_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

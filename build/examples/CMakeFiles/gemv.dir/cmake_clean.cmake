@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemv.dir/gemv.cpp.o"
+  "CMakeFiles/gemv.dir/gemv.cpp.o.d"
+  "gemv"
+  "gemv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tune_kernel.dir/tune_kernel.cpp.o"
+  "CMakeFiles/tune_kernel.dir/tune_kernel.cpp.o.d"
+  "tune_kernel"
+  "tune_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tune_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

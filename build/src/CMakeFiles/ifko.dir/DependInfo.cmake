@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/loopinfo.cpp" "src/CMakeFiles/ifko.dir/analysis/loopinfo.cpp.o" "gcc" "src/CMakeFiles/ifko.dir/analysis/loopinfo.cpp.o.d"
+  "/root/repo/src/arch/machine.cpp" "src/CMakeFiles/ifko.dir/arch/machine.cpp.o" "gcc" "src/CMakeFiles/ifko.dir/arch/machine.cpp.o.d"
+  "/root/repo/src/atlas/atlas.cpp" "src/CMakeFiles/ifko.dir/atlas/atlas.cpp.o" "gcc" "src/CMakeFiles/ifko.dir/atlas/atlas.cpp.o.d"
+  "/root/repo/src/atlas/handkernels.cpp" "src/CMakeFiles/ifko.dir/atlas/handkernels.cpp.o" "gcc" "src/CMakeFiles/ifko.dir/atlas/handkernels.cpp.o.d"
+  "/root/repo/src/baseline/baseline.cpp" "src/CMakeFiles/ifko.dir/baseline/baseline.cpp.o" "gcc" "src/CMakeFiles/ifko.dir/baseline/baseline.cpp.o.d"
+  "/root/repo/src/fko/compiler.cpp" "src/CMakeFiles/ifko.dir/fko/compiler.cpp.o" "gcc" "src/CMakeFiles/ifko.dir/fko/compiler.cpp.o.d"
+  "/root/repo/src/fko/harness.cpp" "src/CMakeFiles/ifko.dir/fko/harness.cpp.o" "gcc" "src/CMakeFiles/ifko.dir/fko/harness.cpp.o.d"
+  "/root/repo/src/hil/lexer.cpp" "src/CMakeFiles/ifko.dir/hil/lexer.cpp.o" "gcc" "src/CMakeFiles/ifko.dir/hil/lexer.cpp.o.d"
+  "/root/repo/src/hil/lower.cpp" "src/CMakeFiles/ifko.dir/hil/lower.cpp.o" "gcc" "src/CMakeFiles/ifko.dir/hil/lower.cpp.o.d"
+  "/root/repo/src/hil/parser.cpp" "src/CMakeFiles/ifko.dir/hil/parser.cpp.o" "gcc" "src/CMakeFiles/ifko.dir/hil/parser.cpp.o.d"
+  "/root/repo/src/hil/sema.cpp" "src/CMakeFiles/ifko.dir/hil/sema.cpp.o" "gcc" "src/CMakeFiles/ifko.dir/hil/sema.cpp.o.d"
+  "/root/repo/src/ir/builder.cpp" "src/CMakeFiles/ifko.dir/ir/builder.cpp.o" "gcc" "src/CMakeFiles/ifko.dir/ir/builder.cpp.o.d"
+  "/root/repo/src/ir/cfg.cpp" "src/CMakeFiles/ifko.dir/ir/cfg.cpp.o" "gcc" "src/CMakeFiles/ifko.dir/ir/cfg.cpp.o.d"
+  "/root/repo/src/ir/function.cpp" "src/CMakeFiles/ifko.dir/ir/function.cpp.o" "gcc" "src/CMakeFiles/ifko.dir/ir/function.cpp.o.d"
+  "/root/repo/src/ir/inst.cpp" "src/CMakeFiles/ifko.dir/ir/inst.cpp.o" "gcc" "src/CMakeFiles/ifko.dir/ir/inst.cpp.o.d"
+  "/root/repo/src/ir/parser.cpp" "src/CMakeFiles/ifko.dir/ir/parser.cpp.o" "gcc" "src/CMakeFiles/ifko.dir/ir/parser.cpp.o.d"
+  "/root/repo/src/ir/printer.cpp" "src/CMakeFiles/ifko.dir/ir/printer.cpp.o" "gcc" "src/CMakeFiles/ifko.dir/ir/printer.cpp.o.d"
+  "/root/repo/src/ir/verifier.cpp" "src/CMakeFiles/ifko.dir/ir/verifier.cpp.o" "gcc" "src/CMakeFiles/ifko.dir/ir/verifier.cpp.o.d"
+  "/root/repo/src/kernels/complex_blas.cpp" "src/CMakeFiles/ifko.dir/kernels/complex_blas.cpp.o" "gcc" "src/CMakeFiles/ifko.dir/kernels/complex_blas.cpp.o.d"
+  "/root/repo/src/kernels/level2.cpp" "src/CMakeFiles/ifko.dir/kernels/level2.cpp.o" "gcc" "src/CMakeFiles/ifko.dir/kernels/level2.cpp.o.d"
+  "/root/repo/src/kernels/registry.cpp" "src/CMakeFiles/ifko.dir/kernels/registry.cpp.o" "gcc" "src/CMakeFiles/ifko.dir/kernels/registry.cpp.o.d"
+  "/root/repo/src/kernels/tester.cpp" "src/CMakeFiles/ifko.dir/kernels/tester.cpp.o" "gcc" "src/CMakeFiles/ifko.dir/kernels/tester.cpp.o.d"
+  "/root/repo/src/opt/liveness.cpp" "src/CMakeFiles/ifko.dir/opt/liveness.cpp.o" "gcc" "src/CMakeFiles/ifko.dir/opt/liveness.cpp.o.d"
+  "/root/repo/src/opt/loop_xform.cpp" "src/CMakeFiles/ifko.dir/opt/loop_xform.cpp.o" "gcc" "src/CMakeFiles/ifko.dir/opt/loop_xform.cpp.o.d"
+  "/root/repo/src/opt/regalloc.cpp" "src/CMakeFiles/ifko.dir/opt/regalloc.cpp.o" "gcc" "src/CMakeFiles/ifko.dir/opt/regalloc.cpp.o.d"
+  "/root/repo/src/opt/repeatable.cpp" "src/CMakeFiles/ifko.dir/opt/repeatable.cpp.o" "gcc" "src/CMakeFiles/ifko.dir/opt/repeatable.cpp.o.d"
+  "/root/repo/src/search/linesearch.cpp" "src/CMakeFiles/ifko.dir/search/linesearch.cpp.o" "gcc" "src/CMakeFiles/ifko.dir/search/linesearch.cpp.o.d"
+  "/root/repo/src/sim/interp.cpp" "src/CMakeFiles/ifko.dir/sim/interp.cpp.o" "gcc" "src/CMakeFiles/ifko.dir/sim/interp.cpp.o.d"
+  "/root/repo/src/sim/memsys.cpp" "src/CMakeFiles/ifko.dir/sim/memsys.cpp.o" "gcc" "src/CMakeFiles/ifko.dir/sim/memsys.cpp.o.d"
+  "/root/repo/src/sim/timer.cpp" "src/CMakeFiles/ifko.dir/sim/timer.cpp.o" "gcc" "src/CMakeFiles/ifko.dir/sim/timer.cpp.o.d"
+  "/root/repo/src/sim/timing.cpp" "src/CMakeFiles/ifko.dir/sim/timing.cpp.o" "gcc" "src/CMakeFiles/ifko.dir/sim/timing.cpp.o.d"
+  "/root/repo/src/support/diagnostics.cpp" "src/CMakeFiles/ifko.dir/support/diagnostics.cpp.o" "gcc" "src/CMakeFiles/ifko.dir/support/diagnostics.cpp.o.d"
+  "/root/repo/src/support/env.cpp" "src/CMakeFiles/ifko.dir/support/env.cpp.o" "gcc" "src/CMakeFiles/ifko.dir/support/env.cpp.o.d"
+  "/root/repo/src/support/str.cpp" "src/CMakeFiles/ifko.dir/support/str.cpp.o" "gcc" "src/CMakeFiles/ifko.dir/support/str.cpp.o.d"
+  "/root/repo/src/support/table.cpp" "src/CMakeFiles/ifko.dir/support/table.cpp.o" "gcc" "src/CMakeFiles/ifko.dir/support/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

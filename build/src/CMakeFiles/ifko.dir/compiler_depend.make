@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ifko.
+# This may be replaced when dependencies are built.

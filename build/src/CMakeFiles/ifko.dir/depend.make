@@ -1,0 +1,2 @@
+# Empty dependencies file for ifko.
+# This may be replaced when dependencies are built.

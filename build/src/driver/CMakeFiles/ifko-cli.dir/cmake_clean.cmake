@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ifko-cli.dir/main.cpp.o"
+  "CMakeFiles/ifko-cli.dir/main.cpp.o.d"
+  "ifko"
+  "ifko.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ifko-cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

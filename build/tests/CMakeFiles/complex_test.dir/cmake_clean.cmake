@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/complex_test.dir/complex_test.cpp.o"
+  "CMakeFiles/complex_test.dir/complex_test.cpp.o.d"
+  "complex_test"
+  "complex_test.pdb"
+  "complex_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/complex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

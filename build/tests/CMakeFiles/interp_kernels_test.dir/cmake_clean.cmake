@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interp_kernels_test.dir/interp_kernels_test.cpp.o"
+  "CMakeFiles/interp_kernels_test.dir/interp_kernels_test.cpp.o.d"
+  "interp_kernels_test"
+  "interp_kernels_test.pdb"
+  "interp_kernels_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interp_kernels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

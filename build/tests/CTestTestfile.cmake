@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/ir_test[1]_include.cmake")
+include("/root/repo/build/tests/hil_test[1]_include.cmake")
+include("/root/repo/build/tests/interp_kernels_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/xform_test[1]_include.cmake")
+include("/root/repo/build/tests/compile_test[1]_include.cmake")
+include("/root/repo/build/tests/search_test[1]_include.cmake")
+include("/root/repo/build/tests/atlas_baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/generic_test[1]_include.cmake")
+include("/root/repo/build/tests/irparser_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_detail_test[1]_include.cmake")
+include("/root/repo/build/tests/opt_detail_test[1]_include.cmake")
+include("/root/repo/build/tests/level2_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/complex_test[1]_include.cmake")
+add_test(cli_analyze "/root/repo/build/src/driver/ifko" "analyze" "/root/repo/kernels_hil/ddot.hil")
+set_tests_properties(cli_analyze PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;28;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_run "/root/repo/build/src/driver/ifko" "run" "/root/repo/kernels_hil/sasum.hil" "--ur=4" "--pf=X:nta:512" "--n=4096")
+set_tests_properties(cli_run PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;29;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_tune_fast "/root/repo/build/src/driver/ifko" "tune" "/root/repo/kernels_hil/scopy.hil" "--n=4096" "--fast")
+set_tests_properties(cli_tune_fast PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;30;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_tune_gemv "/root/repo/build/src/driver/ifko" "tune" "/root/repo/kernels_hil/dgemv.hil" "--n=2048" "--fast" "--extensions")
+set_tests_properties(cli_tune_gemv PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;31;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_rejects_bad_file "/root/repo/build/src/driver/ifko" "analyze" "/nonexistent.hil")
+set_tests_properties(cli_rejects_bad_file PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;32;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atlas_probe.dir/atlas_probe.cpp.o"
+  "CMakeFiles/atlas_probe.dir/atlas_probe.cpp.o.d"
+  "atlas_probe"
+  "atlas_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atlas_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

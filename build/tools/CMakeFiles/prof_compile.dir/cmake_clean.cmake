@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prof_compile.dir/prof_compile.cpp.o"
+  "CMakeFiles/prof_compile.dir/prof_compile.cpp.o.d"
+  "prof_compile"
+  "prof_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prof_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

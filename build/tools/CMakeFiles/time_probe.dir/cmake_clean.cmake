@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/time_probe.dir/time_probe.cpp.o"
+  "CMakeFiles/time_probe.dir/time_probe.cpp.o.d"
+  "time_probe"
+  "time_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/time_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_probe.dir/trace_probe.cpp.o"
+  "CMakeFiles/trace_probe.dir/trace_probe.cpp.o.d"
+  "trace_probe"
+  "trace_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tune_probe.dir/tune_probe.cpp.o"
+  "CMakeFiles/tune_probe.dir/tune_probe.cpp.o.d"
+  "tune_probe"
+  "tune_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tune_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
