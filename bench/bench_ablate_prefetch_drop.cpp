@@ -23,9 +23,6 @@ int main() {
     for (int backlog : {0, 56, 280, 1 << 20}) {
       arch::MachineConfig m = arch::p4e();
       m.prefetchDropBacklog = backlog;
-      search::SearchConfig cfg;
-      cfg.n = sz.ooc;
-      cfg.fast = true;  // fixed parameters below; search not needed
       auto rep = fko::analyzeKernel(spec.hilSource(), m);
       auto params = search::fkoDefaults(rep, m);
       for (auto& [name, pf] : params.prefetch) pf.distBytes = 1024;

@@ -1,0 +1,88 @@
+// Ablation: search turnaround through the batch-tuning orchestrator.
+//
+// The paper accepts install-time tuning costs of minutes-to-hours because
+// every evaluation is serial and forgotten; the orchestrator attacks both
+// axes.  This bench tunes the same kernel set three ways and reports
+// wall-clock turnaround:
+//   serial cold    jobs=1, empty cache  (the paper's regime)
+//   parallel cold  jobs=N, empty cache  (thread-pool fan-out)
+//   parallel warm  jobs=N, cache primed by the previous run (re-tune)
+// The chosen parameters are identical in all three rows — parallelism and
+// caching only change how long the answer takes.
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "harness.h"
+#include "search/orchestrator.h"
+
+using namespace ifko;
+
+namespace {
+
+std::vector<search::KernelJob> benchJobs(bool fast) {
+  const auto& all = kernels::allKernels();
+  size_t count = fast ? 4 : all.size();
+  std::vector<search::KernelJob> jobs;
+  for (size_t i = 0; i < all.size() && jobs.size() < count; ++i)
+    jobs.push_back({all[i].name(), all[i].hilSource(), &all[i]});
+  return jobs;
+}
+
+}  // namespace
+
+int main() {
+  auto sz = bench::sizes();
+  int jobs = static_cast<int>(std::thread::hardware_concurrency());
+  if (jobs < 2) jobs = 2;
+  if (jobs > 8) jobs = 8;
+
+  const std::string cachePath = "bench_orchestrator_turnaround.cache.jsonl";
+  std::remove(cachePath.c_str());
+
+  auto kernelJobs = benchJobs(sz.fast);
+  std::printf("=== Ablation: tuning turnaround, %zu kernels, p4e, ooc "
+              "N=%lld ===\n\n",
+              kernelJobs.size(), static_cast<long long>(sz.ooc));
+
+  search::SearchConfig cfg =
+      sz.fast ? search::SearchConfig::smoke() : search::SearchConfig{};
+  cfg.n = sz.ooc;
+
+  struct Row {
+    const char* name;
+    int jobs;
+    bool useCache;
+  };
+  const Row rows[] = {
+      {"serial cold", 1, false},
+      {"parallel cold", jobs, true},  // primes the cache for the warm row
+      {"parallel warm", jobs, true},
+  };
+
+  TextTable t;
+  t.setHeader({"configuration", "jobs", "wall s", "speedup", "evals",
+               "cache hit%"});
+  double serialSeconds = 0.0;
+  for (const Row& row : rows) {
+    search::OrchestratorConfig oc;
+    oc.search = cfg;
+    oc.search.jobs = row.jobs;
+    if (row.useCache) oc.cachePath = cachePath;
+    search::Orchestrator orch(arch::p4e(), oc);
+    auto batch = orch.tuneAll(kernelJobs);
+    if (serialSeconds == 0.0) serialSeconds = batch.wallSeconds;
+    double speedup =
+        batch.wallSeconds == 0.0 ? 0.0 : serialSeconds / batch.wallSeconds;
+    t.addRow({row.name, std::to_string(row.jobs),
+              fmtFixed(batch.wallSeconds, 2), fmtFixed(speedup, 2) + "x",
+              std::to_string(batch.evaluations),
+              fmtFixed(100.0 * batch.hitRate(), 1)});
+  }
+  std::fputs(t.str().c_str(), stdout);
+  std::printf("\n(identical best parameters in every row; the warm row "
+              "re-times nothing)\n");
+
+  std::remove(cachePath.c_str());
+  return 0;
+}

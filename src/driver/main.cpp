@@ -6,21 +6,29 @@
 //
 //   ifko compile <file.hil> [--arch=...] [--sv=0|1] [--ur=N] [--ae=N]
 //                [--wnt] [--lc=0|1] [--pf=ARRAY:KIND:DIST]... [--bf]
-//                [--cisc] [--dump-ir]
+//                [--cisc] [--params=SPEC] [--dump-ir]
 //       One FKO compile with explicit transform parameters; verifies the
-//       result differentially against the unoptimized lowering.
+//       result differentially against the unoptimized lowering.  All the
+//       per-flag spellings are sugar over the TuningSpec grammar
+//       (docs/TUNING.md): --ur=4 is exactly --params=ur=4.
 //
 //   ifko run <file.hil> [--arch=...] [--n=N] [--context=ooc|inl2] (+compile flags)
 //       Compile, check, and time on the simulated machine.
 //
 //   ifko tune <file.hil> [--arch=...] [--n=N] [--context=ooc|inl2]
-//             [--extensions] [--fast]
+//             [--extensions] [--fast] [--jobs=N] [--cache=FILE] [--trace=FILE]
 //       The full iterative empirical search, with the per-dimension ledger.
+//
+//   ifko tune-all <dir> [--arch=...] [--n=N] [--context=ooc|inl2] [--fast]
+//                 [--extensions] [--jobs=N] [--cache=FILE] [--trace=FILE]
+//       Batch-tunes every *.hil kernel in <dir> through the orchestrator and
+//       prints a Table-3-style summary with turnaround and cache statistics.
 //
 //   ifko sim <file.ir> [--arch=...] [--n=N] [--context=ooc|inl2]
 //       Parse a textual IR dump (the --dump-ir format) and time it on the
 //       simulated machine — the path for hand-edited or hand-written code.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <optional>
@@ -33,8 +41,9 @@
 #include "ir/parser.h"
 #include "ir/printer.h"
 #include "ir/verifier.h"
-#include "search/linesearch.h"
+#include "search/orchestrator.h"
 #include "support/str.h"
+#include "support/table.h"
 
 namespace {
 
@@ -42,8 +51,9 @@ using namespace ifko;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: ifko <analyze|compile|run|tune|sim> <file> [options]\n"
-               "see the header of src/driver/main.cpp or docs/HIL.md\n");
+               "usage: ifko <analyze|compile|run|tune|tune-all|sim> "
+               "<file|dir> [options]\n"
+               "see the header of src/driver/main.cpp or docs/TUNING.md\n");
   return 2;
 }
 
@@ -63,11 +73,49 @@ struct Options {
   bool dumpIr = false;
   bool extensions = false;
   bool fast = false;
+  int jobs = 1;
+  std::string cachePath;
+  std::string tracePath;
   bool ok = true;
 };
 
+/// Strict decimal parse; rejects empty strings and trailing garbage —
+/// "--ur=abc" must be an error, never a silent 0.
+bool parseNum(const std::string& v, int64_t* out) {
+  if (v.empty()) return false;
+  char* end = nullptr;
+  long long val = std::strtoll(v.c_str(), &end, 10);
+  if (end != v.c_str() + v.size()) return false;
+  *out = val;
+  return true;
+}
+
 Options parseOptions(int argc, char** argv, int first) {
   Options o;
+  // Every tuning-parameter flag funnels through the TuningSpec parser, so
+  // validation and serialization live in exactly one place (opt/params.cpp).
+  auto applySpec = [&](const std::string& fragment) {
+    auto spec = opt::parseTuningSpec(fragment, o.compile.tuning);
+    if (!spec.ok) {
+      std::fprintf(stderr, "bad tuning spec '%s': %s\n", fragment.c_str(),
+                   spec.error.c_str());
+      o.ok = false;
+      return;
+    }
+    o.compile.tuning = spec.params;
+  };
+  auto intFlag = [&](const std::string& v, const char* name, int64_t minValue,
+                     int64_t* out) {
+    int64_t parsed = 0;
+    if (!parseNum(v, &parsed) || parsed < minValue) {
+      std::fprintf(stderr, "bad %s (want integer >= %lld): '%s'\n", name,
+                   static_cast<long long>(minValue), v.c_str());
+      o.ok = false;
+      return;
+    }
+    *out = parsed;
+  };
+
   for (int i = first; i < argc; ++i) {
     std::string a = argv[i];
     auto value = [&](const char* prefix) -> std::optional<std::string> {
@@ -79,41 +127,43 @@ Options parseOptions(int argc, char** argv, int first) {
       else if (*v == "opteron") o.machine = arch::opteron();
       else { std::fprintf(stderr, "unknown arch '%s'\n", v->c_str()); o.ok = false; }
     } else if (auto v = value("--sv=")) {
-      o.compile.tuning.simdVectorize = *v != "0";
+      applySpec("sv=" + *v);
     } else if (auto v = value("--ur=")) {
-      o.compile.tuning.unroll = std::atoi(v->c_str());
+      applySpec("ur=" + *v);
     } else if (auto v = value("--ae=")) {
-      o.compile.tuning.accumExpand = std::atoi(v->c_str());
+      applySpec("ae=" + *v);
     } else if (a == "--wnt") {
-      o.compile.tuning.nonTemporalWrites = true;
+      applySpec("wnt=Y");
     } else if (auto v = value("--lc=")) {
-      o.compile.tuning.optimizeLoopControl = *v != "0";
+      applySpec("lc=" + *v);
     } else if (a == "--bf") {
-      o.compile.tuning.blockFetch = true;
+      applySpec("bf=Y");
     } else if (a == "--cisc") {
-      o.compile.tuning.ciscIndexing = true;
+      applySpec("cisc=Y");
     } else if (auto v = value("--pf=")) {
-      // ARRAY:KIND:DIST, e.g. --pf=X:nta:1024
-      auto parts = split(*v, ':');
-      if (parts.size() != 3) {
-        std::fprintf(stderr, "bad --pf (want ARRAY:KIND:DIST): %s\n", v->c_str());
+      // ARRAY:KIND:DIST (e.g. --pf=X:nta:1024) -> pf(ARRAY)=KIND:DIST
+      size_t colon = v->find(':');
+      if (colon == std::string::npos || colon == 0) {
+        std::fprintf(stderr, "bad --pf (want ARRAY:KIND:DIST): %s\n",
+                     v->c_str());
         o.ok = false;
         continue;
       }
-      opt::PrefParam p;
-      p.enabled = parts[1] != "none";
-      p.distBytes = std::atoi(parts[2].c_str());
-      if (parts[1] == "nta") p.kind = ir::PrefKind::NTA;
-      else if (parts[1] == "t0") p.kind = ir::PrefKind::T0;
-      else if (parts[1] == "t1") p.kind = ir::PrefKind::T1;
-      else if (parts[1] == "w") p.kind = ir::PrefKind::W;
-      else if (parts[1] != "none") {
-        std::fprintf(stderr, "unknown prefetch kind '%s'\n", parts[1].c_str());
-        o.ok = false;
-      }
-      o.compile.tuning.prefetch[parts[0]] = p;
+      std::string rest = v->substr(colon + 1);
+      if (rest == "none:0" || rest == "none") rest = "none";
+      applySpec("pf(" + v->substr(0, colon) + ")=" + rest);
+    } else if (auto v = value("--params=")) {
+      applySpec(*v);
     } else if (auto v = value("--n=")) {
-      o.n = std::atoll(v->c_str());
+      intFlag(*v, "--n", 1, &o.n);
+    } else if (auto v = value("--jobs=")) {
+      int64_t jobs = 1;
+      intFlag(*v, "--jobs", 1, &jobs);
+      o.jobs = static_cast<int>(jobs);
+    } else if (auto v = value("--cache=")) {
+      o.cachePath = *v;
+    } else if (auto v = value("--trace=")) {
+      o.tracePath = *v;
     } else if (auto v = value("--context=")) {
       o.context = *v == "inl2" ? sim::TimeContext::InL2
                                : sim::TimeContext::OutOfCache;
@@ -129,6 +179,16 @@ Options parseOptions(int argc, char** argv, int first) {
     }
   }
   return o;
+}
+
+search::SearchConfig searchConfig(const Options& o) {
+  search::SearchConfig cfg = o.fast ? search::SearchConfig::smoke()
+                                    : search::SearchConfig{};
+  cfg.n = o.n;
+  cfg.context = o.context;
+  cfg.jobs = o.jobs;
+  cfg.searchExtensions = o.extensions;
+  return cfg;
 }
 
 int cmdAnalyze(const std::string& src, const Options& o) {
@@ -186,13 +246,26 @@ int cmdCompile(const std::string& src, const Options& o, bool alsoRun) {
   return 0;
 }
 
-int cmdTune(const std::string& src, const Options& o) {
-  search::SearchConfig cfg;
-  cfg.n = o.n;
-  cfg.context = o.context;
-  cfg.fast = o.fast;
-  cfg.searchExtensions = o.extensions;
-  auto r = search::tuneSource(src, o.machine, cfg);
+std::string pathStem(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  std::string base = slash == std::string::npos ? path : path.substr(slash + 1);
+  size_t dot = base.find_last_of('.');
+  return dot == std::string::npos ? base : base.substr(0, dot);
+}
+
+int cmdTune(const std::string& path, const std::string& src, const Options& o) {
+  search::OrchestratorConfig oc;
+  oc.search = searchConfig(o);
+  oc.cachePath = o.cachePath;
+  oc.tracePath = o.tracePath;
+  std::string err;
+  search::Orchestrator orch(o.machine, oc, &err);
+  if (!err.empty()) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    return 1;
+  }
+  auto outcome = orch.tune({pathStem(path), src, nullptr});
+  const search::TuneResult& r = outcome.result;
   if (!r.ok) {
     std::fprintf(stderr, "tuning failed: %s\n", r.error.c_str());
     return 1;
@@ -211,8 +284,76 @@ int cmdTune(const std::string& src, const Options& o) {
   std::printf("ifko: %llu cycles (%.2fx over defaults, %d evaluations)\n",
               static_cast<unsigned long long>(r.bestCycles),
               r.speedupOverDefaults(), r.evaluations);
-  std::printf("best parameters: %s\n", r.best.str().c_str());
+  std::printf("best parameters: %s\n",
+              opt::formatTuningSpec(r.best).c_str());
+  if (!o.cachePath.empty())
+    std::printf("cache: %llu hits / %llu misses (%zu entries in %s)\n",
+                static_cast<unsigned long long>(outcome.cacheHits),
+                static_cast<unsigned long long>(outcome.cacheMisses),
+                orch.cache().size(), o.cachePath.c_str());
   return 0;
+}
+
+int cmdTuneAll(const std::string& dir, const Options& o) {
+  std::string err;
+  auto jobs = search::loadKernelDir(dir, &err);
+  if (jobs.empty()) {
+    std::fprintf(stderr, "tune-all: %s\n", err.c_str());
+    return 1;
+  }
+  search::OrchestratorConfig oc;
+  oc.search = searchConfig(o);
+  oc.cachePath = o.cachePath;
+  oc.tracePath = o.tracePath;
+  search::Orchestrator orch(o.machine, oc, &err);
+  if (!err.empty()) {
+    std::fprintf(stderr, "tune-all: %s\n", err.c_str());
+    return 1;
+  }
+
+  std::fprintf(stderr, "tuning %zu kernels on %s (jobs=%d)...\n", jobs.size(),
+               o.machine.name.c_str(), std::max(1, o.jobs));
+  auto batch = orch.tuneAll(jobs);
+
+  TextTable t;
+  t.setHeader({"kernel", "SV:WNT", "PF X", "PF Y", "UR:AE", "FKO cyc",
+               "ifko cyc", "speedup", "evals", "hit%", "sec"});
+  for (const auto& k : batch.kernels) {
+    const search::TuneResult& r = k.result;
+    if (!r.ok) {
+      t.addRow({k.name, "-", "-", "-", "-", "-", "-", "-", "-", "-",
+                fmtFixed(k.seconds, 2)});
+      continue;
+    }
+    auto row = search::paramsRow(r.best, r.analysis);
+    uint64_t lookups = k.cacheHits + k.cacheMisses;
+    double hitPct = lookups == 0 ? 0.0
+                                 : 100.0 * static_cast<double>(k.cacheHits) /
+                                       static_cast<double>(lookups);
+    t.addRow({k.name, row[0], row[1], row[2], row[3],
+              std::to_string(r.defaultCycles), std::to_string(r.bestCycles),
+              fmtFixed(r.speedupOverDefaults(), 2) + "x",
+              std::to_string(r.evaluations), fmtFixed(hitPct, 1),
+              fmtFixed(k.seconds, 2)});
+  }
+  std::fputs(t.str().c_str(), stdout);
+
+  std::printf("\n%zu kernels (%d failed) in %.2f s wall: %d evaluations, "
+              "cache %.1f%% hits (%llu/%llu)",
+              batch.kernels.size(), batch.failures(), batch.wallSeconds,
+              batch.evaluations, 100.0 * batch.hitRate(),
+              static_cast<unsigned long long>(batch.cacheHits),
+              static_cast<unsigned long long>(batch.cacheHits +
+                                              batch.cacheMisses));
+  if (!o.cachePath.empty())
+    std::printf(", %zu cached entries in %s", orch.cache().size(),
+                o.cachePath.c_str());
+  std::printf("\n");
+  for (const auto& k : batch.kernels)
+    if (!k.result.ok)
+      std::fprintf(stderr, "FAILED %s: %s\n", k.name.c_str(),
+                   k.result.error.c_str());
+  return batch.failures() == 0 ? 0 : 1;
 }
 
 int cmdSim(const std::string& src, const Options& o) {
@@ -243,18 +384,20 @@ int cmdSim(const std::string& src, const Options& o) {
 int main(int argc, char** argv) {
   if (argc < 3) return usage();
   std::string cmd = argv[1];
+  Options o = parseOptions(argc, argv, 3);
+  if (!o.ok) return 2;
+
+  if (cmd == "tune-all") return cmdTuneAll(argv[2], o);
+
   auto src = readFile(argv[2]);
   if (!src) {
     std::fprintf(stderr, "cannot read '%s'\n", argv[2]);
     return 1;
   }
-  Options o = parseOptions(argc, argv, 3);
-  if (!o.ok) return 2;
-
   if (cmd == "analyze") return cmdAnalyze(*src, o);
   if (cmd == "compile") return cmdCompile(*src, o, /*alsoRun=*/false);
   if (cmd == "run") return cmdCompile(*src, o, /*alsoRun=*/true);
-  if (cmd == "tune") return cmdTune(*src, o);
+  if (cmd == "tune") return cmdTune(argv[2], *src, o);
   if (cmd == "sim") return cmdSim(*src, o);
   return usage();
 }

@@ -11,17 +11,35 @@ namespace ifko::fko {
 CompileResult compileKernel(const std::string& hilSource,
                             const CompileOptions& options,
                             const arch::MachineConfig& machine) {
-  CompileResult result;
+  LoweredKernel lowered = lowerKernel(hilSource);
+  if (!lowered.ok) {
+    CompileResult result;
+    result.error = lowered.error;
+    return result;
+  }
+  return compileKernel(lowered.fn, options, machine);
+}
+
+LoweredKernel lowerKernel(const std::string& hilSource) {
+  LoweredKernel result;
   DiagnosticEngine diags;
   auto lowered = hil::compileHil(hilSource, diags);
   if (!lowered) {
     result.error = "front end: " + diags.str();
     return result;
   }
+  result.ok = true;
+  result.fn = std::move(*lowered);
+  return result;
+}
 
+CompileResult compileKernel(const ir::Function& lowered,
+                            const CompileOptions& options,
+                            const arch::MachineConfig& machine) {
+  CompileResult result;
   std::string err;
   auto transformed =
-      opt::applyFundamentalTransforms(*lowered, options.tuning, machine, &err);
+      opt::applyFundamentalTransforms(lowered, options.tuning, machine, &err);
   if (!transformed) {
     result.error = "fundamental transforms: " + err;
     return result;

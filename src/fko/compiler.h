@@ -41,6 +41,24 @@ struct CompileResult {
                                           const CompileOptions& options,
                                           const arch::MachineConfig& machine);
 
+/// The front end's output, reusable across many compiles of the same
+/// source.  The empirical search compiles one kernel hundreds of times with
+/// different tuning parameters; lowering is parameter-independent, so the
+/// search lowers once and feeds the result to the overload below.
+struct LoweredKernel {
+  bool ok = false;
+  std::string error;
+  ir::Function fn;
+};
+
+[[nodiscard]] LoweredKernel lowerKernel(const std::string& hilSource);
+
+/// Compiles from an already-lowered kernel (transforms onward).  `lowered`
+/// is copied, never mutated, so one LoweredKernel serves concurrent calls.
+[[nodiscard]] CompileResult compileKernel(const ir::Function& lowered,
+                                          const CompileOptions& options,
+                                          const arch::MachineConfig& machine);
+
 /// Per-array analysis relayed to the search.
 struct ArrayReport {
   std::string name;

@@ -725,22 +725,4 @@ std::optional<ir::Function> applyFundamentalTransforms(
   return LoopXform(lowered, params, machine).run(error);
 }
 
-std::string TuningParams::str() const {
-  std::string s = "SV=" + std::string(simdVectorize ? "Y" : "N") +
-                  " UR=" + std::to_string(unroll) +
-                  " AE=" + std::to_string(accumExpand) +
-                  " WNT=" + std::string(nonTemporalWrites ? "Y" : "N") +
-                  " LC=" + std::string(optimizeLoopControl ? "Y" : "N");
-  if (blockFetch) s += " BF=Y";
-  if (ciscIndexing) s += " CISC=Y";
-  for (const auto& [name, p] : prefetch) {
-    s += " PF(" + name + ")=";
-    if (!p.enabled)
-      s += "none";
-    else
-      s += std::string(ir::prefName(p.kind)) + ":" + std::to_string(p.distBytes);
-  }
-  return s;
-}
-
 }  // namespace ifko::opt

@@ -1,0 +1,156 @@
+// TuningSpec: canonical, round-trippable serialization of TuningParams.
+#include "opt/params.h"
+
+#include <climits>
+#include <cstdlib>
+
+#include "support/str.h"
+
+namespace ifko::opt {
+
+namespace {
+
+const char* yn(bool b) { return b ? "Y" : "N"; }
+
+bool parseBool(std::string_view v, bool* out) {
+  if (v == "Y" || v == "y" || v == "1" || v == "yes" || v == "true") {
+    *out = true;
+    return true;
+  }
+  if (v == "N" || v == "n" || v == "0" || v == "no" || v == "false") {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+/// Strict decimal parse: the whole token must be digits (optional sign).
+bool parseInt(std::string_view v, int* out) {
+  if (v.empty()) return false;
+  std::string s(v);
+  char* end = nullptr;
+  long val = std::strtol(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size()) return false;
+  if (val < INT_MIN || val > INT_MAX) return false;
+  *out = static_cast<int>(val);
+  return true;
+}
+
+bool parsePrefKind(std::string_view v, ir::PrefKind* out) {
+  if (v == "nta") *out = ir::PrefKind::NTA;
+  else if (v == "t0") *out = ir::PrefKind::T0;
+  else if (v == "t1") *out = ir::PrefKind::T1;
+  else if (v == "w") *out = ir::PrefKind::W;
+  else return false;
+  return true;
+}
+
+}  // namespace
+
+std::string formatPref(const PrefParam& p) {
+  if (!p.enabled) return "none";
+  return std::string(ir::prefName(p.kind)) + ":" + std::to_string(p.distBytes);
+}
+
+std::string formatTuningSpec(const TuningParams& p) {
+  std::string s = std::string("sv=") + yn(p.simdVectorize) +
+                  " ur=" + std::to_string(p.unroll) +
+                  " lc=" + yn(p.optimizeLoopControl) +
+                  " ae=" + std::to_string(p.accumExpand) +
+                  " sched=" + (p.prefSched == PrefSched::Top ? "top" : "spread") +
+                  " wnt=" + yn(p.nonTemporalWrites) + " bf=" + yn(p.blockFetch) +
+                  " cisc=" + yn(p.ciscIndexing);
+  for (const auto& [name, pref] : p.prefetch)  // std::map: sorted by name
+    s += " pf(" + name + ")=" + formatPref(pref);
+  return s;
+}
+
+std::string TuningParams::str() const { return formatTuningSpec(*this); }
+
+TuningSpec parseTuningSpec(const std::string& text, const TuningParams& base) {
+  TuningSpec r;
+  r.params = base;
+  auto fail = [&](const std::string& msg) {
+    r.ok = false;
+    r.error = msg;
+    return r;
+  };
+
+  std::string norm = text;
+  for (char& c : norm)
+    if (c == ',' || c == '\t' || c == '\n' || c == '\r') c = ' ';
+
+  for (const std::string& token : split(norm, ' ')) {
+    if (token.empty()) continue;
+    size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0)
+      return fail("expected key=value, got '" + token + "'");
+    std::string key = token.substr(0, eq);
+    std::string val = token.substr(eq + 1);
+
+    auto boolField = [&](bool* field) -> bool {
+      if (parseBool(val, field)) return true;
+      r.error = "bad boolean for '" + key + "': '" + val + "'";
+      return false;
+    };
+    auto countField = [&](int* field) -> bool {
+      int v = 0;
+      if (!parseInt(val, &v) || v < 1) {
+        r.error = "bad count for '" + key + "' (want integer >= 1): '" + val +
+                  "'";
+        return false;
+      }
+      *field = v;
+      return true;
+    };
+
+    TuningParams& p = r.params;
+    if (key == "sv") {
+      if (!boolField(&p.simdVectorize)) return r;
+    } else if (key == "lc") {
+      if (!boolField(&p.optimizeLoopControl)) return r;
+    } else if (key == "wnt") {
+      if (!boolField(&p.nonTemporalWrites)) return r;
+    } else if (key == "bf") {
+      if (!boolField(&p.blockFetch)) return r;
+    } else if (key == "cisc") {
+      if (!boolField(&p.ciscIndexing)) return r;
+    } else if (key == "ur") {
+      if (!countField(&p.unroll)) return r;
+    } else if (key == "ae") {
+      if (!countField(&p.accumExpand)) return r;
+    } else if (key == "sched") {
+      if (val == "spread") p.prefSched = PrefSched::Spread;
+      else if (val == "top") p.prefSched = PrefSched::Top;
+      else return fail("bad sched (want spread|top): '" + val + "'");
+    } else if (startsWith(key, "pf(") && key.back() == ')') {
+      std::string name = key.substr(3, key.size() - 4);
+      if (name.empty()) return fail("empty array name in '" + key + "'");
+      PrefParam pref;  // disabled entries reset to the canonical NTA:0
+      if (val != "none") {
+        size_t colon = val.find(':');
+        if (colon == std::string::npos)
+          return fail("bad prefetch for '" + name +
+                      "' (want none or KIND:DIST): '" + val + "'");
+        std::string kind = val.substr(0, colon);
+        std::string dist = val.substr(colon + 1);
+        if (!parsePrefKind(kind, &pref.kind))
+          return fail("unknown prefetch kind '" + kind + "' for '" + name +
+                      "' (want nta|t0|t1|w)");
+        int d = 0;
+        if (!parseInt(dist, &d) || d < 0)
+          return fail("bad prefetch distance for '" + name +
+                      "' (want integer >= 0): '" + dist + "'");
+        pref.enabled = true;
+        pref.distBytes = d;
+      }
+      p.prefetch[name] = pref;
+    } else {
+      return fail("unknown tuning key '" + key + "'");
+    }
+  }
+  r.ok = true;
+  return r;
+}
+
+}  // namespace ifko::opt

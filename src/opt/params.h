@@ -57,7 +57,54 @@ struct TuningParams {
 
   friend bool operator==(const TuningParams&, const TuningParams&) = default;
 
+  /// Alias for formatTuningSpec(*this).
   [[nodiscard]] std::string str() const;
 };
+
+// --- TuningSpec: the one serialization of TuningParams ----------------------
+//
+// A tuning spec is a whitespace- or comma-separated list of assignments:
+//
+//   spec   := assign (("," | ws)+ assign)*
+//   assign := key "=" value
+//   key    := "sv" | "ur" | "lc" | "ae" | "sched" | "wnt" | "bf" | "cisc"
+//           | "pf(" ARRAY ")"
+//   value  := bool for sv/lc/wnt/bf/cisc   (Y|N|1|0|yes|no|true|false)
+//           | int >= 1 for ur/ae
+//           | "spread" | "top" for sched
+//           | ("none" | KIND ":" DIST) for pf(...), KIND in nta|t0|t1|w,
+//             DIST a byte count >= 0
+//
+// formatTuningSpec renders the canonical form: every scalar field explicit,
+// fixed order, lowercase keys, prefetch entries sorted by array name —
+//
+//   sv=Y ur=4 lc=Y ae=1 sched=spread wnt=N bf=N cisc=N pf(X)=nta:128
+//
+// This exact string is what the driver flags parse into, what
+// search::paramsRow renders from, what the persistent evaluation cache keys
+// on, and what the trace events carry — one serialization, four call sites.
+// A disabled prefetch entry canonicalizes to "none" (its stale kind/distance
+// are not round-tripped; they are meaningless while disabled).
+
+/// Result of parseTuningSpec.
+struct TuningSpec {
+  bool ok = false;
+  std::string error;
+  TuningParams params;
+};
+
+/// Canonical single-line rendering of `params` (grammar above).
+[[nodiscard]] std::string formatTuningSpec(const TuningParams& params);
+
+/// Renders one prefetch setting: "none" or "KIND:DIST" (e.g. "nta:128") —
+/// the shared piece behind formatTuningSpec and search::paramsRow cells.
+[[nodiscard]] std::string formatPref(const PrefParam& p);
+
+/// Parses `text` as a sequence of assignments applied on top of `base`
+/// (defaults when omitted), so a partial spec like "ur=8" is valid.  Strictly
+/// validating: non-numeric counts, unknown keys/kinds, and out-of-range
+/// values are errors, never silently zero.
+[[nodiscard]] TuningSpec parseTuningSpec(const std::string& text,
+                                         const TuningParams& base = {});
 
 }  // namespace ifko::opt

@@ -1,0 +1,136 @@
+#include "search/evalcache.h"
+
+#include <fstream>
+
+#include "support/json.h"
+
+namespace ifko::search {
+
+std::string EvalKey::str() const {
+  // '|' never occurs in a hash, machine/context name, or TuningSpec string.
+  return sourceHash + "|" + machine + "|" + context + "|" + std::to_string(n) +
+         "|" + std::to_string(seed) + "|" + std::to_string(testerN) + "|" +
+         params;
+}
+
+EvalCache::~EvalCache() {
+  if (out_ != nullptr) std::fclose(out_);
+}
+
+bool EvalCache::open(const std::string& path, std::string* error) {
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+  {
+    std::ifstream in(path);
+    if (in) {
+      std::lock_guard<std::mutex> lock(mu_);
+      std::string line;
+      while (std::getline(in, line)) {
+        if (line.empty()) continue;
+        std::map<std::string, JsonValue> obj;
+        if (!parseJsonObject(line, &obj)) continue;  // skip damaged lines
+        auto str = [&](const char* k) -> const std::string* {
+          auto it = obj.find(k);
+          if (it == obj.end() || it->second.kind != JsonValue::Kind::String)
+            return nullptr;
+          return &it->second.string;
+        };
+        auto num = [&](const char* k, double* out) {
+          auto it = obj.find(k);
+          if (it == obj.end() || it->second.kind != JsonValue::Kind::Number)
+            return false;
+          *out = it->second.number;
+          return true;
+        };
+        const std::string* source = str("source");
+        const std::string* machine = str("machine");
+        const std::string* context = str("context");
+        const std::string* params = str("params");
+        double n = 0, seed = 0, testerN = 0, cycles = 0;
+        if (source == nullptr || machine == nullptr || context == nullptr ||
+            params == nullptr || !num("n", &n) || !num("seed", &seed) ||
+            !num("tester_n", &testerN) || !num("cycles", &cycles))
+          continue;
+        EvalKey key{*source,
+                    *machine,
+                    *context,
+                    static_cast<int64_t>(n),
+                    static_cast<uint64_t>(seed),
+                    static_cast<int64_t>(testerN),
+                    *params};
+        map_[key.str()] = static_cast<uint64_t>(cycles);
+      }
+      if (in.bad()) return fail("error reading cache file '" + path + "'");
+    }
+  }
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr)
+    return fail("cannot open cache file '" + path + "' for appending");
+  std::lock_guard<std::mutex> lock(mu_);
+  if (out_ != nullptr) std::fclose(out_);
+  out_ = f;
+  return true;
+}
+
+std::optional<uint64_t> EvalCache::lookup(const EvalKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key.str());
+  if (it == map_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return it->second;
+}
+
+void EvalCache::insert(const EvalKey& key, uint64_t cycles) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = map_.emplace(key.str(), cycles);
+  if (!inserted) return;
+  if (out_ == nullptr) return;
+  JsonWriter w;
+  w.field("source", key.sourceHash)
+      .field("machine", key.machine)
+      .field("context", key.context)
+      .field("n", key.n)
+      .field("seed", key.seed)
+      .field("tester_n", key.testerN)
+      .field("params", key.params)
+      .field("cycles", cycles);
+  // One whole line per fputs + flush: an interrupted run can only ever
+  // truncate the final line, which load() skips.
+  std::fputs((w.str() + "\n").c_str(), out_);
+  std::fflush(out_);
+}
+
+size_t EvalCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+uint64_t EvalCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+uint64_t EvalCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+double EvalCache::hitRate() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = hits_ + misses_;
+  return total == 0 ? 0.0
+                    : static_cast<double>(hits_) / static_cast<double>(total);
+}
+
+void EvalCache::resetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace ifko::search

@@ -1,0 +1,81 @@
+// Persistent, content-addressed memo of candidate evaluations.
+//
+// Empirical search pays for portability with turnaround time: the line
+// search re-times hundreds of candidates per kernel, and the restricted
+// (UR, AE) refinement and repeated `tune` runs revisit many of them.  The
+// simulator is deterministic, so an evaluation is a pure function of its
+// EvalKey — which makes every result safe to memoize forever.
+//
+// Persistence is a JSONL file: one flat object per line, loaded wholesale
+// at open() and appended (one whole line per insert, under a lock, flushed)
+// as the search runs, so a killed run loses at most the line being written
+// and concurrent readers always see complete records.  Malformed lines are
+// skipped on load, never fatal: a truncated tail from a crash only costs
+// those entries.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace ifko::search {
+
+/// Identity of one evaluation: everything the deterministic result depends
+/// on.  `sourceHash` is ifko::hashHex of the HIL source text; `params` is
+/// the canonical opt::formatTuningSpec string; `testerN` is included
+/// because a tester-rejected candidate records 0 cycles, and rejection
+/// depends on the tester length.
+struct EvalKey {
+  std::string sourceHash;
+  std::string machine;
+  std::string context;  ///< sim::contextName: "out-of-cache" | "in-L2"
+  int64_t n = 0;
+  uint64_t seed = 0;
+  int64_t testerN = 0;
+  std::string params;
+
+  /// Canonical joined form, the in-memory map key.
+  [[nodiscard]] std::string str() const;
+};
+
+/// Thread-safe evaluation memo with optional JSONL persistence.
+class EvalCache {
+ public:
+  EvalCache() = default;
+  ~EvalCache();
+  EvalCache(const EvalCache&) = delete;
+  EvalCache& operator=(const EvalCache&) = delete;
+
+  /// Attaches a persistence file: loads every well-formed line, then opens
+  /// it for appending.  Returns false (with *error) when the file exists
+  /// but cannot be read, or cannot be opened for appending; the cache then
+  /// stays memory-only.
+  bool open(const std::string& path, std::string* error = nullptr);
+
+  /// Returns the memoized cycles, counting a hit or miss.
+  [[nodiscard]] std::optional<uint64_t> lookup(const EvalKey& key);
+
+  /// Records `cycles` (0 = candidate failed) and appends it to the
+  /// persistence file when one is attached.  Re-inserting an existing key
+  /// is a no-op (no duplicate line is written).
+  void insert(const EvalKey& key, uint64_t cycles);
+
+  [[nodiscard]] size_t size() const;
+  [[nodiscard]] uint64_t hits() const;
+  [[nodiscard]] uint64_t misses() const;
+  /// hits / (hits + misses); 0 when nothing was looked up.
+  [[nodiscard]] double hitRate() const;
+  void resetStats();
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, uint64_t> map_;
+  std::FILE* out_ = nullptr;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace ifko::search

@@ -37,6 +37,19 @@ std::vector<int> distGrid(bool fast) {
 
 }  // namespace
 
+std::string_view evalStatusName(EvalOutcome::Status s) {
+  switch (s) {
+    case EvalOutcome::Status::Timed: return "timed";
+    case EvalOutcome::Status::CompileFail: return "compile_fail";
+    case EvalOutcome::Status::TesterFail: return "tester_fail";
+    case EvalOutcome::Status::Cached: return "cached";
+  }
+  return "?";
+}
+
+void Evaluator::onDimensionEnd(const std::string&, uint64_t,
+                               const opt::TuningParams&) {}
+
 opt::TuningParams fkoDefaults(const fko::AnalysisReport& report,
                               const arch::MachineConfig& machine) {
   TuningParams p;
@@ -82,8 +95,7 @@ std::vector<std::string> paramsRow(const opt::TuningParams& params,
     if (!exists) return "n/a:0";
     auto it = params.prefetch.find(name);
     if (it == params.prefetch.end() || !it->second.enabled) return "none:0";
-    return std::string(ir::prefName(it->second.kind)) + ":" +
-           std::to_string(it->second.distBytes);
+    return opt::formatPref(it->second);
   };
   row.push_back(prefCell("X"));
   row.push_back(prefCell("Y"));
@@ -92,14 +104,95 @@ std::vector<std::string> paramsRow(const opt::TuningParams& params,
   return row;
 }
 
+EvalOutcome evaluateCandidate(const std::string& hilSource,
+                              const fko::LoweredKernel& lowered,
+                              const kernels::KernelSpec* spec,
+                              const fko::AnalysisReport& analysis,
+                              const arch::MachineConfig& machine,
+                              const SearchConfig& config,
+                              const opt::TuningParams& params) {
+  if (!lowered.ok) return {0, EvalOutcome::Status::CompileFail};
+  fko::CompileOptions opts;
+  opts.tuning = params;
+  auto compiled = fko::compileKernel(lowered.fn, opts, machine);
+  if (!compiled.ok) return {0, EvalOutcome::Status::CompileFail};
+  if (config.testerN > 0) {
+    bool pass =
+        spec != nullptr
+            ? kernels::testKernel(*spec, compiled.fn, config.testerN).ok
+            : fko::testAgainstUnoptimized(hilSource, compiled.fn,
+                                          config.testerN)
+                  .ok;
+    if (!pass) return {0, EvalOutcome::Status::TesterFail};
+  }
+  uint64_t cycles;
+  if (spec != nullptr) {
+    cycles = sim::timeKernel(machine, compiled.fn, *spec, config.n,
+                             config.context, config.seed)
+                 .cycles;
+  } else {
+    int64_t strideElems = 1;
+    for (const auto& a : analysis.arrays)
+      strideElems = std::max(strideElems, a.strideElems);
+    cycles = fko::timeCompiled(machine, compiled.fn, config.n, config.context,
+                               config.seed, strideElems)
+                 .cycles;
+  }
+  return {cycles, EvalOutcome::Status::Timed};
+}
+
 namespace {
 
-class LineSearch {
+/// The built-in backend: evaluates in order on the calling thread, memoized
+/// on the canonical TuningSpec string for the lifetime of one search.
+class SerialEvaluator final : public Evaluator {
  public:
-  LineSearch(std::string source, const kernels::KernelSpec* spec,
-             const arch::MachineConfig& machine, const SearchConfig& config)
+  SerialEvaluator(std::string source, const kernels::KernelSpec* spec,
+                  const arch::MachineConfig& machine,
+                  const SearchConfig& config)
       : source_(std::move(source)), spec_(spec), machine_(machine),
-        config_(config) {}
+        config_(config), analysis_(fko::analyzeKernel(source_, machine)),
+        lowered_(fko::lowerKernel(source_)) {}
+
+  std::vector<EvalOutcome> evaluateBatch(
+      const std::vector<opt::TuningParams>& batch,
+      const std::string& /*dimension*/) override {
+    std::vector<EvalOutcome> out;
+    out.reserve(batch.size());
+    for (const TuningParams& params : batch) {
+      std::string key = opt::formatTuningSpec(params);
+      auto it = memo_.find(key);
+      if (it != memo_.end()) {
+        out.push_back({it->second, EvalOutcome::Status::Cached});
+        continue;
+      }
+      ++evaluations_;
+      EvalOutcome o = evaluateCandidate(source_, lowered_, spec_, analysis_,
+                                        machine_, config_, params);
+      memo_[key] = o.cycles;
+      out.push_back(o);
+    }
+    return out;
+  }
+
+  int evaluations() const override { return evaluations_; }
+
+ private:
+  std::string source_;
+  const kernels::KernelSpec* spec_;
+  const arch::MachineConfig& machine_;
+  const SearchConfig& config_;
+  fko::AnalysisReport analysis_;
+  fko::LoweredKernel lowered_;
+  std::map<std::string, uint64_t> memo_;
+  int evaluations_ = 0;
+};
+
+class LineSearchCore {
+ public:
+  LineSearchCore(const std::string& source, const arch::MachineConfig& machine,
+                 const SearchConfig& config, Evaluator& eval)
+      : source_(source), machine_(machine), config_(config), eval_(eval) {}
 
   TuneResult run() {
     TuneResult result;
@@ -110,28 +203,17 @@ class LineSearch {
     }
     const fko::AnalysisReport& rep = result.analysis;
 
-    analysis_ = rep;
     cur_ = fkoDefaults(rep, machine_);
     result.defaults = cur_;
-    uint64_t curCycles = evaluate(cur_);
-    if (curCycles == 0) {
+    curCycles_ = eval_.evaluateBatch({cur_}, "DEFAULTS")[0].cycles;
+    if (curCycles_ == 0) {
       result.error = "default parameters failed to compile/time";
+      result.evaluations = eval_.evaluations();
       return result;
     }
-    result.defaultCycles = curCycles;
+    result.defaultCycles = curCycles_;
 
     const int line = machine_.lineBytes();
-    auto sweep = [&](const std::string& dim,
-                     const std::vector<TuningParams>& candidates) {
-      for (const TuningParams& cand : candidates) {
-        uint64_t c = evaluate(cand);
-        if (c != 0 && c < curCycles) {
-          curCycles = c;
-          cur_ = cand;
-        }
-      }
-      ledger_.push_back({dim, curCycles});
-    };
 
     // --- WNT ------------------------------------------------------------------
     {
@@ -148,7 +230,8 @@ class LineSearch {
 
     // --- PF distance: a 1-D sweep per array, committed sequentially, with
     // a second round since the arrays' distances interact through the bus
-    // (the paper's relaxation of strict 1-D searches).
+    // (the paper's relaxation of strict 1-D searches).  Within one array's
+    // grid the candidates are mutually independent, so they form one batch.
     {
       int prefetchableArrays = 0;
       for (const auto& a : rep.arrays)
@@ -157,6 +240,7 @@ class LineSearch {
       for (int round = 0; round < rounds; ++round) {
         for (const auto& a : rep.arrays) {
           if (!a.prefetchable) continue;
+          std::vector<TuningParams> cands;
           for (int mult : distGrid(config_.fast)) {
             TuningParams t = cur_;
             PrefParam& pp = t.prefetch[a.name];
@@ -167,15 +251,12 @@ class LineSearch {
               pp.enabled = true;
               pp.distBytes = mult * line;
             }
-            uint64_t c = evaluate(t);
-            if (c != 0 && c < curCycles) {
-              curCycles = c;
-              cur_ = t;
-            }
+            cands.push_back(t);
           }
+          commit(cands, eval_.evaluateBatch(cands, "PF DST"));
         }
       }
-      ledger_.push_back({"PF DST", curCycles});
+      endDimension("PF DST");
     }
 
     // --- PF instruction kind (sequential per-array commits) ------------------
@@ -185,18 +266,16 @@ class LineSearch {
         auto it = cur_.prefetch.find(a.name);
         if (it == cur_.prefetch.end() || !it->second.enabled) continue;
         ir::PrefKind curKind = it->second.kind;
+        std::vector<TuningParams> cands;
         for (ir::PrefKind kind : rep.prefKinds) {
           if (kind == curKind) continue;
           TuningParams t = cur_;
           t.prefetch[a.name].kind = kind;
-          uint64_t c = evaluate(t);
-          if (c != 0 && c < curCycles) {
-            curCycles = c;
-            cur_ = t;
-          }
+          cands.push_back(t);
         }
+        commit(cands, eval_.evaluateBatch(cands, "PF INS"));
       }
-      ledger_.push_back({"PF INS", curCycles});
+      endDimension("PF INS");
     }
 
     // --- UR ---------------------------------------------------------------------
@@ -281,80 +360,66 @@ class LineSearch {
     }
 
     result.best = cur_;
-    result.bestCycles = curCycles;
+    result.bestCycles = curCycles_;
     result.ledger = ledger_;
-    result.evaluations = evaluations_;
+    result.evaluations = eval_.evaluations();
     result.ok = true;
     return result;
   }
 
  private:
-  /// Compile + test + time one candidate; memoized.  Returns 0 on failure.
-  uint64_t evaluate(const TuningParams& params) {
-    std::string key = params.str();
-    auto it = cache_.find(key);
-    if (it != cache_.end()) return it->second;
-    ++evaluations_;
-
-    fko::CompileOptions opts;
-    opts.tuning = params;
-    auto compiled = fko::compileKernel(source_, opts, machine_);
-    uint64_t cycles = 0;
-    if (compiled.ok) {
-      bool pass = true;
-      if (config_.testerN > 0) {
-        if (spec_ != nullptr) {
-          pass = kernels::testKernel(*spec_, compiled.fn, config_.testerN).ok;
-        } else {
-          pass = fko::testAgainstUnoptimized(source_, compiled.fn,
-                                             config_.testerN)
-                     .ok;
-        }
-      }
-      if (pass) {
-        uint64_t c;
-        if (spec_ != nullptr) {
-          c = sim::timeKernel(machine_, compiled.fn, *spec_, config_.n,
-                              config_.context, config_.seed)
-                  .cycles;
-        } else {
-          int64_t strideElems = 1;
-          for (const auto& a : analysis_.arrays)
-            strideElems = std::max(strideElems, a.strideElems);
-          c = fko::timeCompiled(machine_, compiled.fn, config_.n,
-                                config_.context, config_.seed, strideElems)
-                  .cycles;
-        }
-        cycles = c;
+  /// Scan the batch results in candidate order, committing every strict
+  /// improvement — identical to the serial sweep's running minimum.
+  void commit(const std::vector<TuningParams>& cands,
+              const std::vector<EvalOutcome>& outcomes) {
+    for (size_t i = 0; i < cands.size(); ++i) {
+      if (outcomes[i].cycles != 0 && outcomes[i].cycles < curCycles_) {
+        curCycles_ = outcomes[i].cycles;
+        cur_ = cands[i];
       }
     }
-    cache_[key] = cycles;
-    return cycles;
   }
 
-  std::string source_;
-  fko::AnalysisReport analysis_;
-  const kernels::KernelSpec* spec_;
+  void endDimension(const std::string& dim) {
+    ledger_.push_back({dim, curCycles_});
+    eval_.onDimensionEnd(dim, curCycles_, cur_);
+  }
+
+  void sweep(const std::string& dim, const std::vector<TuningParams>& cands) {
+    if (!cands.empty()) commit(cands, eval_.evaluateBatch(cands, dim));
+    endDimension(dim);
+  }
+
+  const std::string& source_;
   const arch::MachineConfig& machine_;
   const SearchConfig& config_;
+  Evaluator& eval_;
   TuningParams cur_;
+  uint64_t curCycles_ = 0;
   std::vector<DimensionResult> ledger_;
-  std::map<std::string, uint64_t> cache_;
-  int evaluations_ = 0;
 };
 
 }  // namespace
 
+TuneResult runLineSearch(const std::string& hilSource,
+                         const arch::MachineConfig& machine,
+                         const SearchConfig& config, Evaluator& evaluator) {
+  return LineSearchCore(hilSource, machine, config, evaluator).run();
+}
+
 TuneResult tuneKernel(const kernels::KernelSpec& spec,
                       const arch::MachineConfig& machine,
                       const SearchConfig& config) {
-  return LineSearch(spec.hilSource(), &spec, machine, config).run();
+  std::string source = spec.hilSource();
+  SerialEvaluator eval(source, &spec, machine, config);
+  return runLineSearch(source, machine, config, eval);
 }
 
 TuneResult tuneSource(const std::string& hilSource,
                       const arch::MachineConfig& machine,
                       const SearchConfig& config) {
-  return LineSearch(hilSource, nullptr, machine, config).run();
+  SerialEvaluator eval(hilSource, nullptr, machine, config);
+  return runLineSearch(hilSource, machine, config, eval);
 }
 
 }  // namespace ifko::search

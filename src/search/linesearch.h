@@ -12,6 +12,14 @@
 // refinement of the strongly-interacting (UR, AE) pair.  Every candidate is
 // timed on the simulated machine and checked by the tester ("unnecessary in
 // theory, but useful in practice").
+//
+// The search core is parameterized over an evaluation backend (Evaluator):
+// each dimension hands its mutually independent candidates over as one
+// batch, which is what lets search::Orchestrator fan evaluations out to a
+// worker thread pool, memoize them in a persistent cache, and trace them —
+// without the search logic knowing.  Batching does not change the result:
+// the committed point is the earliest strict improvement, exactly what the
+// serial scan picks.
 #pragma once
 
 #include <cstdint>
@@ -32,18 +40,36 @@ struct SearchConfig {
   uint64_t seed = 42;
   /// Verify each candidate's output at this length (0 disables the tester).
   int64_t testerN = 256;
-  /// Reduced grids for smoke tests.
+  /// Worker threads for candidate evaluation under search::Orchestrator
+  /// (the built-in serial evaluator ignores it).  Any value produces
+  /// identical results; it only changes turnaround.
+  int jobs = 1;
+  /// Reduced grids for smoke tests.  Deprecated alias kept for one release:
+  /// prefer SearchConfig::smoke(), which also shrinks N and the tester.
   bool fast = false;
   /// Also search the extension transforms (block fetch, CISC indexing) the
   /// paper lists as planned work.  Off by default so Table 3 matches the
   /// evaluated FKO.
   bool searchExtensions = false;
+
+  /// Named constructor for smoke-test scale: reduced sweep grids, small
+  /// problem size (4096) and tester length (64).  Replaces bare `fast=true`.
+  [[nodiscard]] static SearchConfig smoke() {
+    SearchConfig c;
+    c.fast = true;
+    c.n = 4096;
+    c.testerN = 64;
+    return c;
+  }
 };
 
 /// One completed line-search dimension, for the Figure 7 ledger.
 struct DimensionResult {
   std::string name;      ///< "WNT", "PF DST", "PF INS", "UR", "AE", "UR*AE"
   uint64_t cyclesAfter;  ///< best cycles once this dimension was tuned
+
+  friend bool operator==(const DimensionResult&,
+                         const DimensionResult&) = default;
 };
 
 struct TuneResult {
@@ -63,6 +89,59 @@ struct TuneResult {
                                  static_cast<double>(bestCycles);
   }
 };
+
+/// Outcome of evaluating one candidate parameter set.  cycles == 0 means
+/// the candidate is unusable (failed to compile or rejected by the tester).
+struct EvalOutcome {
+  enum class Status : uint8_t { Timed, CompileFail, TesterFail, Cached };
+  uint64_t cycles = 0;
+  Status status = Status::Timed;
+};
+
+/// Trace-friendly name: "timed", "compile_fail", "tester_fail", "cached".
+[[nodiscard]] std::string_view evalStatusName(EvalOutcome::Status s);
+
+/// Evaluation backend for the search core.
+class Evaluator {
+ public:
+  virtual ~Evaluator() = default;
+  /// Evaluates batch[i] -> result[i].  `dimension` names the current search
+  /// dimension ("DEFAULTS", "WNT", "PF DST", ...) for tracing backends.
+  [[nodiscard]] virtual std::vector<EvalOutcome> evaluateBatch(
+      const std::vector<opt::TuningParams>& batch,
+      const std::string& dimension) = 0;
+  /// Real (non-memoized) compile+test+time evaluations performed so far.
+  [[nodiscard]] virtual int evaluations() const = 0;
+  /// Called when a dimension's sweep finishes, with its committed best.
+  virtual void onDimensionEnd(const std::string& dimension,
+                              uint64_t bestCycles,
+                              const opt::TuningParams& best);
+};
+
+/// Compile + differential-test + time one candidate.  A pure function of
+/// its arguments (the simulator is deterministic and side-effect-free), so
+/// it is safe to call concurrently from worker threads.  `lowered` is the
+/// front end's output for `hilSource` (fko::lowerKernel) — callers lower
+/// once per kernel, not once per candidate.  `spec` may be null: generic
+/// kernels are then checked against their own unoptimized lowering
+/// (fko::testAgainstUnoptimized) instead of a reference BLAS.
+[[nodiscard]] EvalOutcome evaluateCandidate(const std::string& hilSource,
+                                            const fko::LoweredKernel& lowered,
+                                            const kernels::KernelSpec* spec,
+                                            const fko::AnalysisReport& analysis,
+                                            const arch::MachineConfig& machine,
+                                            const SearchConfig& config,
+                                            const opt::TuningParams& params);
+
+/// The search core, parameterized over the evaluation backend.  tuneKernel
+/// and tuneSource wrap it with the built-in serial memoizing evaluator;
+/// search::Orchestrator supplies a parallel, cached, tracing one.  (How a
+/// candidate is checked — reference BLAS or differential — is the
+/// evaluator's concern, so no KernelSpec appears here.)
+[[nodiscard]] TuneResult runLineSearch(const std::string& hilSource,
+                                       const arch::MachineConfig& machine,
+                                       const SearchConfig& config,
+                                       Evaluator& evaluator);
 
 /// FKO's default parameters for this kernel/machine (no search).
 [[nodiscard]] opt::TuningParams fkoDefaults(const fko::AnalysisReport& report,
@@ -90,7 +169,9 @@ struct TuneResult {
                                   const opt::TuningParams& params,
                                   const SearchConfig& config);
 
-/// Table 3 style row: "Y:N  nta:1024  none:0  4:2".
+/// Table 3 style row: "Y:N  nta:1024  none:0  4:2".  The prefetch cells are
+/// rendered by opt::formatPref — the same serialization the TuningSpec
+/// grammar, the evaluation cache key, and the trace events use.
 [[nodiscard]] std::vector<std::string> paramsRow(
     const opt::TuningParams& params, const fko::AnalysisReport& analysis);
 

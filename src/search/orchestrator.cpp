@@ -1,0 +1,350 @@
+#include "search/orchestrator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+
+#include "support/hash.h"
+#include "support/json.h"
+
+namespace ifko::search {
+
+namespace detail {
+
+/// Fixed-size worker pool executing index-space batches.  The orchestrator
+/// thread blocks until a batch drains; workers persist across batches.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int threads) {
+    for (int i = 0; i < std::max(0, threads); ++i)
+      workers_.emplace_back([this] { workerLoop(); });
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  /// Runs fn(0) .. fn(count-1) across the workers; returns when all have.
+  void parallelFor(size_t count, const std::function<void(size_t)>& fn) {
+    if (count == 0) return;
+    if (workers_.empty() || count == 1) {
+      for (size_t i = 0; i < count; ++i) fn(i);
+      return;
+    }
+    std::mutex doneMu;
+    std::condition_variable doneCv;
+    size_t done = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (size_t i = 0; i < count; ++i)
+        queue_.push_back([&, i] {
+          fn(i);
+          {
+            std::lock_guard<std::mutex> dl(doneMu);
+            ++done;
+          }
+          doneCv.notify_one();
+        });
+    }
+    cv_.notify_all();
+    std::unique_lock<std::mutex> dl(doneMu);
+    doneCv.wait(dl, [&] { return done == count; });
+  }
+
+ private:
+  void workerLoop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        if (stop_ && queue_.empty()) return;
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+};
+
+}  // namespace detail
+
+/// The orchestrated backend: consults the shared EvalCache, fans cache
+/// misses out to the pool, and emits candidate/dimension trace events.
+/// Lookups, inserts, and trace writes all happen on the orchestrator
+/// thread; workers only run the pure evaluateCandidate.
+class OrchestratedEvaluator final : public Evaluator {
+ public:
+  OrchestratedEvaluator(Orchestrator& orch, const KernelJob& job)
+      : orch_(orch), job_(job),
+        analysis_(fko::analyzeKernel(job.hilSource, orch.machine_)),
+        lowered_(fko::lowerKernel(job.hilSource)),
+        baseKey_{hashHex(job.hilSource),
+                 orch.machine_.name,
+                 std::string(sim::contextName(orch.config_.search.context)),
+                 orch.config_.search.n,
+                 orch.config_.search.seed,
+                 orch.config_.search.testerN,
+                 /*params=*/""} {}
+
+  std::vector<EvalOutcome> evaluateBatch(
+      const std::vector<opt::TuningParams>& batch,
+      const std::string& dimension) override {
+    if (dimension != lastDim_) {
+      lastDim_ = dimension;
+      JsonWriter w;
+      w.field("event", "dimension_start")
+          .field("kernel", job_.name)
+          .field("dim", dimension);
+      orch_.trace(w.str());
+    }
+
+    const size_t count = batch.size();
+    std::vector<EvalOutcome> out(count);
+    std::vector<std::string> specs(count);
+    std::vector<bool> hit(count, false);
+    // Cache pre-pass; first occurrence of each missing key gets evaluated,
+    // duplicates (none in practice — the sweeps build distinct candidates)
+    // copy its result.
+    std::vector<size_t> missIdx;
+    std::unordered_map<std::string, size_t> firstMiss;
+    std::vector<size_t> copyFrom(count, SIZE_MAX);
+    for (size_t i = 0; i < count; ++i) {
+      specs[i] = opt::formatTuningSpec(batch[i]);
+      auto cached = orch_.cache_.lookup(keyFor(specs[i]));
+      if (cached.has_value()) {
+        out[i] = {*cached, EvalOutcome::Status::Cached};
+        hit[i] = true;
+        continue;
+      }
+      auto [it, inserted] = firstMiss.emplace(specs[i], i);
+      if (inserted) missIdx.push_back(i);
+      else copyFrom[i] = it->second;
+    }
+
+    const SearchConfig& cfg = orch_.config_.search;
+    auto evalOne = [&](size_t k) {
+      size_t i = missIdx[k];
+      out[i] = evaluateCandidate(job_.hilSource, lowered_, job_.spec,
+                                 analysis_, orch_.machine_, cfg, batch[i]);
+    };
+    if (orch_.pool_ != nullptr) {
+      orch_.pool_->parallelFor(missIdx.size(), evalOne);
+    } else {
+      for (size_t k = 0; k < missIdx.size(); ++k) evalOne(k);
+    }
+
+    for (size_t i : missIdx) {
+      orch_.cache_.insert(keyFor(specs[i]), out[i].cycles);
+      ++evaluations_;
+    }
+    for (size_t i = 0; i < count; ++i)
+      if (copyFrom[i] != SIZE_MAX)
+        out[i] = {out[copyFrom[i]].cycles, EvalOutcome::Status::Cached};
+
+    if (orch_.trace_ != nullptr) {
+      for (size_t i = 0; i < count; ++i) {
+        JsonWriter w;
+        w.field("event", "candidate")
+            .field("kernel", job_.name)
+            .field("dim", dimension)
+            .field("params", specs[i])
+            .field("cycles", out[i].cycles)
+            .field("cache", hit[i] ? "hit" : "miss");
+        // Tester verdict.  A cached zero is some failure whose flavour the
+        // cache does not record.
+        if (out[i].status == EvalOutcome::Status::Cached)
+          w.field("verdict", out[i].cycles != 0 ? "pass" : "fail");
+        else
+          w.field("verdict", out[i].status == EvalOutcome::Status::Timed
+                                 ? "pass"
+                                 : evalStatusName(out[i].status));
+        orch_.trace(w.str());
+      }
+    }
+    return out;
+  }
+
+  int evaluations() const override { return evaluations_; }
+
+  void onDimensionEnd(const std::string& dimension, uint64_t bestCycles,
+                      const opt::TuningParams& best) override {
+    JsonWriter w;
+    w.field("event", "dimension_end")
+        .field("kernel", job_.name)
+        .field("dim", dimension)
+        .field("best_cycles", bestCycles)
+        .field("best_params", opt::formatTuningSpec(best));
+    orch_.trace(w.str());
+  }
+
+ private:
+  EvalKey keyFor(const std::string& spec) const {
+    EvalKey k = baseKey_;
+    k.params = spec;
+    return k;
+  }
+
+  Orchestrator& orch_;
+  const KernelJob& job_;
+  fko::AnalysisReport analysis_;
+  fko::LoweredKernel lowered_;
+  EvalKey baseKey_;
+  std::string lastDim_;
+  int evaluations_ = 0;
+};
+
+Orchestrator::Orchestrator(const arch::MachineConfig& machine,
+                           OrchestratorConfig config, std::string* error)
+    : machine_(machine), config_(std::move(config)) {
+  std::string problems;
+  if (!config_.cachePath.empty()) {
+    std::string err;
+    if (!cache_.open(config_.cachePath, &err)) problems = err;
+  }
+  if (!config_.tracePath.empty()) {
+    trace_ = std::fopen(config_.tracePath.c_str(), "w");
+    if (trace_ == nullptr) {
+      if (!problems.empty()) problems += "; ";
+      problems += "cannot open trace file '" + config_.tracePath + "'";
+    }
+  }
+  if (config_.search.jobs > 1)
+    pool_ = std::make_unique<detail::ThreadPool>(config_.search.jobs);
+  if (error != nullptr) *error = problems;
+}
+
+Orchestrator::~Orchestrator() {
+  if (trace_ != nullptr) std::fclose(trace_);
+}
+
+void Orchestrator::trace(const std::string& jsonLine) {
+  if (trace_ == nullptr) return;
+  std::fputs((jsonLine + "\n").c_str(), trace_);
+}
+
+KernelOutcome Orchestrator::tune(const KernelJob& job) {
+  KernelOutcome outcome;
+  outcome.name = job.name;
+  const uint64_t hits0 = cache_.hits();
+  const uint64_t misses0 = cache_.misses();
+
+  {
+    JsonWriter w;
+    w.field("event", "kernel_start")
+        .field("kernel", job.name)
+        .field("machine", machine_.name)
+        .field("context", sim::contextName(config_.search.context))
+        .field("n", config_.search.n)
+        .field("jobs", std::max(1, config_.search.jobs));
+    trace(w.str());
+  }
+
+  auto t0 = std::chrono::steady_clock::now();
+  OrchestratedEvaluator eval(*this, job);
+  outcome.result = runLineSearch(job.hilSource, machine_, config_.search, eval);
+  outcome.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  outcome.cacheHits = cache_.hits() - hits0;
+  outcome.cacheMisses = cache_.misses() - misses0;
+
+  {
+    JsonWriter w;
+    w.field("event", "kernel_end")
+        .field("kernel", job.name)
+        .field("ok", outcome.result.ok);
+    if (outcome.result.ok) {
+      w.field("default_cycles", outcome.result.defaultCycles)
+          .field("best_cycles", outcome.result.bestCycles)
+          .field("best_params", opt::formatTuningSpec(outcome.result.best))
+          .field("speedup", outcome.result.speedupOverDefaults())
+          .field("evaluations", outcome.result.evaluations);
+    } else {
+      w.field("error", outcome.result.error);
+    }
+    w.field("cache_hits", outcome.cacheHits)
+        .field("cache_misses", outcome.cacheMisses)
+        .field("seconds", outcome.seconds);
+    trace(w.str());
+  }
+  if (trace_ != nullptr) std::fflush(trace_);
+  return outcome;
+}
+
+BatchOutcome Orchestrator::tuneAll(const std::vector<KernelJob>& jobs) {
+  BatchOutcome batch;
+  auto t0 = std::chrono::steady_clock::now();
+  for (const KernelJob& job : jobs) {
+    batch.kernels.push_back(tune(job));
+    const KernelOutcome& o = batch.kernels.back();
+    batch.cacheHits += o.cacheHits;
+    batch.cacheMisses += o.cacheMisses;
+    batch.evaluations += o.result.evaluations;
+  }
+  batch.wallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  JsonWriter w;
+  w.field("event", "batch_end")
+      .field("kernels", static_cast<int64_t>(batch.kernels.size()))
+      .field("failures", batch.failures())
+      .field("evaluations", batch.evaluations)
+      .field("cache_hits", batch.cacheHits)
+      .field("cache_misses", batch.cacheMisses)
+      .field("hit_rate", batch.hitRate())
+      .field("seconds", batch.wallSeconds);
+  trace(w.str());
+  if (trace_ != nullptr) std::fflush(trace_);
+  return batch;
+}
+
+std::vector<KernelJob> loadKernelDir(const std::string& dir,
+                                     std::string* error) {
+  namespace fs = std::filesystem;
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return std::vector<KernelJob>{};
+  };
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) return fail("'" + dir + "' is not a directory");
+
+  std::vector<fs::path> paths;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".hil")
+      paths.push_back(entry.path());
+  }
+  if (ec) return fail("cannot list '" + dir + "': " + ec.message());
+  if (paths.empty()) return fail("no .hil files in '" + dir + "'");
+  std::sort(paths.begin(), paths.end());
+
+  std::vector<KernelJob> jobs;
+  for (const auto& p : paths) {
+    std::ifstream in(p);
+    if (!in) return fail("cannot read '" + p.string() + "'");
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    jobs.push_back({p.stem().string(), ss.str(), nullptr});
+  }
+  return jobs;
+}
+
+}  // namespace ifko::search

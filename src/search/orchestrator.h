@@ -1,0 +1,124 @@
+// Parallel batch-tuning orchestrator: the evaluation loop as a service.
+//
+// The paper's empirical search pays a turnaround tax — hundreds of
+// compile+test+time evaluations per kernel, serial in the original iFKO.
+// The simulated evaluation is deterministic and side-effect-free (each
+// candidate gets its own compile pipeline and sim::Memory), so independent
+// candidates can fan out to a worker thread pool, every result can be
+// memoized in a persistent content-addressed cache (evalcache.h), and the
+// whole search can emit a structured JSONL event trace — none of which
+// changes the chosen parameters: jobs=N, warm or cold, reproduces the
+// serial search bit for bit.
+//
+// Trace event schema (one flat JSON object per line; see docs/TUNING.md):
+//   kernel_start    kernel, machine, context, n, jobs
+//   dimension_start kernel, dim
+//   candidate       kernel, dim, params, cycles, cache (hit|miss),
+//                   verdict (pass|compile_fail|tester_fail|fail)
+//   dimension_end   kernel, dim, best_cycles, best_params
+//   kernel_end      kernel, ok, [error] | [default_cycles, best_cycles,
+//                   best_params, speedup, evaluations], cache_hits,
+//                   cache_misses, seconds
+//   batch_end       kernels, failures, evaluations, cache_hits,
+//                   cache_misses, hit_rate, seconds
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/machine.h"
+#include "search/evalcache.h"
+#include "search/linesearch.h"
+
+namespace ifko::search {
+
+struct OrchestratorConfig {
+  SearchConfig search;    ///< search.jobs sizes the worker pool
+  std::string cachePath;  ///< persistent JSONL evaluation cache ("" = memory only)
+  std::string tracePath;  ///< JSONL event trace ("" = off); truncated per run
+};
+
+/// One kernel to tune.  When `spec` names a surveyed BLAS kernel its
+/// hand-written reference implementation checks the candidates; otherwise
+/// they are tested differentially against the unoptimized lowering.
+struct KernelJob {
+  std::string name;
+  std::string hilSource;
+  const kernels::KernelSpec* spec = nullptr;
+};
+
+struct KernelOutcome {
+  std::string name;
+  TuneResult result;
+  uint64_t cacheHits = 0;
+  uint64_t cacheMisses = 0;
+  double seconds = 0.0;
+};
+
+struct BatchOutcome {
+  std::vector<KernelOutcome> kernels;
+  uint64_t cacheHits = 0;
+  uint64_t cacheMisses = 0;
+  int evaluations = 0;  ///< real (uncached) compile+test+time evaluations
+  double wallSeconds = 0.0;
+
+  [[nodiscard]] double hitRate() const {
+    uint64_t total = cacheHits + cacheMisses;
+    return total == 0
+               ? 0.0
+               : static_cast<double>(cacheHits) / static_cast<double>(total);
+  }
+  [[nodiscard]] int failures() const {
+    int n = 0;
+    for (const auto& k : kernels) n += k.result.ok ? 0 : 1;
+    return n;
+  }
+};
+
+namespace detail {
+class ThreadPool;
+}
+
+/// Owns the worker pool, the evaluation cache, and the trace stream for a
+/// batch of tuning runs on one machine model.
+class Orchestrator {
+ public:
+  /// Opens the cache and trace files named by `config`.  File problems are
+  /// reported through *error (when given); the orchestrator stays usable
+  /// with the affected feature disabled, so callers decide severity.
+  Orchestrator(const arch::MachineConfig& machine, OrchestratorConfig config,
+               std::string* error = nullptr);
+  ~Orchestrator();
+  Orchestrator(const Orchestrator&) = delete;
+  Orchestrator& operator=(const Orchestrator&) = delete;
+
+  /// Tunes one kernel through the parallel cached evaluator.
+  [[nodiscard]] KernelOutcome tune(const KernelJob& job);
+
+  /// Tunes every job in order (candidate-level parallelism keeps the
+  /// per-kernel results independent of the batch composition).
+  [[nodiscard]] BatchOutcome tuneAll(const std::vector<KernelJob>& jobs);
+
+  [[nodiscard]] EvalCache& cache() { return cache_; }
+
+ private:
+  void trace(const std::string& jsonLine);
+
+  arch::MachineConfig machine_;
+  OrchestratorConfig config_;
+  EvalCache cache_;
+  std::unique_ptr<detail::ThreadPool> pool_;
+  std::FILE* trace_ = nullptr;
+
+  friend class OrchestratedEvaluator;
+};
+
+/// Loads every *.hil file in `dir` as a KernelJob (name = file stem),
+/// sorted by name.  Empty with *error set when the directory is missing,
+/// unreadable, or holds no .hil files.
+[[nodiscard]] std::vector<KernelJob> loadKernelDir(const std::string& dir,
+                                                   std::string* error);
+
+}  // namespace ifko::search

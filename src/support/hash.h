@@ -1,0 +1,35 @@
+// Stable content hashing for cache keys.
+//
+// The persistent evaluation cache (src/search/evalcache.h) keys on the HIL
+// source text, so the hash must be identical across runs, platforms, and
+// standard-library versions — std::hash guarantees none of that.  FNV-1a is
+// tiny, has no seed, and is more than strong enough for a few thousand
+// distinct kernel sources.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace ifko {
+
+/// 64-bit FNV-1a over the bytes of `s`.
+[[nodiscard]] constexpr uint64_t fnv1a(std::string_view s) {
+  uint64_t h = 14695981039346656037ull;
+  for (char c : s) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// fnv1a rendered as 16 lowercase hex digits (the cache's "source" field).
+[[nodiscard]] inline std::string hashHex(std::string_view s) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(fnv1a(s)));
+  return buf;
+}
+
+}  // namespace ifko

@@ -60,9 +60,7 @@ TEST(Complex, CaxpyCorrectAcrossTransforms) {
 }
 
 TEST(Complex, TunesEndToEnd) {
-  search::SearchConfig cfg;
-  cfg.n = 4096;
-  cfg.fast = true;
+  auto cfg = search::SearchConfig::smoke();
   auto r = search::tuneSource(kernels::caxpySource(ir::Scal::F32),
                               arch::p4e(), cfg);
   ASSERT_TRUE(r.ok) << r.error;

@@ -149,9 +149,8 @@ TEST(BlockFetch, BeatsPlainWntCopyOutOfCacheOnP4E) {
 
 TEST(SearchExtensions, LedgerGainsBfAndCiscDimensions) {
   KernelSpec spec{BlasOp::Copy, ir::Scal::F64};
-  search::SearchConfig cfg;
+  auto cfg = search::SearchConfig::smoke();
   cfg.n = 8192;
-  cfg.fast = true;
   cfg.searchExtensions = true;
   auto r = search::tuneKernel(spec, arch::p4e(), cfg);
   ASSERT_TRUE(r.ok) << r.error;

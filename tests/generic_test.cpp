@@ -110,9 +110,7 @@ TEST(Rot, CorrectAcrossTransformGrid) {
 
 TEST(Rot, TunesEndToEnd) {
   KernelSpec spec{BlasOp::Rot, ir::Scal::F64};
-  search::SearchConfig cfg;
-  cfg.n = 4096;
-  cfg.fast = true;
+  auto cfg = search::SearchConfig::smoke();
   auto r = search::tuneKernel(spec, arch::p4e(), cfg);
   ASSERT_TRUE(r.ok) << r.error;
   EXPECT_LE(r.bestCycles, r.defaultCycles);
@@ -187,9 +185,7 @@ TEST(GenericTimer, MatchesKernelTimerBehaviour) {
 
 TEST(TuneSource, WorksWithoutAReferenceImplementation) {
   KernelSpec spec{BlasOp::Dot, ir::Scal::F64};
-  search::SearchConfig cfg;
-  cfg.n = 4096;
-  cfg.fast = true;
+  auto cfg = search::SearchConfig::smoke();
   auto bySpec = search::tuneKernel(spec, arch::p4e(), cfg);
   auto bySource = search::tuneSource(spec.hilSource(), arch::p4e(), cfg);
   ASSERT_TRUE(bySpec.ok && bySource.ok) << bySource.error;
@@ -223,9 +219,7 @@ LOOP_END
 RETURN acc;
 END
 )";
-  search::SearchConfig cfg;
-  cfg.n = 4096;
-  cfg.fast = true;
+  auto cfg = search::SearchConfig::smoke();
   auto r = search::tuneSource(kSumSq, arch::opteron(), cfg);
   ASSERT_TRUE(r.ok) << r.error;
   EXPECT_TRUE(r.analysis.vectorizable);

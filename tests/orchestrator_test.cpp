@@ -1,0 +1,250 @@
+// The batch-tuning orchestrator: parallel evaluation must reproduce the
+// serial search bit for bit, the persistent cache must round-trip, and the
+// trace must be well-formed JSONL.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+
+#include "arch/machine.h"
+#include "search/orchestrator.h"
+#include "support/json.h"
+
+namespace ifko::search {
+namespace {
+
+using kernels::BlasOp;
+using kernels::KernelSpec;
+
+SearchConfig smokeConfig(int jobs = 1) {
+  SearchConfig c = SearchConfig::smoke();
+  c.jobs = jobs;
+  return c;
+}
+
+KernelJob jobFor(const KernelSpec& spec) {
+  return {spec.name(), spec.hilSource(), &spec};
+}
+
+std::string tmpFile(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+TEST(SearchConfigApi, SmokeMatchesLegacyFastSettings) {
+  SearchConfig c = SearchConfig::smoke();
+  EXPECT_TRUE(c.fast);
+  EXPECT_EQ(c.n, 4096);
+  EXPECT_EQ(c.testerN, 64);
+  EXPECT_EQ(c.jobs, 1);
+}
+
+TEST(Orchestrator, ParallelMatchesSerialExactly) {
+  KernelSpec spec{BlasOp::Dot, ir::Scal::F64};
+  OrchestratorConfig serial;
+  serial.search = smokeConfig(1);
+  OrchestratorConfig parallel;
+  parallel.search = smokeConfig(8);
+
+  Orchestrator a(arch::p4e(), serial);
+  Orchestrator b(arch::p4e(), parallel);
+  auto ra = a.tune(jobFor(spec));
+  auto rb = b.tune(jobFor(spec));
+  ASSERT_TRUE(ra.result.ok) << ra.result.error;
+  ASSERT_TRUE(rb.result.ok) << rb.result.error;
+  EXPECT_EQ(ra.result.best, rb.result.best);
+  EXPECT_EQ(ra.result.bestCycles, rb.result.bestCycles);
+  EXPECT_EQ(ra.result.defaultCycles, rb.result.defaultCycles);
+  EXPECT_EQ(ra.result.evaluations, rb.result.evaluations);
+  EXPECT_EQ(ra.result.ledger, rb.result.ledger);
+}
+
+TEST(Orchestrator, MatchesPlainTuneKernel) {
+  // The orchestrated evaluator is a drop-in for the serial path.
+  KernelSpec spec{BlasOp::Asum, ir::Scal::F32};
+  auto direct = tuneKernel(spec, arch::p4e(), smokeConfig());
+  OrchestratorConfig oc;
+  oc.search = smokeConfig(4);
+  Orchestrator orch(arch::p4e(), oc);
+  auto viaOrch = orch.tune(jobFor(spec));
+  ASSERT_TRUE(direct.ok && viaOrch.result.ok);
+  EXPECT_EQ(direct.best, viaOrch.result.best);
+  EXPECT_EQ(direct.bestCycles, viaOrch.result.bestCycles);
+  EXPECT_EQ(direct.ledger, viaOrch.result.ledger);
+}
+
+TEST(Orchestrator, CacheRoundTripSecondRunAllHits) {
+  std::string cachePath = tmpFile("orch_cache_roundtrip.jsonl");
+  std::remove(cachePath.c_str());
+  KernelSpec spec{BlasOp::Copy, ir::Scal::F64};
+
+  OrchestratorConfig oc;
+  oc.search = smokeConfig(2);
+  oc.cachePath = cachePath;
+
+  TuneResult cold, warm;
+  uint64_t coldMisses = 0;
+  {
+    std::string err;
+    Orchestrator orch(arch::p4e(), oc, &err);
+    ASSERT_TRUE(err.empty()) << err;
+    auto out = orch.tune(jobFor(spec));
+    ASSERT_TRUE(out.result.ok) << out.result.error;
+    cold = out.result;
+    coldMisses = out.cacheMisses;
+    EXPECT_GT(coldMisses, 0u);
+  }
+  {
+    std::string err;
+    Orchestrator orch(arch::p4e(), oc, &err);
+    ASSERT_TRUE(err.empty()) << err;
+    EXPECT_EQ(orch.cache().size(), coldMisses);  // reloaded from disk
+    auto out = orch.tune(jobFor(spec));
+    ASSERT_TRUE(out.result.ok) << out.result.error;
+    warm = out.result;
+    EXPECT_EQ(out.cacheMisses, 0u);  // 100% hit rate
+    EXPECT_GT(out.cacheHits, 0u);
+    EXPECT_EQ(out.result.evaluations, 0);  // nothing re-timed
+  }
+  EXPECT_EQ(cold.best, warm.best);
+  EXPECT_EQ(cold.bestCycles, warm.bestCycles);
+  EXPECT_EQ(cold.ledger, warm.ledger);
+  std::remove(cachePath.c_str());
+}
+
+TEST(Orchestrator, TraceIsWellFormedJsonl) {
+  std::string tracePath = tmpFile("orch_trace.jsonl");
+  std::remove(tracePath.c_str());
+  KernelSpec spec{BlasOp::Scal, ir::Scal::F32};
+
+  OrchestratorConfig oc;
+  oc.search = smokeConfig(2);
+  oc.tracePath = tracePath;
+  {
+    std::string err;
+    Orchestrator orch(arch::p4e(), oc, &err);
+    ASSERT_TRUE(err.empty()) << err;
+    auto outcome = orch.tuneAll({jobFor(spec)});
+    ASSERT_EQ(outcome.failures(), 0);
+  }
+
+  std::ifstream in(tracePath);
+  ASSERT_TRUE(in.is_open());
+  std::set<std::string> events;
+  int lines = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    std::map<std::string, JsonValue> obj;
+    std::string perr;
+    ASSERT_TRUE(parseJsonObject(line, &obj, &perr)) << perr << ": " << line;
+    auto ev = obj.find("event");
+    ASSERT_NE(ev, obj.end()) << line;
+    events.insert(ev->second.string);
+    if (ev->second.string == "candidate") {
+      // Every traced candidate carries a parseable canonical spec.
+      auto params = obj.find("params");
+      ASSERT_NE(params, obj.end());
+      auto spec = opt::parseTuningSpec(params->second.string);
+      EXPECT_TRUE(spec.ok) << spec.error;
+    }
+  }
+  EXPECT_GT(lines, 10);
+  for (const char* required : {"kernel_start", "dimension_start", "candidate",
+                               "dimension_end", "kernel_end", "batch_end"})
+    EXPECT_TRUE(events.count(required)) << required;
+  std::remove(tracePath.c_str());
+}
+
+TEST(EvalCacheTest, PersistAndReload) {
+  std::string path = tmpFile("evalcache_persist.jsonl");
+  std::remove(path.c_str());
+  EvalKey key{"deadbeef01234567", "P4E", "out-of-cache", 4096, 42, 64,
+              "sv=Y ur=4 lc=Y ae=1 sched=spread wnt=N bf=N cisc=N"};
+  {
+    EvalCache cache;
+    ASSERT_TRUE(cache.open(path));
+    EXPECT_FALSE(cache.lookup(key).has_value());
+    cache.insert(key, 12345);
+    cache.insert(key, 99999);  // duplicate insert is a no-op
+    auto hit = cache.lookup(key);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, 12345u);
+  }
+  {
+    EvalCache cache;
+    std::string err;
+    ASSERT_TRUE(cache.open(path, &err)) << err;
+    EXPECT_EQ(cache.size(), 1u);
+    auto hit = cache.lookup(key);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, 12345u);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 0u);
+    EXPECT_EQ(cache.hitRate(), 1.0);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(EvalCacheTest, SkipsCorruptLines) {
+  std::string path = tmpFile("evalcache_corrupt.jsonl");
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "{\"source\":\"aa\",\"machine\":\"P4E\",\"context\":\"in-L2\","
+           "\"n\":128,\"seed\":1,\"tester_n\":16,\"params\":\"ur=2\","
+           "\"cycles\":777}\n";
+    out << "not json at all\n";
+    out << "{\"source\":\"truncated\n";
+  }
+  EvalCache cache;
+  ASSERT_TRUE(cache.open(path));
+  EXPECT_EQ(cache.size(), 1u);
+  EvalKey key{"aa", "P4E", "in-L2", 128, 1, 16, "ur=2"};
+  auto hit = cache.lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 777u);
+  std::remove(path.c_str());
+}
+
+TEST(EvalKeyTest, DistinctFieldsDistinctKeys) {
+  EvalKey a{"h", "P4E", "out-of-cache", 4096, 42, 64, "ur=1"};
+  EvalKey b = a;
+  EXPECT_EQ(a.str(), b.str());
+  b.n = 8192;
+  EXPECT_NE(a.str(), b.str());
+  b = a;
+  b.context = "in-L2";
+  EXPECT_NE(a.str(), b.str());
+  b = a;
+  b.testerN = 128;
+  EXPECT_NE(a.str(), b.str());
+  b = a;
+  b.params = "ur=2";
+  EXPECT_NE(a.str(), b.str());
+}
+
+TEST(LoadKernelDir, LoadsSortedHilFiles) {
+  std::string err;
+  auto jobs = loadKernelDir(IFKO_KERNELS_HIL_DIR, &err);
+  ASSERT_FALSE(jobs.empty()) << err;
+  EXPECT_TRUE(err.empty());
+  for (size_t i = 1; i < jobs.size(); ++i)
+    EXPECT_LT(jobs[i - 1].name, jobs[i].name);
+  for (const auto& j : jobs) {
+    EXPECT_FALSE(j.hilSource.empty()) << j.name;
+    EXPECT_EQ(j.name.find(".hil"), std::string::npos) << j.name;
+  }
+}
+
+TEST(LoadKernelDir, MissingDirectoryReportsError) {
+  std::string err;
+  auto jobs = loadKernelDir("/nonexistent-ifko-kernel-dir", &err);
+  EXPECT_TRUE(jobs.empty());
+  EXPECT_FALSE(err.empty());
+}
+
+}  // namespace
+}  // namespace ifko::search

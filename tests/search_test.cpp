@@ -12,10 +12,8 @@ using kernels::BlasOp;
 using kernels::KernelSpec;
 
 SearchConfig fastConfig(int64_t n = 4096) {
-  SearchConfig c;
+  SearchConfig c = SearchConfig::smoke();
   c.n = n;
-  c.fast = true;
-  c.testerN = 64;
   return c;
 }
 

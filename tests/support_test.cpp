@@ -2,6 +2,8 @@
 
 #include "support/diagnostics.h"
 #include "support/env.h"
+#include "support/hash.h"
+#include "support/json.h"
 #include "support/rng.h"
 #include "support/str.h"
 #include "support/table.h"
@@ -119,6 +121,57 @@ TEST(Env, ParsesValue) {
   ::setenv("IFKO_TEST_ENV_VAR", "123", 1);
   EXPECT_EQ(envInt("IFKO_TEST_ENV_VAR", 0), 123);
   ::unsetenv("IFKO_TEST_ENV_VAR");
+}
+
+
+TEST(Hash, Fnv1aIsStableAndCollisionFree) {
+  // Known FNV-1a vectors; the cache key format depends on these staying put.
+  EXPECT_EQ(fnv1a(""), 14695981039346656037ull);
+  EXPECT_EQ(fnv1a("a"), 12638187200555641996ull);
+  EXPECT_NE(fnv1a("LOOP i = 0, N"), fnv1a("LOOP i = 0, M"));
+}
+
+TEST(Hash, HashHexIs16LowercaseDigits) {
+  std::string h = hashHex("ddot kernel source");
+  EXPECT_EQ(h.size(), 16u);
+  for (char c : h)
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << h;
+  EXPECT_EQ(hashHex(""), "cbf29ce484222325");
+}
+
+TEST(Json, EscapeHandlesSpecials) {
+  EXPECT_EQ(jsonEscape("plain"), "plain");
+  EXPECT_EQ(jsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(jsonEscape("tab\there"), "tab\\there");
+  EXPECT_EQ(jsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Json, WriterProducesFlatObject) {
+  JsonWriter w;
+  w.field("name", "ddot").field("cycles", int64_t{64912}).field("ok", true);
+  EXPECT_EQ(w.str(),
+            "{\"name\":\"ddot\",\"cycles\":64912,\"ok\":true}");
+}
+
+TEST(Json, ParseRoundTripsWriterOutput) {
+  JsonWriter w;
+  w.field("params", "sv=Y \"q\"").field("n", int64_t{4096}).field("hit", false);
+  std::map<std::string, JsonValue> obj;
+  std::string err;
+  ASSERT_TRUE(parseJsonObject(w.str(), &obj, &err)) << err;
+  EXPECT_EQ(obj.at("params").string, "sv=Y \"q\"");
+  EXPECT_EQ(obj.at("n").asInt(), 4096);
+  EXPECT_EQ(obj.at("hit").kind, JsonValue::Kind::Bool);
+  EXPECT_FALSE(obj.at("hit").boolean);
+}
+
+TEST(Json, ParseRejectsMalformed) {
+  std::map<std::string, JsonValue> obj;
+  EXPECT_FALSE(parseJsonObject("not json", &obj));
+  EXPECT_FALSE(parseJsonObject("{\"a\":1", &obj));
+  EXPECT_FALSE(parseJsonObject("{\"a\":{\"nested\":1}}", &obj));
+  EXPECT_FALSE(parseJsonObject("{\"a\":1} trailing", &obj));
+  EXPECT_TRUE(parseJsonObject("{}", &obj));
 }
 
 }  // namespace

@@ -1,0 +1,115 @@
+// TuningSpec: the canonical textual form of TuningParams.  One
+// serialization feeds the driver flags, the search ledger, the evaluation
+// cache key, and the trace events, so the round trip must be exact.
+#include <gtest/gtest.h>
+
+#include "opt/params.h"
+
+namespace ifko::opt {
+namespace {
+
+TuningParams sample() {
+  TuningParams p;
+  p.simdVectorize = true;
+  p.unroll = 8;
+  p.optimizeLoopControl = true;
+  p.accumExpand = 2;
+  p.prefSched = PrefSched::Spread;
+  p.nonTemporalWrites = false;
+  p.blockFetch = false;
+  p.ciscIndexing = false;
+  p.prefetch["X"] = {true, ir::PrefKind::T1, 256};
+  p.prefetch["Y"] = {false, ir::PrefKind::NTA, 0};
+  return p;
+}
+
+TEST(TuningSpec, FormatCanonicalOrder) {
+  EXPECT_EQ(formatTuningSpec(sample()),
+            "sv=Y ur=8 lc=Y ae=2 sched=spread wnt=N bf=N cisc=N "
+            "pf(X)=t1:256 pf(Y)=none");
+}
+
+TEST(TuningSpec, StrIsFormatTuningSpec) {
+  TuningParams p = sample();
+  EXPECT_EQ(p.str(), formatTuningSpec(p));
+}
+
+TEST(TuningSpec, RoundTripEveryPrefKind) {
+  for (ir::PrefKind kind : {ir::PrefKind::NTA, ir::PrefKind::T0,
+                            ir::PrefKind::T1, ir::PrefKind::W}) {
+    TuningParams p = sample();
+    p.prefetch["X"] = {true, kind, 512};
+    auto spec = parseTuningSpec(formatTuningSpec(p));
+    ASSERT_TRUE(spec.ok) << spec.error;
+    EXPECT_EQ(formatTuningSpec(spec.params), formatTuningSpec(p));
+    EXPECT_EQ(spec.params.prefetch.at("X").kind, kind);
+    EXPECT_EQ(spec.params.prefetch.at("X").distBytes, 512);
+  }
+}
+
+TEST(TuningSpec, RoundTripVariants) {
+  TuningParams p = sample();
+  p.simdVectorize = false;
+  p.nonTemporalWrites = true;
+  p.blockFetch = true;
+  p.ciscIndexing = true;
+  p.prefSched = PrefSched::Top;
+  p.unroll = 16;
+  p.accumExpand = 4;
+  auto spec = parseTuningSpec(formatTuningSpec(p));
+  ASSERT_TRUE(spec.ok) << spec.error;
+  EXPECT_EQ(formatTuningSpec(spec.params), formatTuningSpec(p));
+  EXPECT_EQ(spec.params.prefSched, PrefSched::Top);
+  EXPECT_TRUE(spec.params.blockFetch);
+  EXPECT_TRUE(spec.params.ciscIndexing);
+}
+
+TEST(TuningSpec, DisabledPrefetchCanonicalizesToNone) {
+  // A disabled slot forgets any stale kind/distance: both sides of the
+  // round trip must print "none".
+  TuningParams p = sample();
+  p.prefetch["Y"] = {false, ir::PrefKind::T0, 1024};
+  std::string text = formatTuningSpec(p);
+  EXPECT_NE(text.find("pf(Y)=none"), std::string::npos) << text;
+  auto spec = parseTuningSpec(text);
+  ASSERT_TRUE(spec.ok);
+  EXPECT_FALSE(spec.params.prefetch.at("Y").enabled);
+  EXPECT_EQ(formatTuningSpec(spec.params), text);
+}
+
+TEST(TuningSpec, PartialUpdateKeepsBase) {
+  TuningParams base = sample();
+  auto spec = parseTuningSpec("ur=16", base);
+  ASSERT_TRUE(spec.ok) << spec.error;
+  EXPECT_EQ(spec.params.unroll, 16);
+  EXPECT_EQ(spec.params.accumExpand, base.accumExpand);
+  EXPECT_TRUE(spec.params.simdVectorize);
+  EXPECT_EQ(spec.params.prefetch.at("X").distBytes, 256);
+}
+
+TEST(TuningSpec, AcceptsSeparatorsAndBoolSpellings) {
+  auto spec = parseTuningSpec("sv=no,\tur=2\n ae=1");
+  ASSERT_TRUE(spec.ok) << spec.error;
+  EXPECT_FALSE(spec.params.simdVectorize);
+  EXPECT_EQ(spec.params.unroll, 2);
+}
+
+TEST(TuningSpec, RejectsMalformedInput) {
+  for (const char* bad :
+       {"ur=abc", "ur=", "ur=0", "ae=0", "ae=x", "bogus=1", "sv=maybe",
+        "pf(X)=warp:128", "pf(X)=nta:abc", "pf(X)=nta:-64", "sched=middle",
+        "ur", "=4"}) {
+    auto spec = parseTuningSpec(bad);
+    EXPECT_FALSE(spec.ok) << "accepted: " << bad;
+    EXPECT_FALSE(spec.error.empty()) << bad;
+  }
+}
+
+TEST(TuningSpec, FormatPrefMatchesTableCells) {
+  EXPECT_EQ(formatPref({true, ir::PrefKind::NTA, 128}), "nta:128");
+  EXPECT_EQ(formatPref({true, ir::PrefKind::W, 64}), "w:64");
+  EXPECT_EQ(formatPref({false, ir::PrefKind::NTA, 128}), "none");
+}
+
+}  // namespace
+}  // namespace ifko::opt

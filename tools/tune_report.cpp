@@ -1,0 +1,190 @@
+// Renders a human-readable report from an orchestrator event trace
+// (ifko tune / tune-all --trace=FILE; schema in docs/TUNING.md).
+//
+//   tune_report <trace.jsonl> [--ledger]
+//
+// Summarizes, per kernel: candidates evaluated, cache hit rate, tester and
+// compile rejections, the default -> best cycle improvement, and (with
+// --ledger) the per-dimension progression the search committed.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/json.h"
+#include "support/str.h"
+#include "support/table.h"
+
+using namespace ifko;
+
+namespace {
+
+struct DimBest {
+  std::string dim;
+  uint64_t bestCycles = 0;
+};
+
+struct KernelStats {
+  std::string name;
+  int candidates = 0;
+  int hits = 0;
+  int misses = 0;
+  int testerFails = 0;
+  int compileFails = 0;
+  std::vector<DimBest> ledger;
+  bool ok = false;
+  bool ended = false;
+  std::string error;
+  uint64_t defaultCycles = 0;
+  uint64_t bestCycles = 0;
+  double speedup = 0.0;
+  double seconds = 0.0;
+};
+
+const JsonValue* get(const std::map<std::string, JsonValue>& obj,
+                     const char* key) {
+  auto it = obj.find(key);
+  return it == obj.end() ? nullptr : &it->second;
+}
+
+std::string getStr(const std::map<std::string, JsonValue>& obj,
+                   const char* key) {
+  const JsonValue* v = get(obj, key);
+  return v != nullptr && v->kind == JsonValue::Kind::String ? v->string : "";
+}
+
+double getNum(const std::map<std::string, JsonValue>& obj, const char* key) {
+  const JsonValue* v = get(obj, key);
+  return v != nullptr && v->kind == JsonValue::Kind::Number ? v->number : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: tune_report <trace.jsonl> [--ledger]\n");
+    return 2;
+  }
+  bool showLedger = false;
+  for (int i = 2; i < argc; ++i)
+    if (std::strcmp(argv[i], "--ledger") == 0) showLedger = true;
+
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "cannot read '%s'\n", argv[1]);
+    return 1;
+  }
+
+  std::vector<std::string> order;
+  std::map<std::string, KernelStats> kernels;
+  auto statsFor = [&](const std::string& name) -> KernelStats& {
+    auto it = kernels.find(name);
+    if (it == kernels.end()) {
+      order.push_back(name);
+      it = kernels.emplace(name, KernelStats{name}).first;
+    }
+    return it->second;
+  };
+
+  bool sawBatchEnd = false;
+  double batchSeconds = 0.0;
+  int badLines = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::map<std::string, JsonValue> obj;
+    if (!parseJsonObject(line, &obj)) {
+      ++badLines;
+      continue;
+    }
+    std::string event = getStr(obj, "event");
+    std::string kernel = getStr(obj, "kernel");
+    if (event == "candidate") {
+      KernelStats& k = statsFor(kernel);
+      ++k.candidates;
+      if (getStr(obj, "cache") == "hit") ++k.hits;
+      else ++k.misses;
+      std::string verdict = getStr(obj, "verdict");
+      if (verdict == "tester_fail") ++k.testerFails;
+      else if (verdict == "compile_fail") ++k.compileFails;
+    } else if (event == "dimension_end") {
+      statsFor(kernel).ledger.push_back(
+          {getStr(obj, "dim"),
+           static_cast<uint64_t>(getNum(obj, "best_cycles"))});
+    } else if (event == "kernel_end") {
+      KernelStats& k = statsFor(kernel);
+      k.ended = true;
+      const JsonValue* ok = get(obj, "ok");
+      k.ok = ok != nullptr && ok->kind == JsonValue::Kind::Bool && ok->boolean;
+      k.error = getStr(obj, "error");
+      k.defaultCycles = static_cast<uint64_t>(getNum(obj, "default_cycles"));
+      k.bestCycles = static_cast<uint64_t>(getNum(obj, "best_cycles"));
+      k.speedup = getNum(obj, "speedup");
+      k.seconds = getNum(obj, "seconds");
+    } else if (event == "batch_end") {
+      sawBatchEnd = true;
+      batchSeconds = getNum(obj, "seconds");
+    }
+  }
+
+  if (order.empty()) {
+    std::fprintf(stderr, "no trace events in '%s'\n", argv[1]);
+    return 1;
+  }
+
+  TextTable t;
+  t.setHeader({"kernel", "cands", "hit%", "tester-", "compile-", "FKO cyc",
+               "ifko cyc", "speedup", "sec"});
+  int totalCands = 0, totalHits = 0;
+  for (const auto& name : order) {
+    const KernelStats& k = kernels.at(name);
+    totalCands += k.candidates;
+    totalHits += k.hits;
+    double hitPct = k.candidates == 0 ? 0.0 : 100.0 * k.hits / k.candidates;
+    if (!k.ended || !k.ok) {
+      t.addRow({k.name, std::to_string(k.candidates), fmtFixed(hitPct, 1),
+                std::to_string(k.testerFails), std::to_string(k.compileFails),
+                "-", "-",
+                !k.ended ? "(incomplete)"
+                         : (k.error.empty() ? "(failed)" : k.error),
+                fmtFixed(k.seconds, 2)});
+      continue;
+    }
+    t.addRow({k.name, std::to_string(k.candidates), fmtFixed(hitPct, 1),
+              std::to_string(k.testerFails), std::to_string(k.compileFails),
+              std::to_string(k.defaultCycles), std::to_string(k.bestCycles),
+              fmtFixed(k.speedup, 2) + "x", fmtFixed(k.seconds, 2)});
+  }
+  std::fputs(t.str().c_str(), stdout);
+
+  std::printf("\n%zu kernels, %d candidate evaluations, %.1f%% served from "
+              "cache",
+              order.size(), totalCands,
+              totalCands == 0 ? 0.0 : 100.0 * totalHits / totalCands);
+  if (sawBatchEnd) std::printf(", %.2f s wall", batchSeconds);
+  if (badLines != 0) std::printf(" (%d malformed trace lines skipped)", badLines);
+  std::printf("\n");
+
+  if (showLedger) {
+    for (const auto& name : order) {
+      const KernelStats& k = kernels.at(name);
+      if (k.ledger.empty()) continue;
+      std::printf("\n%s ledger (default %llu cycles):\n", k.name.c_str(),
+                  static_cast<unsigned long long>(k.defaultCycles));
+      uint64_t prev = k.defaultCycles;
+      for (const auto& d : k.ledger) {
+        double gain = d.bestCycles == 0
+                          ? 0.0
+                          : 100.0 * (static_cast<double>(prev) /
+                                         static_cast<double>(d.bestCycles) -
+                                     1.0);
+        std::printf("  %-7s -> %10llu cycles (%+.1f%%)\n", d.dim.c_str(),
+                    static_cast<unsigned long long>(d.bestCycles), gain);
+        prev = d.bestCycles;
+      }
+    }
+  }
+  return 0;
+}
