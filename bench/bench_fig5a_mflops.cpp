@@ -18,9 +18,8 @@ int main() {
   for (const auto& m : arch::allMachines()) {
     std::vector<std::string> cells = {m.name};
     for (const auto& spec : kernels::allKernels()) {
-      search::SearchConfig cfg;
-      cfg.n = sz.ooc;
-      cfg.fast = sz.fast;
+      search::SearchConfig cfg =
+          bench::tuneConfig(sz.ooc, sim::TimeContext::OutOfCache, sz.fast);
       auto r = search::tuneKernel(spec, m, cfg);
       if (!r.ok) {
         cells.push_back("-");

@@ -19,12 +19,10 @@ int main() {
   t.setHeader({"kernel", "ooc cyc/elem", "inL2 cyc/elem", "speedup"});
   arch::MachineConfig m = arch::p4e();
   for (const auto& spec : kernels::allKernels()) {
-    search::SearchConfig ooc, inl2;
-    ooc.n = sz.ooc;
-    ooc.fast = sz.fast;
-    inl2.n = sz.inl2;
-    inl2.context = sim::TimeContext::InL2;
-    inl2.fast = sz.fast;
+    search::SearchConfig ooc =
+        bench::tuneConfig(sz.ooc, sim::TimeContext::OutOfCache, sz.fast);
+    search::SearchConfig inl2 =
+        bench::tuneConfig(sz.inl2, sim::TimeContext::InL2, sz.fast);
     auto a = search::tuneKernel(spec, m, ooc);
     auto b = search::tuneKernel(spec, m, inl2);
     if (!a.ok || !b.ok) continue;

@@ -36,10 +36,7 @@ int main() {
                "total x"});
   for (const auto& c : contexts) {
     for (const auto& spec : kernels::allKernels()) {
-      search::SearchConfig cfg;
-      cfg.n = c.n;
-      cfg.context = c.ctx;
-      cfg.fast = sz.fast;
+      search::SearchConfig cfg = bench::tuneConfig(c.n, c.ctx, sz.fast);
       auto r = search::tuneKernel(spec, c.machine, cfg);
       if (!r.ok) continue;
       std::vector<std::string> cells = {spec.name(), c.label};

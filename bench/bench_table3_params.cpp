@@ -31,10 +31,7 @@ int main() {
     TextTable t;
     t.setHeader({"BLAS", "SV:WNT", "PF X INS:DST", "PF Y INS:DST", "UR:AE"});
     for (const auto& spec : kernels::allKernels()) {
-      search::SearchConfig cfg;
-      cfg.n = c.n;
-      cfg.context = c.ctx;
-      cfg.fast = sz.fast;
+      search::SearchConfig cfg = bench::tuneConfig(c.n, c.ctx, sz.fast);
       auto r = search::tuneKernel(spec, c.machine, cfg);
       if (!r.ok) continue;
       auto row = search::paramsRow(r.best, r.analysis);

@@ -27,10 +27,7 @@ MethodCycles compareMethods(const kernels::KernelSpec& spec,
     row.kernelName = sel.displayName;
   }
 
-  search::SearchConfig cfg;
-  cfg.n = n;
-  cfg.context = ctx;
-  cfg.fast = fast;
+  search::SearchConfig cfg = tuneConfig(n, ctx, fast);
   row.tune = search::tuneKernel(spec, machine, cfg);
   if (row.tune.ok) {
     row.fko = row.tune.defaultCycles;

@@ -35,6 +35,20 @@ struct Sizes {
           envInt("IFKO_N_INL2", 1024), fast};
 }
 
+/// Search configuration at bench scale: SearchConfig::smoke() under
+/// IFKO_FAST=1 (reduced grids, short tester), the paper's full-scale
+/// defaults otherwise, with the bench's problem size and context applied
+/// on top.  The single place the benches pick smoke vs full search.
+[[nodiscard]] inline search::SearchConfig tuneConfig(int64_t n,
+                                                     sim::TimeContext ctx,
+                                                     bool fast) {
+  search::SearchConfig cfg =
+      fast ? search::SearchConfig::smoke() : search::SearchConfig{};
+  cfg.n = n;
+  cfg.context = ctx;
+  return cfg;
+}
+
 /// Cycles for every tuning method on one kernel (the bars of Figs. 2-4).
 struct MethodCycles {
   std::string kernelName;  ///< with "*" when ATLAS picked assembly

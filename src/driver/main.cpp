@@ -17,10 +17,19 @@
 //
 //   ifko tune <file.hil> [--arch=...] [--n=N] [--context=ooc|inl2]
 //             [--extensions] [--fast] [--jobs=N] [--cache=FILE] [--trace=FILE]
-//       The full iterative empirical search, with the per-dimension ledger.
+//             [--strategy=line|random|hillclimb|evolve] [--budget=N]
+//             [--budget-cycles=N] [--search-seed=S]
+//       The empirical search, with the per-dimension ledger.  --strategy
+//       picks the search policy (default: the paper's line search);
+//       --budget caps observed candidates, --budget-cycles caps simulated
+//       cycles spent, and --search-seed seeds the stochastic strategies
+//       (same seed + budget => same proposals at any --jobs).  A stochastic
+//       strategy with no budget gets a default of 128 evaluations.
 //
 //   ifko tune-all <dir> [--arch=...] [--n=N] [--context=ooc|inl2] [--fast]
 //                 [--extensions] [--jobs=N] [--cache=FILE] [--trace=FILE]
+//                 [--strategy=...] [--budget=N] [--budget-cycles=N]
+//                 [--search-seed=S]
 //       Batch-tunes every *.hil kernel in <dir> through the orchestrator and
 //       prints a Table-3-style summary with turnaround and cache statistics.
 //
@@ -76,6 +85,10 @@ struct Options {
   int jobs = 1;
   std::string cachePath;
   std::string tracePath;
+  search::StrategyKind strategy = search::StrategyKind::Line;
+  int64_t budget = 0;        ///< max observed candidates; 0 = unlimited
+  int64_t budgetCycles = 0;  ///< max simulated cycles spent; 0 = unlimited
+  int64_t searchSeed = 1;
   bool ok = true;
 };
 
@@ -164,6 +177,23 @@ Options parseOptions(int argc, char** argv, int first) {
       o.cachePath = *v;
     } else if (auto v = value("--trace=")) {
       o.tracePath = *v;
+    } else if (auto v = value("--strategy=")) {
+      auto kind = search::parseStrategyKind(*v);
+      if (!kind.has_value()) {
+        std::fprintf(stderr,
+                     "unknown strategy '%s' (want line|random|hillclimb|"
+                     "evolve)\n",
+                     v->c_str());
+        o.ok = false;
+      } else {
+        o.strategy = *kind;
+      }
+    } else if (auto v = value("--budget=")) {
+      intFlag(*v, "--budget", 1, &o.budget);
+    } else if (auto v = value("--budget-cycles=")) {
+      intFlag(*v, "--budget-cycles", 1, &o.budgetCycles);
+    } else if (auto v = value("--search-seed=")) {
+      intFlag(*v, "--search-seed", 0, &o.searchSeed);
     } else if (auto v = value("--context=")) {
       o.context = *v == "inl2" ? sim::TimeContext::InL2
                                : sim::TimeContext::OutOfCache;
@@ -189,6 +219,24 @@ search::SearchConfig searchConfig(const Options& o) {
   cfg.jobs = o.jobs;
   cfg.searchExtensions = o.extensions;
   return cfg;
+}
+
+/// The shared tune/tune-all configuration: search scale, cache/trace paths,
+/// strategy, and budget.  A stochastic strategy with no explicit budget
+/// would only stop at its internal round limits, so it defaults to 128
+/// observed candidates — about one full line search on the full grids.
+search::OrchestratorConfig orchestratorConfig(const Options& o) {
+  search::OrchestratorConfig oc;
+  oc.search = searchConfig(o);
+  oc.cachePath = o.cachePath;
+  oc.tracePath = o.tracePath;
+  oc.strategy = o.strategy;
+  oc.budget.maxEvaluations = static_cast<int>(o.budget);
+  oc.budget.maxCycles = static_cast<uint64_t>(o.budgetCycles);
+  oc.budget.seed = static_cast<uint64_t>(o.searchSeed);
+  if (oc.strategy != search::StrategyKind::Line && oc.budget.unlimited())
+    oc.budget.maxEvaluations = 128;
+  return oc;
 }
 
 int cmdAnalyze(const std::string& src, const Options& o) {
@@ -254,10 +302,7 @@ std::string pathStem(const std::string& path) {
 }
 
 int cmdTune(const std::string& path, const std::string& src, const Options& o) {
-  search::OrchestratorConfig oc;
-  oc.search = searchConfig(o);
-  oc.cachePath = o.cachePath;
-  oc.tracePath = o.tracePath;
+  search::OrchestratorConfig oc = orchestratorConfig(o);
   std::string err;
   search::Orchestrator orch(o.machine, oc, &err);
   if (!err.empty()) {
@@ -286,6 +331,16 @@ int cmdTune(const std::string& path, const std::string& src, const Options& o) {
               r.speedupOverDefaults(), r.evaluations);
   std::printf("best parameters: %s\n",
               opt::formatTuningSpec(r.best).c_str());
+  if (oc.strategy != search::StrategyKind::Line) {
+    std::string budget = oc.budget.unlimited() ? "unlimited"
+                         : oc.budget.maxEvaluations > 0
+                             ? std::to_string(oc.budget.maxEvaluations)
+                             : std::to_string(oc.budget.maxCycles) + " cycles";
+    std::printf("strategy %s: %d proposals (budget %s, seed %llu)\n",
+                std::string(search::strategyName(oc.strategy)).c_str(),
+                r.proposals, budget.c_str(),
+                static_cast<unsigned long long>(oc.budget.seed));
+  }
   if (!o.cachePath.empty())
     std::printf("cache: %llu hits / %llu misses (%zu entries in %s)\n",
                 static_cast<unsigned long long>(outcome.cacheHits),
@@ -301,15 +356,17 @@ int cmdTuneAll(const std::string& dir, const Options& o) {
     std::fprintf(stderr, "tune-all: %s\n", err.c_str());
     return 1;
   }
-  search::OrchestratorConfig oc;
-  oc.search = searchConfig(o);
-  oc.cachePath = o.cachePath;
-  oc.tracePath = o.tracePath;
+  search::OrchestratorConfig oc = orchestratorConfig(o);
   search::Orchestrator orch(o.machine, oc, &err);
   if (!err.empty()) {
     std::fprintf(stderr, "tune-all: %s\n", err.c_str());
     return 1;
   }
+  if (orch.cache().damagedLines() > 0)
+    std::fprintf(stderr,
+                 "tune-all: warning: skipped %zu damaged line(s) in cache "
+                 "'%s'\n",
+                 orch.cache().damagedLines(), o.cachePath.c_str());
 
   std::fprintf(stderr, "tuning %zu kernels on %s (jobs=%d)...\n", jobs.size(),
                o.machine.name.c_str(), std::max(1, o.jobs));

@@ -1,0 +1,220 @@
+#include "opt/paramspace.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace ifko::opt {
+
+std::vector<int> unrollGrid(bool reduced, int maxUnroll) {
+  std::vector<int> grid = reduced ? std::vector<int>{1, 2, 4, 8}
+                                  : std::vector<int>{1, 2, 3, 4, 5, 6, 8, 12,
+                                                     16, 24, 32, 64, 128};
+  grid.erase(std::remove_if(grid.begin(), grid.end(),
+                            [&](int u) { return u > maxUnroll; }),
+             grid.end());
+  return grid;
+}
+
+std::vector<int> accumGrid(bool reduced) {
+  return reduced ? std::vector<int>{1, 2, 4}
+                 : std::vector<int>{1, 2, 3, 4, 5, 8, 16};
+}
+
+std::vector<int> prefDistMultGrid(bool reduced) {
+  return reduced ? std::vector<int>{0, 2, 16}
+                 : std::vector<int>{0, 1, 2, 3, 4, 6, 8, 12, 16, 20, 24, 28,
+                                    32};
+}
+
+namespace {
+
+/// Index of the grid value nearest to `v` (ties toward the smaller), for
+/// points that sit between grid lines (e.g. a default UR the grid lacks).
+size_t nearestIndex(const std::vector<int>& grid, int v) {
+  size_t best = 0;
+  int bestDist = INT32_MAX;
+  for (size_t i = 0; i < grid.size(); ++i) {
+    int d = std::abs(grid[i] - v);
+    if (d < bestDist) {
+      bestDist = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+/// The canonical disabled prefetch setting ("none").
+PrefParam prefOff() { return PrefParam{false, ir::PrefKind::NTA, 0}; }
+
+PrefParam prefAt(ir::PrefKind kind, int distBytes) {
+  if (distBytes == 0) return prefOff();
+  return PrefParam{true, kind, distBytes};
+}
+
+}  // namespace
+
+uint64_t ParamSpace::size() const {
+  // UR x AE under the AE <= UR constraint.
+  uint64_t urae = 0;
+  for (int u : unrolls) {
+    uint64_t ae = 0;
+    for (int m : accums)
+      if (m <= u) ++ae;
+    urae += std::max<uint64_t>(ae, 1);
+  }
+  if (urae == 0) urae = 1;
+
+  // Per-array prefetch: disabled, or any (kind, nonzero distance) pair.
+  uint64_t nonzero = 0;
+  for (int d : prefDistBytes)
+    if (d != 0) ++nonzero;
+  uint64_t perArray = 1 + nonzero * std::max<uint64_t>(prefKinds.size(), 1);
+
+  uint64_t total = urae;
+  auto mul = [&](uint64_t f) {
+    if (f == 0) return;
+    total = total > UINT64_MAX / f ? UINT64_MAX : total * f;
+  };
+  for (size_t i = 0; i < prefArrays.size(); ++i) mul(perArray);
+  if (wnt) mul(2);
+  if (extensions) mul(4);
+  return total;
+}
+
+TuningParams ParamSpace::clamp(TuningParams p) const {
+  if (p.unroll < 1) p.unroll = 1;
+  if (p.unroll > maxUnroll) p.unroll = maxUnroll;
+  if (p.accumExpand < 1) p.accumExpand = 1;
+  if (accums.empty()) p.accumExpand = 1;
+  p.accumExpand = std::min(p.accumExpand, p.unroll);
+  for (auto& [name, pref] : p.prefetch)
+    if (!pref.enabled || pref.distBytes == 0) pref = prefOff();
+  return p;
+}
+
+TuningParams ParamSpace::sample(const TuningParams& base,
+                                SplitMix64& rng) const {
+  TuningParams p = base;
+  if (!unrolls.empty()) p.unroll = unrolls[rng.below(unrolls.size())];
+  if (!accums.empty()) {
+    // Draw AE among the values legal for the drawn UR.
+    std::vector<int> legal;
+    for (int m : accums)
+      if (m <= p.unroll) legal.push_back(m);
+    p.accumExpand = legal.empty() ? 1 : legal[rng.below(legal.size())];
+  } else {
+    p.accumExpand = 1;
+  }
+  for (const std::string& name : prefArrays) {
+    if (prefDistBytes.empty()) break;
+    int dist = prefDistBytes[rng.below(prefDistBytes.size())];
+    ir::PrefKind kind = prefKinds.empty()
+                            ? ir::PrefKind::NTA
+                            : prefKinds[rng.below(prefKinds.size())];
+    p.prefetch[name] = prefAt(kind, dist);
+  }
+  if (wnt) p.nonTemporalWrites = rng.below(2) == 1;
+  if (extensions) {
+    p.blockFetch = rng.below(2) == 1;
+    p.ciscIndexing = rng.below(2) == 1;
+  }
+  return clamp(p);
+}
+
+std::vector<TuningParams> ParamSpace::neighbors(const TuningParams& p) const {
+  std::vector<TuningParams> out;
+  std::vector<std::string> seen = {formatTuningSpec(p)};
+  auto push = [&](TuningParams t) {
+    t = clamp(std::move(t));
+    std::string key = formatTuningSpec(t);
+    for (const std::string& s : seen)
+      if (s == key) return;
+    seen.push_back(std::move(key));
+    out.push_back(std::move(t));
+  };
+  auto adjacent = [&](const std::vector<int>& grid, int v,
+                      const auto& apply) {
+    if (grid.empty()) return;
+    size_t i = nearestIndex(grid, v);
+    if (i > 0) apply(grid[i - 1]);
+    if (grid[i] != v) apply(grid[i]);  // off-grid point: snap is a move too
+    if (i + 1 < grid.size()) apply(grid[i + 1]);
+  };
+
+  adjacent(unrolls, p.unroll, [&](int u) {
+    TuningParams t = p;
+    t.unroll = u;
+    t.accumExpand = std::min(t.accumExpand, u);
+    push(std::move(t));
+  });
+  adjacent(accums, p.accumExpand, [&](int m) {
+    if (m > p.unroll) return;
+    TuningParams t = p;
+    t.accumExpand = m;
+    push(std::move(t));
+  });
+  for (const std::string& name : prefArrays) {
+    auto it = p.prefetch.find(name);
+    PrefParam cur = it == p.prefetch.end() ? prefOff() : it->second;
+    int curDist = cur.enabled ? cur.distBytes : 0;
+    ir::PrefKind curKind = cur.enabled ? cur.kind : ir::PrefKind::NTA;
+    adjacent(prefDistBytes, curDist, [&](int d) {
+      TuningParams t = p;
+      t.prefetch[name] = prefAt(curKind, d);
+      push(std::move(t));
+    });
+    if (cur.enabled && prefKinds.size() > 1) {
+      size_t i = 0;
+      for (size_t k = 0; k < prefKinds.size(); ++k)
+        if (prefKinds[k] == curKind) i = k;
+      auto kindMove = [&](size_t k) {
+        TuningParams t = p;
+        t.prefetch[name] = prefAt(prefKinds[k], curDist);
+        push(std::move(t));
+      };
+      if (i > 0) kindMove(i - 1);
+      if (i + 1 < prefKinds.size()) kindMove(i + 1);
+    }
+  }
+  if (wnt) {
+    TuningParams t = p;
+    t.nonTemporalWrites = !t.nonTemporalWrites;
+    push(std::move(t));
+  }
+  if (extensions) {
+    TuningParams t = p;
+    t.blockFetch = !t.blockFetch;
+    push(std::move(t));
+    TuningParams u = p;
+    u.ciscIndexing = !u.ciscIndexing;
+    push(std::move(u));
+  }
+  return out;
+}
+
+TuningParams ParamSpace::mutate(const TuningParams& p, SplitMix64& rng) const {
+  std::vector<TuningParams> moves = neighbors(p);
+  if (moves.empty()) return p;
+  return moves[rng.below(moves.size())];
+}
+
+TuningParams ParamSpace::crossover(const TuningParams& a, const TuningParams& b,
+                                   SplitMix64& rng) const {
+  TuningParams child = a;
+  auto fromB = [&] { return rng.below(2) == 1; };
+  if (fromB()) child.unroll = b.unroll;
+  if (fromB()) child.accumExpand = b.accumExpand;
+  if (wnt && fromB()) child.nonTemporalWrites = b.nonTemporalWrites;
+  for (const std::string& name : prefArrays) {
+    if (!fromB()) continue;
+    auto it = b.prefetch.find(name);
+    child.prefetch[name] = it == b.prefetch.end() ? prefOff() : it->second;
+  }
+  if (extensions) {
+    if (fromB()) child.blockFetch = b.blockFetch;
+    if (fromB()) child.ciscIndexing = b.ciscIndexing;
+  }
+  return clamp(std::move(child));
+}
+
+}  // namespace ifko::opt

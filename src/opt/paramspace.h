@@ -1,0 +1,89 @@
+// The legal tuning-parameter space, as data: enumeration grids, uniform
+// sampling, one-step neighborhoods, mutation and crossover.
+//
+// The paper's modified line search walks hard-coded per-dimension grids;
+// growing the search into a pluggable subsystem (search/strategy) requires
+// the space itself to be a first-class object the strategies share.  The
+// grids here are exactly the ones the line search has always used, so every
+// strategy — line, random, hill-climb, evolutionary — explores the same
+// legal space and their results are directly comparable.
+//
+// Legality rules encoded here (and enforced by clamp/sample/neighbors):
+//   - UR comes from unrollGrid, never exceeding the kernel's max unroll;
+//   - AE <= UR, and AE is only searched when the kernel has reduction
+//     accumulators (accums is empty otherwise);
+//   - a prefetch distance of 0 bytes means "prefetch disabled" and
+//     canonicalizes the kind away (opt::formatPref renders it "none");
+//   - WNT is only toggled when the loop stores (wnt flag);
+//   - BF / CISC only when the extension transforms are being searched.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/inst.h"
+#include "opt/params.h"
+#include "support/rng.h"
+
+namespace ifko::opt {
+
+/// Candidate unroll factors (paper Table 3 lands on values like 1..5, 8,
+/// 16, 32, 64), filtered to the kernel's maximum legal unroll.  `reduced`
+/// selects the smoke-test grid.
+[[nodiscard]] std::vector<int> unrollGrid(bool reduced, int maxUnroll);
+
+/// Candidate accumulator-expansion counts.
+[[nodiscard]] std::vector<int> accumGrid(bool reduced);
+
+/// Candidate prefetch distances in cache-line multiples; 0 encodes "no
+/// prefetch".
+[[nodiscard]] std::vector<int> prefDistMultGrid(bool reduced);
+
+/// The searchable space for one kernel on one machine.  Built by the search
+/// layer from the compiler's analysis report (search::spaceFor); pure
+/// parameter data here, so every helper below is deterministic and
+/// side-effect-free.
+struct ParamSpace {
+  std::vector<int> unrolls;             ///< legal UR values, ascending
+  std::vector<int> accums;              ///< legal AE values; empty = AE off
+  std::vector<int> prefDistBytes;       ///< per-array distances; 0 = off
+  std::vector<ir::PrefKind> prefKinds;  ///< machine's prefetch instructions
+  std::vector<std::string> prefArrays;  ///< prefetchable arrays, loop order
+  bool wnt = false;         ///< loop stores: WNT is a live axis
+  bool extensions = false;  ///< BF / CISC toggles are live axes
+  bool reduced = false;     ///< smoke-test grids (skips UR*AE refinement)
+  int maxUnroll = 1;        ///< kernel's legal unroll ceiling
+
+  /// Number of distinct legal points (saturating; 0 only for a degenerate
+  /// empty space).
+  [[nodiscard]] uint64_t size() const;
+
+  /// Legalizes `p`: clamps UR into the grid ceiling and AE to at most UR
+  /// (the same rule the line search applies when it moves UR).
+  [[nodiscard]] TuningParams clamp(TuningParams p) const;
+
+  /// Uniform random point.  Axes not in the space (SV, LC, sched, and any
+  /// frozen toggles) keep their values from `base`.
+  [[nodiscard]] TuningParams sample(const TuningParams& base,
+                                    SplitMix64& rng) const;
+
+  /// Every one-step move from `p`: adjacent UR/AE/distance grid values,
+  /// adjacent prefetch kinds, and the live toggles.  Deterministic order,
+  /// deduplicated, never contains `p` itself.
+  [[nodiscard]] std::vector<TuningParams> neighbors(const TuningParams& p) const;
+
+  /// One random one-step move (a uniform choice among neighbors(p));
+  /// returns `p` unchanged when it has no neighbors.
+  [[nodiscard]] TuningParams mutate(const TuningParams& p,
+                                    SplitMix64& rng) const;
+
+  /// Per-axis uniform crossover: each searched axis (UR, AE, WNT, each
+  /// array's whole prefetch setting, BF, CISC) comes from `a` or `b` by
+  /// coin flip, then the result is legalized.
+  [[nodiscard]] TuningParams crossover(const TuningParams& a,
+                                       const TuningParams& b,
+                                       SplitMix64& rng) const;
+};
+
+}  // namespace ifko::opt

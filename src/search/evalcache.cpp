@@ -26,11 +26,15 @@ bool EvalCache::open(const std::string& path, std::string* error) {
     std::ifstream in(path);
     if (in) {
       std::lock_guard<std::mutex> lock(mu_);
+      damagedLines_ = 0;
       std::string line;
       while (std::getline(in, line)) {
         if (line.empty()) continue;
         std::map<std::string, JsonValue> obj;
-        if (!parseJsonObject(line, &obj)) continue;  // skip damaged lines
+        if (!parseJsonObject(line, &obj)) {  // skip damaged lines, counted
+          ++damagedLines_;
+          continue;
+        }
         auto str = [&](const char* k) -> const std::string* {
           auto it = obj.find(k);
           if (it == obj.end() || it->second.kind != JsonValue::Kind::String)
@@ -51,8 +55,10 @@ bool EvalCache::open(const std::string& path, std::string* error) {
         double n = 0, seed = 0, testerN = 0, cycles = 0;
         if (source == nullptr || machine == nullptr || context == nullptr ||
             params == nullptr || !num("n", &n) || !num("seed", &seed) ||
-            !num("tester_n", &testerN) || !num("cycles", &cycles))
+            !num("tester_n", &testerN) || !num("cycles", &cycles)) {
+          ++damagedLines_;
           continue;
+        }
         EvalKey key{*source,
                     *machine,
                     *context,
@@ -131,6 +137,11 @@ void EvalCache::resetStats() {
   std::lock_guard<std::mutex> lock(mu_);
   hits_ = 0;
   misses_ = 0;
+}
+
+size_t EvalCache::damagedLines() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return damagedLines_;
 }
 
 }  // namespace ifko::search

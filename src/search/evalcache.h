@@ -70,12 +70,18 @@ class EvalCache {
   [[nodiscard]] double hitRate() const;
   void resetStats();
 
+  /// Lines the last open() skipped as damaged (unparseable JSON or missing
+  /// fields) — a crash can truncate at most the final line, so more than
+  /// one suggests real corruption worth telling the user about.
+  [[nodiscard]] size_t damagedLines() const;
+
  private:
   mutable std::mutex mu_;
   std::unordered_map<std::string, uint64_t> map_;
   std::FILE* out_ = nullptr;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  size_t damagedLines_ = 0;
 };
 
 }  // namespace ifko::search

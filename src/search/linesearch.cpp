@@ -5,37 +5,16 @@
 
 #include "fko/harness.h"
 #include "kernels/tester.h"
+#include "opt/paramspace.h"
 
 namespace ifko::search {
 
 using opt::PrefParam;
 using opt::TuningParams;
 
-namespace {
-
-/// Candidate unroll factors; the paper's Table 3 lands on values like
-/// 1..5, 8, 16, 32, 64.
-std::vector<int> unrollGrid(bool fast, int maxUnroll) {
-  std::vector<int> grid = fast ? std::vector<int>{1, 2, 4, 8}
-                               : std::vector<int>{1, 2, 3, 4, 5, 6, 8, 12,
-                                                  16, 24, 32, 64, 128};
-  grid.erase(std::remove_if(grid.begin(), grid.end(),
-                            [&](int u) { return u > maxUnroll; }),
-             grid.end());
-  return grid;
-}
-
-std::vector<int> accumGrid(bool fast) {
-  return fast ? std::vector<int>{1, 2, 4} : std::vector<int>{1, 2, 3, 4, 5, 8, 16};
-}
-
-/// Prefetch distances in lines ahead; 0 encodes "no prefetch".
-std::vector<int> distGrid(bool fast) {
-  return fast ? std::vector<int>{0, 2, 16}
-              : std::vector<int>{0, 1, 2, 3, 4, 6, 8, 12, 16, 20, 24, 28, 32};
-}
-
-}  // namespace
+// The per-dimension grids (unrollGrid, accumGrid, prefDistMultGrid) moved
+// to opt/paramspace.h so every search strategy enumerates the same legal
+// space the line search sweeps.
 
 std::string_view evalStatusName(EvalOutcome::Status s) {
   switch (s) {
@@ -241,7 +220,7 @@ class LineSearchCore {
         for (const auto& a : rep.arrays) {
           if (!a.prefetchable) continue;
           std::vector<TuningParams> cands;
-          for (int mult : distGrid(config_.fast)) {
+          for (int mult : opt::prefDistMultGrid(config_.reducedGrids())) {
             TuningParams t = cur_;
             PrefParam& pp = t.prefetch[a.name];
             if (mult == 0) {
@@ -281,7 +260,7 @@ class LineSearchCore {
     // --- UR ---------------------------------------------------------------------
     {
       std::vector<TuningParams> cands;
-      for (int u : unrollGrid(config_.fast, rep.maxUnroll)) {
+      for (int u : opt::unrollGrid(config_.reducedGrids(), rep.maxUnroll)) {
         if (u == cur_.unroll) continue;
         TuningParams t = cur_;
         t.unroll = u;
@@ -295,7 +274,7 @@ class LineSearchCore {
     {
       std::vector<TuningParams> cands;
       if (rep.numAccumulators > 0) {
-        for (int m : accumGrid(config_.fast)) {
+        for (int m : opt::accumGrid(config_.reducedGrids())) {
           if (m == cur_.accumExpand || m > cur_.unroll) continue;
           TuningParams t = cur_;
           t.accumExpand = m;
@@ -306,9 +285,9 @@ class LineSearchCore {
     }
 
     // --- restricted 2-D (UR, AE): strongly interacting pair --------------------
-    if (rep.numAccumulators > 0 && !config_.fast) {
+    if (rep.numAccumulators > 0 && !config_.reducedGrids()) {
       std::vector<TuningParams> cands;
-      std::vector<int> urs = unrollGrid(false, rep.maxUnroll);
+      std::vector<int> urs = opt::unrollGrid(false, rep.maxUnroll);
       auto near = [&](int v, const std::vector<int>& grid) {
         std::vector<int> out;
         auto it = std::find(grid.begin(), grid.end(), v);
@@ -319,7 +298,7 @@ class LineSearchCore {
       };
       std::vector<int> urCands = near(cur_.unroll, urs);
       urCands.push_back(cur_.unroll);
-      std::vector<int> aeCands = near(cur_.accumExpand, accumGrid(false));
+      std::vector<int> aeCands = near(cur_.accumExpand, opt::accumGrid(false));
       aeCands.push_back(cur_.accumExpand);
       for (int u : urCands)
         for (int m : aeCands) {
@@ -400,6 +379,13 @@ class LineSearchCore {
 };
 
 }  // namespace
+
+std::unique_ptr<Evaluator> makeSerialEvaluator(
+    std::string source, const kernels::KernelSpec* spec,
+    const arch::MachineConfig& machine, const SearchConfig& config) {
+  return std::make_unique<SerialEvaluator>(std::move(source), spec, machine,
+                                           config);
+}
 
 TuneResult runLineSearch(const std::string& hilSource,
                          const arch::MachineConfig& machine,

@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,17 @@
 #include "kernels/registry.h"
 #include "opt/params.h"
 #include "sim/timer.h"
+
+// Reading a deprecated member from its own accessors must not warn.
+#if defined(__GNUC__)
+#define IFKO_SUPPRESS_DEPRECATED_BEGIN \
+  _Pragma("GCC diagnostic push")       \
+  _Pragma("GCC diagnostic ignored \"-Wdeprecated-declarations\"")
+#define IFKO_SUPPRESS_DEPRECATED_END _Pragma("GCC diagnostic pop")
+#else
+#define IFKO_SUPPRESS_DEPRECATED_BEGIN
+#define IFKO_SUPPRESS_DEPRECATED_END
+#endif
 
 namespace ifko::search {
 
@@ -44,22 +56,46 @@ struct SearchConfig {
   /// (the built-in serial evaluator ignores it).  Any value produces
   /// identical results; it only changes turnaround.
   int jobs = 1;
-  /// Reduced grids for smoke tests.  Deprecated alias kept for one release:
-  /// prefer SearchConfig::smoke(), which also shrinks N and the tester.
-  bool fast = false;
+  /// Reduced grids for smoke tests.  Deprecated alias slated for removal:
+  /// construct with SearchConfig::smoke() (which also shrinks N and the
+  /// tester) and read through reducedGrids().
+  [[deprecated(
+      "set via SearchConfig::smoke() and read via reducedGrids()")]] bool
+      fast = false;
   /// Also search the extension transforms (block fetch, CISC indexing) the
   /// paper lists as planned work.  Off by default so Table 3 matches the
   /// evaluated FKO.
   bool searchExtensions = false;
 
+  // Special members spelled out inside the suppression region so that
+  // initializing/copying the deprecated `fast` member warns only at direct
+  // uses, not at every synthesized-constructor site.
+  IFKO_SUPPRESS_DEPRECATED_BEGIN
+  SearchConfig() = default;
+  SearchConfig(const SearchConfig&) = default;
+  SearchConfig(SearchConfig&&) = default;
+  SearchConfig& operator=(const SearchConfig&) = default;
+  SearchConfig& operator=(SearchConfig&&) = default;
+  IFKO_SUPPRESS_DEPRECATED_END
+
   /// Named constructor for smoke-test scale: reduced sweep grids, small
   /// problem size (4096) and tester length (64).  Replaces bare `fast=true`.
   [[nodiscard]] static SearchConfig smoke() {
     SearchConfig c;
+    IFKO_SUPPRESS_DEPRECATED_BEGIN
     c.fast = true;
+    IFKO_SUPPRESS_DEPRECATED_END
     c.n = 4096;
     c.testerN = 64;
     return c;
+  }
+
+  /// Whether the search sweeps the reduced smoke-test grids (the
+  /// non-deprecated read of the legacy `fast` flag).
+  [[nodiscard]] bool reducedGrids() const {
+    IFKO_SUPPRESS_DEPRECATED_BEGIN
+    return fast;
+    IFKO_SUPPRESS_DEPRECATED_END
   }
 };
 
@@ -72,6 +108,15 @@ struct DimensionResult {
                          const DimensionResult&) = default;
 };
 
+/// One point of the best-so-far curve: after `proposals` observed
+/// candidates, the best known time was `cycles`.
+struct FrontierPoint {
+  int proposals = 0;
+  uint64_t cycles = 0;
+
+  friend bool operator==(const FrontierPoint&, const FrontierPoint&) = default;
+};
+
 struct TuneResult {
   bool ok = false;
   std::string error;
@@ -81,6 +126,11 @@ struct TuneResult {
   uint64_t bestCycles = 0;     ///< "ifko": after the search
   std::vector<DimensionResult> ledger;
   int evaluations = 0;
+  /// Strategy-driver runs only: candidates observed (including DEFAULTS;
+  /// cached repeats count — this is what a Budget meters) and the
+  /// best-so-far improvement curve over them.
+  int proposals = 0;
+  std::vector<FrontierPoint> frontier;
   fko::AnalysisReport analysis;
 
   [[nodiscard]] double speedupOverDefaults() const {
@@ -132,6 +182,16 @@ class Evaluator {
                                             const arch::MachineConfig& machine,
                                             const SearchConfig& config,
                                             const opt::TuningParams& params);
+
+/// The built-in evaluation backend: serial, memoized on the canonical
+/// TuningSpec string for its own lifetime.  `source` is copied; `spec` may
+/// be null (differential checking), and `machine`/`config` must outlive
+/// the evaluator.  tuneKernel/tuneSource use this; the strategy wrappers
+/// (strategy/strategy.h) reuse it so every strategy times candidates
+/// through the same path.
+[[nodiscard]] std::unique_ptr<Evaluator> makeSerialEvaluator(
+    std::string source, const kernels::KernelSpec* spec,
+    const arch::MachineConfig& machine, const SearchConfig& config);
 
 /// The search core, parameterized over the evaluation backend.  tuneKernel
 /// and tuneSource wrap it with the built-in serial memoizing evaluator;

@@ -254,13 +254,17 @@ KernelOutcome Orchestrator::tune(const KernelJob& job) {
         .field("machine", machine_.name)
         .field("context", sim::contextName(config_.search.context))
         .field("n", config_.search.n)
-        .field("jobs", std::max(1, config_.search.jobs));
+        .field("jobs", std::max(1, config_.search.jobs))
+        .field("strategy", std::string(strategyName(config_.strategy)));
     trace(w.str());
   }
 
   auto t0 = std::chrono::steady_clock::now();
   OrchestratedEvaluator eval(*this, job);
-  outcome.result = runLineSearch(job.hilSource, machine_, config_.search, eval);
+  std::unique_ptr<SearchStrategy> strategy =
+      makeStrategy(config_.strategy, config_.budget);
+  outcome.result = runStrategySearch(job.hilSource, machine_, config_.search,
+                                     *strategy, config_.budget, eval);
   outcome.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -277,7 +281,8 @@ KernelOutcome Orchestrator::tune(const KernelJob& job) {
           .field("best_cycles", outcome.result.bestCycles)
           .field("best_params", opt::formatTuningSpec(outcome.result.best))
           .field("speedup", outcome.result.speedupOverDefaults())
-          .field("evaluations", outcome.result.evaluations);
+          .field("evaluations", outcome.result.evaluations)
+          .field("proposals", outcome.result.proposals);
     } else {
       w.field("error", outcome.result.error);
     }

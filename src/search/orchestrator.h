@@ -31,6 +31,7 @@
 #include "arch/machine.h"
 #include "search/evalcache.h"
 #include "search/linesearch.h"
+#include "search/strategy/strategy.h"
 
 namespace ifko::search {
 
@@ -38,6 +39,11 @@ struct OrchestratorConfig {
   SearchConfig search;    ///< search.jobs sizes the worker pool
   std::string cachePath;  ///< persistent JSONL evaluation cache ("" = memory only)
   std::string tracePath;  ///< JSONL event trace ("" = off); truncated per run
+  /// Search policy.  Every kind runs through the same strategy driver;
+  /// Line with an unlimited budget reproduces the legacy serial
+  /// runLineSearch bit for bit (orchestrator_test holds it to that).
+  StrategyKind strategy = StrategyKind::Line;
+  Budget budget;  ///< default: unlimited, seed 1
 };
 
 /// One kernel to tune.  When `spec` names a surveyed BLAS kernel its

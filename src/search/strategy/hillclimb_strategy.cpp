@@ -1,0 +1,160 @@
+// Steepest-ascent hill climbing with random restarts.
+//
+// Each climb step proposes the whole one-step neighborhood of the current
+// point (opt::ParamSpace::neighbors) as one indivisible batch; the next
+// propose() moves to the best strictly improving neighbor, or — at a local
+// optimum — restarts from a fresh uniform point.  Neighborhoods are
+// filtered against everything already proposed, so the climber never
+// re-spends budget on a point it has seen (the evaluator would just serve
+// the cache, but the Budget meters observations).  After kMaxRestarts
+// restarts, or when no unseen point can be drawn, the strategy finishes.
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "search/strategy/strategies_impl.h"
+#include "support/rng.h"
+
+namespace ifko::search {
+namespace {
+
+using opt::TuningParams;
+
+class HillClimbStrategy final : public SearchStrategy {
+ public:
+  explicit HillClimbStrategy(uint64_t seed) : rng_(seed) {}
+
+  [[nodiscard]] std::string_view name() const override { return "hillclimb"; }
+
+  void init(const opt::ParamSpace& space,
+            const TuningParams& defaults) override {
+    space_ = space;
+    base_ = defaults;
+    cur_ = defaults;
+  }
+
+  [[nodiscard]] Proposal propose(int /*maxBatch*/) override {
+    settle();
+    while (!done_) {
+      if (restartPending_) {
+        if (restarts_ >= kMaxRestarts) {
+          done_ = true;
+          break;
+        }
+        std::optional<TuningParams> pt = drawUnseen();
+        if (!pt.has_value()) {
+          done_ = true;
+          break;
+        }
+        ++restarts_;
+        mode_ = Mode::RestartWait;
+        return {"RESTART " + std::to_string(restarts_), {*pt}};
+      }
+      std::vector<TuningParams> fresh;
+      for (TuningParams& t : space_.neighbors(cur_))
+        if (seen_.insert(opt::formatTuningSpec(t)).second)
+          fresh.push_back(std::move(t));
+      if (fresh.empty()) {
+        restartPending_ = true;
+        continue;
+      }
+      ++steps_;
+      mode_ = Mode::ClimbWait;
+      return {"CLIMB " + std::to_string(steps_), std::move(fresh)};
+    }
+    return {};
+  }
+
+  void observe(const TuningParams& spec, const EvalOutcome& o) override {
+    obs_.push_back({spec, o.cycles});
+    if (o.cycles != 0 && (bestCycles_ == 0 || o.cycles < bestCycles_))
+      bestCycles_ = o.cycles;
+  }
+
+  [[nodiscard]] bool done() const override { return done_; }
+
+  [[nodiscard]] std::vector<DimensionResult> ledger() const override {
+    return ledger_;
+  }
+
+ private:
+  enum class Mode : uint8_t { Defaults, ClimbWait, RestartWait };
+  static constexpr int kMaxRestarts = 6;
+
+  struct Observed {
+    TuningParams spec;
+    uint64_t cycles;
+  };
+
+  /// Digests the last batch's observations into the climber's state.
+  void settle() {
+    if (obs_.empty()) return;
+    switch (mode_) {
+      case Mode::Defaults:
+        // The driver guarantees the DEFAULTS point timed successfully.
+        curCycles_ = obs_[0].cycles;
+        seen_.insert(opt::formatTuningSpec(cur_));
+        break;
+
+      case Mode::ClimbWait: {
+        size_t bi = SIZE_MAX;
+        for (size_t i = 0; i < obs_.size(); ++i) {
+          const uint64_t c = obs_[i].cycles;
+          if (c == 0 || c >= curCycles_) continue;
+          if (bi == SIZE_MAX || c < obs_[bi].cycles) bi = i;
+        }
+        if (bi != SIZE_MAX) {
+          cur_ = obs_[bi].spec;
+          curCycles_ = obs_[bi].cycles;
+        } else {
+          restartPending_ = true;  // local optimum
+        }
+        ledger_.push_back({"CLIMB " + std::to_string(steps_), bestCycles_});
+        break;
+      }
+
+      case Mode::RestartWait:
+        if (obs_[0].cycles != 0) {
+          cur_ = obs_[0].spec;
+          curCycles_ = obs_[0].cycles;
+          restartPending_ = false;
+        }  // a failed restart point keeps restartPending_: draw another
+        ledger_.push_back({"RESTART " + std::to_string(restarts_), bestCycles_});
+        break;
+    }
+    obs_.clear();
+  }
+
+  std::optional<TuningParams> drawUnseen() {
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      TuningParams s = space_.sample(base_, rng_);
+      if (seen_.insert(opt::formatTuningSpec(s)).second) return s;
+    }
+    return std::nullopt;
+  }
+
+  opt::ParamSpace space_;
+  TuningParams base_;
+  TuningParams cur_;
+  uint64_t curCycles_ = 0;
+  uint64_t bestCycles_ = 0;
+  SplitMix64 rng_;
+  Mode mode_ = Mode::Defaults;
+  bool restartPending_ = false;
+  bool done_ = false;
+  int steps_ = 0;
+  int restarts_ = 0;
+  std::vector<Observed> obs_;
+  std::unordered_set<std::string> seen_;
+  std::vector<DimensionResult> ledger_;
+};
+
+}  // namespace
+
+std::unique_ptr<SearchStrategy> makeHillClimbStrategy(uint64_t seed) {
+  return std::make_unique<HillClimbStrategy>(seed);
+}
+
+}  // namespace ifko::search

@@ -1,0 +1,21 @@
+// Internal: constructors for the concrete strategies, one per translation
+// unit, linked together by makeStrategy (strategy.cpp).  Callers outside
+// the subsystem go through the StrategyKind factory instead of naming
+// concrete classes — the whole point of the pluggable interface.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "search/strategy/strategy.h"
+
+namespace ifko::search {
+
+[[nodiscard]] std::unique_ptr<SearchStrategy> makeLineSearchStrategy();
+[[nodiscard]] std::unique_ptr<SearchStrategy> makeRandomStrategy(uint64_t seed);
+[[nodiscard]] std::unique_ptr<SearchStrategy> makeHillClimbStrategy(
+    uint64_t seed);
+[[nodiscard]] std::unique_ptr<SearchStrategy> makeEvolutionaryStrategy(
+    uint64_t seed);
+
+}  // namespace ifko::search

@@ -35,10 +35,11 @@ std::string tmpFile(const char* name) {
 
 TEST(SearchConfigApi, SmokeMatchesLegacyFastSettings) {
   SearchConfig c = SearchConfig::smoke();
-  EXPECT_TRUE(c.fast);
+  EXPECT_TRUE(c.reducedGrids());
   EXPECT_EQ(c.n, 4096);
   EXPECT_EQ(c.testerN, 64);
   EXPECT_EQ(c.jobs, 1);
+  EXPECT_FALSE(SearchConfig{}.reducedGrids());
 }
 
 TEST(Orchestrator, ParallelMatchesSerialExactly) {
@@ -202,6 +203,7 @@ TEST(EvalCacheTest, SkipsCorruptLines) {
   EvalCache cache;
   ASSERT_TRUE(cache.open(path));
   EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.damagedLines(), 2u);  // the bad JSON and the truncated tail
   EvalKey key{"aa", "P4E", "in-L2", 128, 1, 16, "ur=2"};
   auto hit = cache.lookup(key);
   ASSERT_TRUE(hit.has_value());

@@ -1,0 +1,376 @@
+// The pluggable search-strategy subsystem: the line-search strategy must
+// reproduce the legacy serial search bit for bit on every registry kernel,
+// every strategy must be deterministic in (seed, budget) at any --jobs,
+// the Budget must be enforced, and the ParamSpace helpers must only ever
+// produce legal points.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "arch/machine.h"
+#include "opt/paramspace.h"
+#include "search/orchestrator.h"
+#include "search/strategy/strategy.h"
+#include "support/json.h"
+#include "support/rng.h"
+
+namespace ifko::search {
+namespace {
+
+using kernels::BlasOp;
+using kernels::KernelSpec;
+using opt::TuningParams;
+
+SearchConfig smokeConfig(int jobs = 1) {
+  SearchConfig c = SearchConfig::smoke();
+  c.jobs = jobs;
+  return c;
+}
+
+std::string tmpFile(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+opt::ParamSpace spaceForSpec(const KernelSpec& spec,
+                             const SearchConfig& config) {
+  auto rep = fko::analyzeKernel(spec.hilSource(), arch::p4e());
+  EXPECT_TRUE(rep.ok) << rep.error;
+  return spaceFor(rep, arch::p4e(), config);
+}
+
+bool legal(const opt::ParamSpace& s, const TuningParams& p) {
+  if (p.unroll < 1 || p.unroll > s.maxUnroll) return false;
+  if (p.accumExpand < 1 || p.accumExpand > p.unroll) return false;
+  if (s.accums.empty() && p.accumExpand != 1) return false;
+  for (const auto& [name, pref] : p.prefetch)
+    if (pref.enabled && pref.distBytes == 0) return false;
+  return true;
+}
+
+// --- the tentpole acceptance test: line strategy == legacy search -----------
+
+TEST(LineSearchStrategy, MatchesLegacyOnEveryRegistryKernel) {
+  const SearchConfig cfg = smokeConfig();
+  const Budget unlimited;
+  for (const auto& spec : kernels::allKernels()) {
+    TuneResult legacy = tuneKernel(spec, arch::p4e(), cfg);
+    TuneResult viaStrategy = tuneKernelWithStrategy(
+        spec, arch::p4e(), cfg, StrategyKind::Line, unlimited);
+    ASSERT_EQ(legacy.ok, viaStrategy.ok) << spec.name();
+    if (!legacy.ok) continue;
+    EXPECT_EQ(legacy.best, viaStrategy.best) << spec.name();
+    EXPECT_EQ(legacy.bestCycles, viaStrategy.bestCycles) << spec.name();
+    EXPECT_EQ(legacy.defaultCycles, viaStrategy.defaultCycles) << spec.name();
+    EXPECT_EQ(legacy.defaults, viaStrategy.defaults) << spec.name();
+    EXPECT_EQ(legacy.ledger, viaStrategy.ledger) << spec.name();
+    EXPECT_EQ(legacy.evaluations, viaStrategy.evaluations) << spec.name();
+  }
+}
+
+TEST(LineSearchStrategy, MatchesLegacyWithExtensions) {
+  SearchConfig cfg = smokeConfig();
+  cfg.searchExtensions = true;
+  KernelSpec spec{BlasOp::Dot, ir::Scal::F64};
+  TuneResult legacy = tuneKernel(spec, arch::p4e(), cfg);
+  TuneResult viaStrategy =
+      tuneKernelWithStrategy(spec, arch::p4e(), cfg, StrategyKind::Line, {});
+  ASSERT_TRUE(legacy.ok && viaStrategy.ok);
+  EXPECT_EQ(legacy.best, viaStrategy.best);
+  EXPECT_EQ(legacy.bestCycles, viaStrategy.bestCycles);
+  EXPECT_EQ(legacy.ledger, viaStrategy.ledger);
+  EXPECT_EQ(legacy.evaluations, viaStrategy.evaluations);
+}
+
+// --- determinism: same seed + budget => same proposals at any --jobs --------
+
+/// The (dim, params) sequence of every proposed candidate, from the trace.
+std::vector<std::pair<std::string, std::string>> proposalSequence(
+    const std::string& tracePath) {
+  std::vector<std::pair<std::string, std::string>> seq;
+  std::ifstream in(tracePath);
+  EXPECT_TRUE(in.is_open()) << tracePath;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::map<std::string, JsonValue> obj;
+    EXPECT_TRUE(parseJsonObject(line, &obj)) << line;
+    auto ev = obj.find("event");
+    if (ev == obj.end() || ev->second.string != "candidate") continue;
+    seq.emplace_back(obj.at("dim").string, obj.at("params").string);
+  }
+  return seq;
+}
+
+TuneResult runTraced(StrategyKind kind, int jobs, const std::string& trace,
+                     uint64_t seed = 7, int budget = 40) {
+  OrchestratorConfig oc;
+  oc.search = smokeConfig(jobs);
+  oc.tracePath = trace;
+  oc.strategy = kind;
+  oc.budget.maxEvaluations = budget;
+  oc.budget.seed = seed;
+  std::string err;
+  Orchestrator orch(arch::p4e(), oc, &err);
+  EXPECT_TRUE(err.empty()) << err;
+  KernelSpec spec{BlasOp::Axpy, ir::Scal::F64};
+  auto out = orch.tune({spec.name(), spec.hilSource(), &spec});
+  return out.result;
+}
+
+TEST(StrategyDeterminism, SameSeedSameProposalsAtAnyJobs) {
+  for (StrategyKind kind : allStrategies()) {
+    std::string t1 = tmpFile("strategy_det_j1.jsonl");
+    std::string t8 = tmpFile("strategy_det_j8.jsonl");
+    TuneResult r1 = runTraced(kind, 1, t1);
+    TuneResult r8 = runTraced(kind, 8, t8);
+    ASSERT_TRUE(r1.ok) << r1.error;
+    ASSERT_TRUE(r8.ok) << r8.error;
+    EXPECT_EQ(proposalSequence(t1), proposalSequence(t8))
+        << strategyName(kind);
+    EXPECT_EQ(r1.best, r8.best) << strategyName(kind);
+    EXPECT_EQ(r1.bestCycles, r8.bestCycles) << strategyName(kind);
+    EXPECT_EQ(r1.proposals, r8.proposals) << strategyName(kind);
+    EXPECT_EQ(r1.frontier, r8.frontier) << strategyName(kind);
+    EXPECT_EQ(r1.ledger, r8.ledger) << strategyName(kind);
+    std::remove(t1.c_str());
+    std::remove(t8.c_str());
+  }
+}
+
+TEST(StrategyDeterminism, WarmCacheDoesNotChangeTrajectory) {
+  // The budget counts cached observations too, so a second run over a
+  // persistent cache must propose the same sequence and land on the same
+  // best point.
+  std::string cachePath = tmpFile("strategy_warm.cache.jsonl");
+  std::remove(cachePath.c_str());
+  KernelSpec spec{BlasOp::Scal, ir::Scal::F64};
+  auto run = [&] {
+    OrchestratorConfig oc;
+    oc.search = smokeConfig(2);
+    oc.cachePath = cachePath;
+    oc.strategy = StrategyKind::Random;
+    oc.budget.maxEvaluations = 24;
+    oc.budget.seed = 11;
+    std::string err;
+    Orchestrator orch(arch::p4e(), oc, &err);
+    EXPECT_TRUE(err.empty()) << err;
+    return orch.tune({spec.name(), spec.hilSource(), &spec}).result;
+  };
+  TuneResult cold = run();
+  TuneResult warm = run();
+  ASSERT_TRUE(cold.ok && warm.ok);
+  EXPECT_EQ(cold.best, warm.best);
+  EXPECT_EQ(cold.bestCycles, warm.bestCycles);
+  EXPECT_EQ(cold.proposals, warm.proposals);
+  EXPECT_EQ(cold.frontier, warm.frontier);
+  EXPECT_EQ(warm.evaluations, 0);  // everything served from the cache
+  std::remove(cachePath.c_str());
+}
+
+TEST(StrategyDeterminism, DifferentSeedsDiverge) {
+  KernelSpec spec{BlasOp::Axpy, ir::Scal::F64};
+  Budget b1, b2;
+  b1.maxEvaluations = b2.maxEvaluations = 24;
+  b1.seed = 1;
+  b2.seed = 2;
+  TuneResult r1 = tuneKernelWithStrategy(spec, arch::p4e(), smokeConfig(),
+                                         StrategyKind::Random, b1);
+  TuneResult r2 = tuneKernelWithStrategy(spec, arch::p4e(), smokeConfig(),
+                                         StrategyKind::Random, b2);
+  ASSERT_TRUE(r1.ok && r2.ok);
+  // Same kernel, same budget: the frontiers (which candidates improved,
+  // when) should differ between seeds on any non-trivial space.
+  EXPECT_NE(r1.frontier, r2.frontier);
+}
+
+// --- budget enforcement -----------------------------------------------------
+
+TEST(Budget, CapsObservedCandidates) {
+  KernelSpec spec{BlasOp::Asum, ir::Scal::F64};
+  for (StrategyKind kind : allStrategies()) {
+    Budget b;
+    b.maxEvaluations = 12;
+    TuneResult r =
+        tuneKernelWithStrategy(spec, arch::p4e(), smokeConfig(), kind, b);
+    ASSERT_TRUE(r.ok) << strategyName(kind) << ": " << r.error;
+    // Checked between proposals: at most one indivisible batch of overshoot.
+    EXPECT_GE(r.proposals, 1) << strategyName(kind);
+    EXPECT_LE(r.proposals, 12 + 32) << strategyName(kind);
+    EXPECT_LE(r.evaluations, r.proposals) << strategyName(kind);
+    ASSERT_FALSE(r.frontier.empty()) << strategyName(kind);
+    EXPECT_EQ(r.frontier.front().proposals, 1);
+    EXPECT_EQ(r.frontier.front().cycles, r.defaultCycles);
+    EXPECT_EQ(r.frontier.back().cycles, r.bestCycles);
+  }
+}
+
+TEST(Budget, RandomStrategyHonorsBatchHintExactly) {
+  // RandomStrategy proposes divisible batches, so it can never overshoot.
+  KernelSpec spec{BlasOp::Copy, ir::Scal::F32};
+  Budget b;
+  b.maxEvaluations = 9;
+  TuneResult r = tuneKernelWithStrategy(spec, arch::p4e(), smokeConfig(),
+                                        StrategyKind::Random, b);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.proposals, 9);
+}
+
+TEST(Budget, CycleBudgetStopsTheSearch) {
+  KernelSpec spec{BlasOp::Dot, ir::Scal::F64};
+  Budget tight;
+  tight.maxCycles = 1;  // the DEFAULTS point already exhausts it
+  TuneResult r = tuneKernelWithStrategy(spec, arch::p4e(), smokeConfig(),
+                                        StrategyKind::Random, tight);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.proposals, 1);
+  EXPECT_EQ(r.bestCycles, r.defaultCycles);
+}
+
+TEST(Budget, UnlimitedFlag) {
+  EXPECT_TRUE(Budget{}.unlimited());
+  Budget b;
+  b.maxEvaluations = 1;
+  EXPECT_FALSE(b.unlimited());
+  Budget c;
+  c.maxCycles = 1;
+  EXPECT_FALSE(c.unlimited());
+}
+
+// --- the strategy registry --------------------------------------------------
+
+TEST(StrategyRegistry, NamesRoundTrip) {
+  for (StrategyKind kind : allStrategies()) {
+    auto parsed = parseStrategyKind(strategyName(kind));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, kind);
+    auto made = makeStrategy(kind, {});
+    ASSERT_NE(made, nullptr);
+    EXPECT_EQ(made->name(), strategyName(kind));
+  }
+  EXPECT_FALSE(parseStrategyKind("annealing").has_value());
+  EXPECT_FALSE(parseStrategyKind("").has_value());
+}
+
+// --- ParamSpace: grids, legality, neighborhood moves ------------------------
+
+TEST(ParamSpaceGrids, MatchTheLineSearchSweeps) {
+  EXPECT_EQ(opt::unrollGrid(false, 128),
+            (std::vector<int>{1, 2, 3, 4, 5, 6, 8, 12, 16, 24, 32, 64, 128}));
+  EXPECT_EQ(opt::unrollGrid(false, 10), (std::vector<int>{1, 2, 3, 4, 5, 6, 8}));
+  EXPECT_EQ(opt::unrollGrid(true, 128), (std::vector<int>{1, 2, 4, 8}));
+  EXPECT_EQ(opt::accumGrid(false), (std::vector<int>{1, 2, 3, 4, 5, 8, 16}));
+  EXPECT_EQ(opt::accumGrid(true), (std::vector<int>{1, 2, 4}));
+  EXPECT_EQ(opt::prefDistMultGrid(true), (std::vector<int>{0, 2, 16}));
+  EXPECT_EQ(opt::prefDistMultGrid(false),
+            (std::vector<int>{0, 1, 2, 3, 4, 6, 8, 12, 16, 20, 24, 28, 32}));
+}
+
+TEST(ParamSpaceTest, SpaceForReflectsTheKernel) {
+  // ddot: two loaded arrays, no stores, accumulators present.
+  opt::ParamSpace dot = spaceForSpec(KernelSpec{BlasOp::Dot, ir::Scal::F64},
+                                     smokeConfig());
+  EXPECT_FALSE(dot.wnt);
+  EXPECT_FALSE(dot.accums.empty());
+  EXPECT_EQ(dot.prefArrays.size(), 2u);
+  EXPECT_TRUE(dot.reduced);
+  EXPECT_GT(dot.size(), 1u);
+
+  // dcopy: stores to Y, no reduction.
+  opt::ParamSpace copy = spaceForSpec(KernelSpec{BlasOp::Copy, ir::Scal::F64},
+                                      smokeConfig());
+  EXPECT_TRUE(copy.wnt);
+  EXPECT_TRUE(copy.accums.empty());
+}
+
+TEST(ParamSpaceTest, SampleAlwaysLegal) {
+  opt::ParamSpace s =
+      spaceForSpec(KernelSpec{BlasOp::Axpy, ir::Scal::F64}, smokeConfig());
+  auto rep = fko::analyzeKernel(
+      KernelSpec{BlasOp::Axpy, ir::Scal::F64}.hilSource(), arch::p4e());
+  TuningParams base = fkoDefaults(rep, arch::p4e());
+  SplitMix64 rng(123);
+  for (int i = 0; i < 200; ++i) {
+    TuningParams p = s.sample(base, rng);
+    EXPECT_TRUE(legal(s, p)) << opt::formatTuningSpec(p);
+  }
+}
+
+TEST(ParamSpaceTest, NeighborsAreLegalDedupedAndExcludeSelf) {
+  opt::ParamSpace s =
+      spaceForSpec(KernelSpec{BlasOp::Dot, ir::Scal::F64}, SearchConfig{});
+  auto rep = fko::analyzeKernel(KernelSpec{BlasOp::Dot, ir::Scal::F64}.hilSource(),
+                                arch::p4e());
+  TuningParams base = fkoDefaults(rep, arch::p4e());
+  std::vector<TuningParams> nb = s.neighbors(base);
+  ASSERT_FALSE(nb.empty());
+  std::set<std::string> keys;
+  const std::string self = opt::formatTuningSpec(base);
+  for (const TuningParams& p : nb) {
+    EXPECT_TRUE(legal(s, p)) << opt::formatTuningSpec(p);
+    std::string key = opt::formatTuningSpec(p);
+    EXPECT_NE(key, self);
+    EXPECT_TRUE(keys.insert(key).second) << "duplicate neighbor " << key;
+  }
+}
+
+TEST(ParamSpaceTest, MutateAndCrossoverStayLegal) {
+  opt::ParamSpace s =
+      spaceForSpec(KernelSpec{BlasOp::Axpy, ir::Scal::F32}, SearchConfig{});
+  auto rep = fko::analyzeKernel(
+      KernelSpec{BlasOp::Axpy, ir::Scal::F32}.hilSource(), arch::p4e());
+  TuningParams base = fkoDefaults(rep, arch::p4e());
+  SplitMix64 rng(99);
+  TuningParams a = s.sample(base, rng);
+  TuningParams b = s.sample(base, rng);
+  for (int i = 0; i < 100; ++i) {
+    TuningParams child = s.crossover(a, b, rng);
+    EXPECT_TRUE(legal(s, child)) << opt::formatTuningSpec(child);
+    TuningParams m = s.mutate(child, rng);
+    EXPECT_TRUE(legal(s, m)) << opt::formatTuningSpec(m);
+    a = child;
+    b = m;
+  }
+}
+
+TEST(ParamSpaceTest, ClampEnforcesTheConstraints) {
+  opt::ParamSpace s;
+  s.unrolls = {1, 2, 4};
+  s.accums = {1, 2};
+  s.maxUnroll = 4;
+  TuningParams p;
+  p.unroll = 64;
+  p.accumExpand = 16;
+  TuningParams c = s.clamp(p);
+  EXPECT_EQ(c.unroll, 4);
+  EXPECT_LE(c.accumExpand, c.unroll);
+  p.unroll = 0;
+  p.accumExpand = 0;
+  c = s.clamp(p);
+  EXPECT_EQ(c.unroll, 1);
+  EXPECT_EQ(c.accumExpand, 1);
+}
+
+// --- stochastic strategies find real improvements ---------------------------
+
+TEST(Strategies, StochasticSearchesImproveOnDefaults) {
+  // At a healthy budget every strategy should at least match the FKO
+  // defaults, and on dscal (WNT + prefetch + UR all live) improve on them.
+  KernelSpec spec{BlasOp::Scal, ir::Scal::F64};
+  for (StrategyKind kind : allStrategies()) {
+    Budget b;
+    b.maxEvaluations = 48;
+    TuneResult r =
+        tuneKernelWithStrategy(spec, arch::p4e(), smokeConfig(), kind, b);
+    ASSERT_TRUE(r.ok) << strategyName(kind) << ": " << r.error;
+    EXPECT_LE(r.bestCycles, r.defaultCycles) << strategyName(kind);
+    EXPECT_LT(r.bestCycles, r.defaultCycles) << strategyName(kind);
+  }
+}
+
+}  // namespace
+}  // namespace ifko::search

@@ -1,0 +1,139 @@
+// Head-to-head comparison of the search strategies at equal budget.
+//
+//   strategy_compare [--arch=p4e|opteron] [--context=ooc|inl2] [--n=N]
+//                    [--fast] [--budget=N] [--search-seed=S]
+//                    [--kernel=NAME]...
+//
+// For each registry kernel (or the --kernel subset), the line search runs
+// first — unlimited unless --budget is given — and its proposal count
+// becomes the budget for every other strategy, so each stochastic search
+// gets exactly as many observed candidates as the paper's search spent.
+// The table reports best cycles (and proposals used) per kernel x strategy,
+// with the per-kernel winner marked '*'.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "arch/machine.h"
+#include "kernels/registry.h"
+#include "search/strategy/strategy.h"
+#include "support/str.h"
+#include "support/table.h"
+
+using namespace ifko;
+
+namespace {
+
+int64_t parseNum(const char* v, int64_t fallback) {
+  char* end = nullptr;
+  long long parsed = std::strtoll(v, &end, 10);
+  return end == v || *end != '\0' ? fallback : parsed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  arch::MachineConfig machine = arch::p4e();
+  sim::TimeContext context = sim::TimeContext::OutOfCache;
+  int64_t n = 0;
+  bool fast = false;
+  int64_t budget = 0;
+  uint64_t seed = 1;
+  std::vector<std::string> only;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--fast") fast = true;
+    else if (a == "--arch=opteron") machine = arch::opteron();
+    else if (a == "--arch=p4e") machine = arch::p4e();
+    else if (a == "--context=inl2") context = sim::TimeContext::InL2;
+    else if (a == "--context=ooc") context = sim::TimeContext::OutOfCache;
+    else if (startsWith(a, "--n=")) n = parseNum(a.c_str() + 4, 0);
+    else if (startsWith(a, "--budget=")) budget = parseNum(a.c_str() + 9, 0);
+    else if (startsWith(a, "--search-seed="))
+      seed = static_cast<uint64_t>(parseNum(a.c_str() + 14, 1));
+    else if (startsWith(a, "--kernel=")) only.push_back(a.substr(9));
+    else {
+      std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
+      return 2;
+    }
+  }
+
+  search::SearchConfig cfg =
+      fast ? search::SearchConfig::smoke() : search::SearchConfig{};
+  cfg.context = context;
+  if (n > 0) cfg.n = n;
+
+  const auto& strategies = search::allStrategies();
+  TextTable t;
+  {
+    std::vector<std::string> header = {"kernel"};
+    for (search::StrategyKind k : strategies)
+      header.push_back(std::string(search::strategyName(k)));
+    t.setHeader(header);
+  }
+
+  int kernelsRun = 0;
+  std::vector<int> wins(strategies.size(), 0);
+  for (const auto& spec : kernels::allKernels()) {
+    if (!only.empty()) {
+      bool wanted = false;
+      for (const auto& name : only) wanted |= name == spec.name();
+      if (!wanted) continue;
+    }
+
+    // The line search sets the budget: what the paper's search spent.
+    search::Budget lineBudget;
+    lineBudget.maxEvaluations = static_cast<int>(budget);
+    lineBudget.seed = seed;
+    std::vector<search::TuneResult> results(strategies.size());
+    results[0] = search::tuneKernelWithStrategy(
+        spec, machine, cfg, search::StrategyKind::Line, lineBudget);
+    if (!results[0].ok) {
+      std::fprintf(stderr, "%s: line search failed: %s\n",
+                   spec.name().c_str(), results[0].error.c_str());
+      continue;
+    }
+    search::Budget matched = lineBudget;
+    matched.maxEvaluations = results[0].proposals;
+    for (size_t s = 1; s < strategies.size(); ++s)
+      results[s] = search::tuneKernelWithStrategy(spec, machine, cfg,
+                                                  strategies[s], matched);
+
+    uint64_t best = UINT64_MAX;
+    for (const auto& r : results)
+      if (r.ok && r.bestCycles < best) best = r.bestCycles;
+
+    std::vector<std::string> cells = {spec.name()};
+    for (size_t s = 0; s < strategies.size(); ++s) {
+      const search::TuneResult& r = results[s];
+      if (!r.ok) {
+        cells.push_back("-");
+        continue;
+      }
+      if (r.bestCycles == best) ++wins[s];
+      cells.push_back(std::to_string(r.bestCycles) +
+                      (r.bestCycles == best ? "*" : "") + " (" +
+                      std::to_string(r.proposals) + ")");
+    }
+    t.addRow(cells);
+    ++kernelsRun;
+    std::fprintf(stderr, "  %-8s done (budget %d)\n", spec.name().c_str(),
+                 matched.maxEvaluations);
+  }
+
+  std::printf("=== strategy comparison: %s, %s, N=%lld, seed %llu ===\n"
+              "(best cycles (proposals used); '*' = per-kernel best)\n\n",
+              machine.name.c_str(),
+              std::string(sim::contextName(context)).c_str(),
+              static_cast<long long>(cfg.n),
+              static_cast<unsigned long long>(seed));
+  std::fputs(t.str().c_str(), stdout);
+  std::printf("\nwins (ties count for every winner) over %d kernels:", kernelsRun);
+  for (size_t s = 0; s < strategies.size(); ++s)
+    std::printf("  %s=%d", std::string(search::strategyName(strategies[s])).c_str(),
+                wins[s]);
+  std::printf("\n");
+  return kernelsRun > 0 ? 0 : 1;
+}
