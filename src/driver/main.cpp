@@ -18,18 +18,26 @@
 //   ifko tune <file.hil> [--arch=...] [--n=N] [--context=ooc|inl2]
 //             [--extensions] [--fast] [--jobs=N] [--cache=FILE] [--trace=FILE]
 //             [--strategy=line|random|hillclimb|evolve] [--budget=N]
-//             [--budget-cycles=N] [--search-seed=S]
+//             [--budget-cycles=N] [--search-seed=S] [--eval-timeout-ms=N]
+//             [--eval-retries=N] [--quarantine=N] [--fault-plan=SPEC]
 //       The empirical search, with the per-dimension ledger.  --strategy
 //       picks the search policy (default: the paper's line search);
 //       --budget caps observed candidates, --budget-cycles caps simulated
 //       cycles spent, and --search-seed seeds the stochastic strategies
 //       (same seed + budget => same proposals at any --jobs).  A stochastic
 //       strategy with no budget gets a default of 128 evaluations.
+//       Fault isolation: --eval-timeout-ms deadlines each candidate in
+//       deterministic simulated work (0 = off), --eval-retries bounds extra
+//       attempts after a timeout/crash (default 1), --quarantine abandons a
+//       kernel after N hard failures (default 3, 0 = never), and
+//       --fault-plan injects deterministic faults for testing (grammar in
+//       docs/TUNING.md).
 //
 //   ifko tune-all <dir> [--arch=...] [--n=N] [--context=ooc|inl2] [--fast]
 //                 [--extensions] [--jobs=N] [--cache=FILE] [--trace=FILE]
 //                 [--strategy=...] [--budget=N] [--budget-cycles=N]
-//                 [--search-seed=S]
+//                 [--search-seed=S] [--eval-timeout-ms=N] [--eval-retries=N]
+//                 [--quarantine=N] [--fault-plan=SPEC]
 //       Batch-tunes every *.hil kernel in <dir> through the orchestrator and
 //       prints a Table-3-style summary with turnaround and cache statistics.
 //
@@ -89,6 +97,10 @@ struct Options {
   int64_t budget = 0;        ///< max observed candidates; 0 = unlimited
   int64_t budgetCycles = 0;  ///< max simulated cycles spent; 0 = unlimited
   int64_t searchSeed = 1;
+  int64_t evalTimeoutMs = 0;  ///< per-candidate deadline; 0 = off
+  int64_t evalRetries = 1;    ///< extra attempts after a hard failure
+  int64_t quarantine = 3;     ///< hard failures before abandoning; 0 = never
+  search::FaultPlan faultPlan;
   bool ok = true;
 };
 
@@ -194,6 +206,21 @@ Options parseOptions(int argc, char** argv, int first) {
       intFlag(*v, "--budget-cycles", 1, &o.budgetCycles);
     } else if (auto v = value("--search-seed=")) {
       intFlag(*v, "--search-seed", 0, &o.searchSeed);
+    } else if (auto v = value("--eval-timeout-ms=")) {
+      intFlag(*v, "--eval-timeout-ms", 0, &o.evalTimeoutMs);
+    } else if (auto v = value("--eval-retries=")) {
+      intFlag(*v, "--eval-retries", 0, &o.evalRetries);
+    } else if (auto v = value("--quarantine=")) {
+      intFlag(*v, "--quarantine", 0, &o.quarantine);
+    } else if (auto v = value("--fault-plan=")) {
+      std::string perr;
+      auto plan = search::FaultPlan::parse(*v, &perr);
+      if (!plan.has_value()) {
+        std::fprintf(stderr, "bad --fault-plan: %s\n", perr.c_str());
+        o.ok = false;
+      } else {
+        o.faultPlan = *plan;
+      }
     } else if (auto v = value("--context=")) {
       o.context = *v == "inl2" ? sim::TimeContext::InL2
                                : sim::TimeContext::OutOfCache;
@@ -218,6 +245,8 @@ search::SearchConfig searchConfig(const Options& o) {
   cfg.context = o.context;
   cfg.jobs = o.jobs;
   cfg.searchExtensions = o.extensions;
+  cfg.evalTimeoutMs = o.evalTimeoutMs;
+  cfg.maxEvalAttempts = static_cast<int>(o.evalRetries) + 1;
   return cfg;
 }
 
@@ -236,7 +265,25 @@ search::OrchestratorConfig orchestratorConfig(const Options& o) {
   oc.budget.seed = static_cast<uint64_t>(o.searchSeed);
   if (oc.strategy != search::StrategyKind::Line && oc.budget.unlimited())
     oc.budget.maxEvaluations = 128;
+  oc.quarantineAfter = static_cast<int>(o.quarantine);
+  oc.faultPlan = o.faultPlan;
   return oc;
+}
+
+/// "2 timeouts, 1 crash, 3 retries" — only the nonzero categories.
+std::string faultSummary(const search::FailureCounts& f) {
+  std::string s;
+  auto item = [&](int n, const char* one, const char* many) {
+    if (n == 0) return;
+    if (!s.empty()) s += ", ";
+    s += std::to_string(n) + " " + (n == 1 ? one : many);
+  };
+  item(f.timeouts, "timeout", "timeouts");
+  item(f.crashes, "crash", "crashes");
+  item(f.testerFails, "tester fail", "tester fails");
+  item(f.compileFails, "compile fail", "compile fails");
+  item(f.retries, "retry", "retries");
+  return s;
 }
 
 int cmdAnalyze(const std::string& src, const Options& o) {
@@ -313,6 +360,9 @@ int cmdTune(const std::string& path, const std::string& src, const Options& o) {
   const search::TuneResult& r = outcome.result;
   if (!r.ok) {
     std::fprintf(stderr, "tuning failed: %s\n", r.error.c_str());
+    if (outcome.faults.total() > 0)
+      std::fprintf(stderr, "evaluation failures: %s\n",
+                   faultSummary(outcome.faults).c_str());
     return 1;
   }
   std::printf("FKO defaults: %llu cycles\n",
@@ -341,6 +391,9 @@ int cmdTune(const std::string& path, const std::string& src, const Options& o) {
                 r.proposals, budget.c_str(),
                 static_cast<unsigned long long>(oc.budget.seed));
   }
+  if (outcome.faults.total() > 0 || outcome.faults.retries > 0)
+    std::printf("evaluation failures survived: %s\n",
+                faultSummary(outcome.faults).c_str());
   if (!o.cachePath.empty())
     std::printf("cache: %llu hits / %llu misses (%zu entries in %s)\n",
                 static_cast<unsigned long long>(outcome.cacheHits),
@@ -372,14 +425,30 @@ int cmdTuneAll(const std::string& dir, const Options& o) {
                o.machine.name.c_str(), std::max(1, o.jobs));
   auto batch = orch.tuneAll(jobs);
 
+  // Compact per-kernel fault cell: "2t 1c" = 2 timeouts, 1 crash; "-" = clean.
+  auto faultCell = [](const search::FailureCounts& f) {
+    std::string s;
+    auto item = [&](int n, const char* tag) {
+      if (n == 0) return;
+      if (!s.empty()) s += " ";
+      s += std::to_string(n) + tag;
+    };
+    item(f.timeouts, "t");
+    item(f.crashes, "c");
+    item(f.testerFails, "x");
+    item(f.compileFails, "e");
+    return s.empty() ? "-" : s;
+  };
+
   TextTable t;
   t.setHeader({"kernel", "SV:WNT", "PF X", "PF Y", "UR:AE", "FKO cyc",
-               "ifko cyc", "speedup", "evals", "hit%", "sec"});
+               "ifko cyc", "speedup", "evals", "faults", "hit%", "sec"});
   for (const auto& k : batch.kernels) {
     const search::TuneResult& r = k.result;
     if (!r.ok) {
-      t.addRow({k.name, "-", "-", "-", "-", "-", "-", "-", "-", "-",
-                fmtFixed(k.seconds, 2)});
+      t.addRow({k.name + (k.quarantined ? " (quarantined)" : ""), "-", "-",
+                "-", "-", "-", "-", "-", std::to_string(r.evaluations),
+                faultCell(k.faults), "-", fmtFixed(k.seconds, 2)});
       continue;
     }
     auto row = search::paramsRow(r.best, r.analysis);
@@ -390,15 +459,15 @@ int cmdTuneAll(const std::string& dir, const Options& o) {
     t.addRow({k.name, row[0], row[1], row[2], row[3],
               std::to_string(r.defaultCycles), std::to_string(r.bestCycles),
               fmtFixed(r.speedupOverDefaults(), 2) + "x",
-              std::to_string(r.evaluations), fmtFixed(hitPct, 1),
-              fmtFixed(k.seconds, 2)});
+              std::to_string(r.evaluations), faultCell(k.faults),
+              fmtFixed(hitPct, 1), fmtFixed(k.seconds, 2)});
   }
   std::fputs(t.str().c_str(), stdout);
 
-  std::printf("\n%zu kernels (%d failed) in %.2f s wall: %d evaluations, "
-              "cache %.1f%% hits (%llu/%llu)",
-              batch.kernels.size(), batch.failures(), batch.wallSeconds,
-              batch.evaluations, 100.0 * batch.hitRate(),
+  std::printf("\n%zu kernels (%d failed, %d quarantined) in %.2f s wall: "
+              "%d evaluations, cache %.1f%% hits (%llu/%llu)",
+              batch.kernels.size(), batch.failures(), batch.quarantined(),
+              batch.wallSeconds, batch.evaluations, 100.0 * batch.hitRate(),
               static_cast<unsigned long long>(batch.cacheHits),
               static_cast<unsigned long long>(batch.cacheHits +
                                               batch.cacheMisses));
@@ -406,6 +475,9 @@ int cmdTuneAll(const std::string& dir, const Options& o) {
     std::printf(", %zu cached entries in %s", orch.cache().size(),
                 o.cachePath.c_str());
   std::printf("\n");
+  if (batch.faults.total() > 0 || batch.faults.retries > 0)
+    std::printf("evaluation failures survived: %s\n",
+                faultSummary(batch.faults).c_str());
   for (const auto& k : batch.kernels)
     if (!k.result.ok)
       std::fprintf(stderr, "FAILED %s: %s\n", k.name.c_str(),

@@ -59,6 +59,19 @@ bool EvalCache::open(const std::string& path, std::string* error) {
           ++damagedLines_;
           continue;
         }
+        // v2 lines carry the failure status; a v1 line's cycles==0 is some
+        // failure whose flavour was never recorded.
+        EvalRecord rec{static_cast<uint64_t>(cycles),
+                       cycles != 0 ? EvalOutcome::Status::Timed
+                                   : EvalOutcome::Status::FailUnknown};
+        if (const std::string* status = str("status")) {
+          auto parsed = parseEvalStatus(*status);
+          if (!parsed.has_value()) {
+            ++damagedLines_;
+            continue;
+          }
+          rec.status = *parsed;
+        }
         EvalKey key{*source,
                     *machine,
                     *context,
@@ -66,7 +79,7 @@ bool EvalCache::open(const std::string& path, std::string* error) {
                     static_cast<uint64_t>(seed),
                     static_cast<int64_t>(testerN),
                     *params};
-        map_[key.str()] = static_cast<uint64_t>(cycles);
+        map_[key.str()] = rec;
       }
       if (in.bad()) return fail("error reading cache file '" + path + "'");
     }
@@ -80,7 +93,7 @@ bool EvalCache::open(const std::string& path, std::string* error) {
   return true;
 }
 
-std::optional<uint64_t> EvalCache::lookup(const EvalKey& key) {
+std::optional<EvalRecord> EvalCache::lookup(const EvalKey& key) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = map_.find(key.str());
   if (it == map_.end()) {
@@ -91,9 +104,10 @@ std::optional<uint64_t> EvalCache::lookup(const EvalKey& key) {
   return it->second;
 }
 
-void EvalCache::insert(const EvalKey& key, uint64_t cycles) {
+void EvalCache::insert(const EvalKey& key, uint64_t cycles,
+                       EvalOutcome::Status status) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto [it, inserted] = map_.emplace(key.str(), cycles);
+  auto [it, inserted] = map_.emplace(key.str(), EvalRecord{cycles, status});
   if (!inserted) return;
   if (out_ == nullptr) return;
   JsonWriter w;
@@ -104,7 +118,8 @@ void EvalCache::insert(const EvalKey& key, uint64_t cycles) {
       .field("seed", key.seed)
       .field("tester_n", key.testerN)
       .field("params", key.params)
-      .field("cycles", cycles);
+      .field("cycles", cycles)
+      .field("status", std::string(evalStatusName(status)));
   // One whole line per fputs + flush: an interrupted run can only ever
   // truncate the final line, which load() skips.
   std::fputs((w.str() + "\n").c_str(), out_);

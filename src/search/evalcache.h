@@ -12,6 +12,13 @@
 // and concurrent readers always see complete records.  Malformed lines are
 // skipped on load, never fatal: a truncated tail from a crash only costs
 // those entries.
+//
+// Schema v2: each line also records the evaluation's `status`
+// (timed|compile_fail|tester_fail|timeout|crash), so warm runs replay
+// failures faithfully instead of guessing what a cycles==0 entry meant.
+// v1 lines (no status field) still load: cycles > 0 reads as Timed,
+// cycles == 0 as FailUnknown — "some failure whose flavour the cache did
+// not record".
 #pragma once
 
 #include <cstdint>
@@ -20,6 +27,8 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+
+#include "search/linesearch.h"
 
 namespace ifko::search {
 
@@ -41,6 +50,12 @@ struct EvalKey {
   [[nodiscard]] std::string str() const;
 };
 
+/// One memoized evaluation: the cycles and how the evaluation ended.
+struct EvalRecord {
+  uint64_t cycles = 0;
+  EvalOutcome::Status status = EvalOutcome::Status::Timed;
+};
+
 /// Thread-safe evaluation memo with optional JSONL persistence.
 class EvalCache {
  public:
@@ -55,13 +70,14 @@ class EvalCache {
   /// stays memory-only.
   bool open(const std::string& path, std::string* error = nullptr);
 
-  /// Returns the memoized cycles, counting a hit or miss.
-  [[nodiscard]] std::optional<uint64_t> lookup(const EvalKey& key);
+  /// Returns the memoized record, counting a hit or miss.
+  [[nodiscard]] std::optional<EvalRecord> lookup(const EvalKey& key);
 
-  /// Records `cycles` (0 = candidate failed) and appends it to the
-  /// persistence file when one is attached.  Re-inserting an existing key
-  /// is a no-op (no duplicate line is written).
-  void insert(const EvalKey& key, uint64_t cycles);
+  /// Records the evaluation (cycles plus failure status) and appends it to
+  /// the persistence file when one is attached.  Re-inserting an existing
+  /// key is a no-op (no duplicate line is written).
+  void insert(const EvalKey& key, uint64_t cycles,
+              EvalOutcome::Status status = EvalOutcome::Status::Timed);
 
   [[nodiscard]] size_t size() const;
   [[nodiscard]] uint64_t hits() const;
@@ -77,7 +93,7 @@ class EvalCache {
 
  private:
   mutable std::mutex mu_;
-  std::unordered_map<std::string, uint64_t> map_;
+  std::unordered_map<std::string, EvalRecord> map_;
   std::FILE* out_ = nullptr;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;

@@ -1,0 +1,193 @@
+#include "search/faultguard.h"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <thread>
+
+#include "sim/budget.h"
+#include "support/rng.h"
+#include "support/str.h"
+
+namespace ifko::search {
+
+std::string_view faultKindName(FaultPlan::Kind kind) {
+  switch (kind) {
+    case FaultPlan::Kind::Crash: return "crash";
+    case FaultPlan::Kind::Hang: return "hang";
+    case FaultPlan::Kind::TesterFail: return "tester";
+  }
+  return "?";
+}
+
+std::optional<FaultPlan::Kind> FaultPlan::fires(uint64_t evalIndex,
+                                                int attempt) const {
+  for (const Rule& r : rules) {
+    if (r.transient && attempt > 1) continue;
+    bool due = false;
+    if (r.oneIn != 0) {
+      // Seed-stable per-index decision: hash the index through SplitMix64
+      // so neighbouring indices are uncorrelated.
+      due = SplitMix64(r.seed * 0x9E3779B97F4A7C15ull + evalIndex).next() %
+                r.oneIn ==
+            0;
+    } else if (r.every != 0) {
+      due = evalIndex >= r.at && (evalIndex - r.at) % r.every == 0;
+    } else {
+      due = evalIndex == r.at;
+    }
+    if (due) return r.kind;
+  }
+  return std::nullopt;
+}
+
+std::optional<FaultPlan> FaultPlan::parse(const std::string& spec,
+                                          std::string* error) {
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return std::optional<FaultPlan>{};
+  };
+  auto parseU64 = [](std::string_view s, uint64_t* out) {
+    if (s.empty()) return false;
+    uint64_t v = 0;
+    for (char c : s) {
+      if (c < '0' || c > '9') return false;
+      v = v * 10 + static_cast<uint64_t>(c - '0');
+    }
+    *out = v;
+    return v != 0;  // 0 is never a valid index/period/seed here
+  };
+
+  FaultPlan plan;
+  for (const std::string& partStr : split(spec, ',')) {
+    std::string_view part = trim(partStr);
+    if (part.empty()) continue;
+    Rule rule;
+    std::string_view rest = part;
+    // Trailing ":once" / ":seed=S" options, in any order.
+    for (size_t colon = rest.rfind(':'); colon != std::string_view::npos;
+         colon = rest.rfind(':')) {
+      std::string_view opt = rest.substr(colon + 1);
+      if (opt == "once") {
+        rule.transient = true;
+      } else if (opt.substr(0, 5) == "seed=") {
+        if (!parseU64(opt.substr(5), &rule.seed))
+          return fail("bad seed in fault rule '" + std::string(part) + "'");
+      } else {
+        break;  // not an option — part of the schedule (unknown -> error below)
+      }
+      rest = rest.substr(0, colon);
+    }
+
+    size_t sep = rest.find_first_of("@%");
+    if (sep == std::string_view::npos || sep == 0)
+      return fail("fault rule '" + std::string(part) +
+                  "' wants kind@N, kind@N+K, or kind%P");
+    std::string_view kindStr = rest.substr(0, sep);
+    if (kindStr == "crash") rule.kind = Kind::Crash;
+    else if (kindStr == "hang") rule.kind = Kind::Hang;
+    else if (kindStr == "tester") rule.kind = Kind::TesterFail;
+    else
+      return fail("unknown fault kind '" + std::string(kindStr) +
+                  "' (want crash|hang|tester)");
+
+    std::string_view sched = rest.substr(sep + 1);
+    if (rest[sep] == '%') {
+      if (!parseU64(sched, &rule.oneIn))
+        return fail("bad probability in fault rule '" + std::string(part) +
+                    "' (want kind%P with integer P >= 1)");
+    } else {
+      size_t plus = sched.find('+');
+      std::string_view atStr =
+          plus == std::string_view::npos ? sched : sched.substr(0, plus);
+      if (!parseU64(atStr, &rule.at))
+        return fail("bad evaluation index in fault rule '" +
+                    std::string(part) + "'");
+      if (plus != std::string_view::npos &&
+          !parseU64(sched.substr(plus + 1), &rule.every))
+        return fail("bad period in fault rule '" + std::string(part) + "'");
+    }
+    plan.rules.push_back(rule);
+  }
+  return plan;
+}
+
+namespace {
+
+/// What an injected crash throws.  Any exception type would do — the guard
+/// classifies everything non-TimeoutError as Crash — but a named message
+/// keeps diagnostics honest about the fault being injected.
+struct InjectedCrash : std::runtime_error {
+  explicit InjectedCrash(uint64_t idx)
+      : std::runtime_error("injected crash at evaluation " +
+                           std::to_string(idx)) {}
+};
+
+}  // namespace
+
+std::optional<EvalOutcome> FaultInjector::fire(uint64_t evalIndex,
+                                               int attempt) const {
+  std::optional<FaultPlan::Kind> kind = plan_.fires(evalIndex, attempt);
+  if (!kind.has_value()) return std::nullopt;
+  switch (*kind) {
+    case FaultPlan::Kind::Crash:
+      throw InjectedCrash(evalIndex);
+    case FaultPlan::Kind::Hang:
+      // A hang is "work that never ends": burn the cooperative budget in
+      // chunks until the deadline fires.  With no deadline armed the hang
+      // would be unbounded, so it times out immediately — containment must
+      // not depend on the flag being set.
+      if (!sim::ScopedEvalBudget::active())
+        throw sim::TimeoutError("injected hang at evaluation " +
+                                std::to_string(evalIndex) +
+                                " (no deadline armed)");
+      for (;;) sim::ScopedEvalBudget::chargeSteps(1u << 20);
+    case FaultPlan::Kind::TesterFail:
+      return EvalOutcome{0, EvalOutcome::Status::TesterFail};
+  }
+  return std::nullopt;
+}
+
+EvalOutcome guardedEvaluateCandidate(
+    const std::string& hilSource, const fko::LoweredKernel& lowered,
+    const kernels::KernelSpec* spec, const fko::AnalysisReport& analysis,
+    const arch::MachineConfig& machine, const SearchConfig& config,
+    const opt::TuningParams& params, FaultInjector* injector) {
+  const int maxAttempts = std::max(1, config.maxEvalAttempts);
+  const uint64_t evalIndex =
+      injector != nullptr && !injector->empty() ? injector->nextIndex() : 0;
+
+  EvalOutcome last{0, EvalOutcome::Status::Crash};
+  for (int attempt = 1; attempt <= maxAttempts; ++attempt) {
+    try {
+      std::optional<sim::ScopedEvalBudget> deadline;
+      if (config.evalTimeoutMs > 0) {
+        const uint64_t ms = static_cast<uint64_t>(config.evalTimeoutMs);
+        deadline.emplace(ms * kStepsPerTimeoutMs, ms * kCyclesPerTimeoutMs);
+      }
+      if (evalIndex != 0) {
+        if (auto forced = injector->fire(evalIndex, attempt)) {
+          forced->attempts = attempt;
+          return *forced;  // deterministic rejection: no retry
+        }
+      }
+      EvalOutcome o = evaluateCandidate(hilSource, lowered, spec, analysis,
+                                        machine, config, params);
+      o.attempts = attempt;
+      return o;
+    } catch (const sim::TimeoutError&) {
+      last = {0, EvalOutcome::Status::Timeout};
+    } catch (...) {
+      last = {0, EvalOutcome::Status::Crash};
+    }
+    last.attempts = attempt;
+    if (attempt < maxAttempts && config.retryBackoffMs > 0) {
+      int64_t ms = std::min<int64_t>(config.retryBackoffMs << (attempt - 1),
+                                     1000);
+      std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    }
+  }
+  return last;
+}
+
+}  // namespace ifko::search

@@ -1,0 +1,149 @@
+// Fault-isolated candidate evaluation: the robustness layer around
+// evaluateCandidate.
+//
+// iFKO's search only works because every candidate is vetted by a
+// timer+tester loop that survives bad candidates (paper §3): the tester
+// rejects transformations that break correctness, and the timer must keep
+// going no matter what one candidate does.  The plain evaluateCandidate is
+// pure but not contained — a simulator machine fault escapes as an
+// exception and an infinite candidate never returns.  guardedEvaluate
+// closes both holes:
+//
+//   * a cooperative deadline (sim::ScopedEvalBudget, from
+//     SearchConfig::evalTimeoutMs) turns hangs into EvalOutcome::Timeout;
+//   * every exception is caught and classified — sim::TimeoutError becomes
+//     Timeout, anything else becomes Crash — so a throwing candidate can
+//     never unwind into a worker thread (std::terminate) or the search;
+//   * hard failures (Timeout/Crash) are retried with bounded exponential
+//     backoff, because they may be transient; deterministic rejections
+//     (CompileFail/TesterFail) are not.
+//
+// FaultPlan/FaultInjector make that machinery testable: a deterministic,
+// seedable schedule of injected crash/hang/tester faults applied at the
+// same point a real fault would occur, used by faultguard_test and
+// bench_fault_recovery to prove a batch survives faults on any schedule at
+// any --jobs.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "search/linesearch.h"
+
+namespace ifko::search {
+
+/// Per-kernel evaluation-failure tally, post-retry: what the orchestrator
+/// reports per kernel and the quarantine policy counts.
+struct FailureCounts {
+  int timeouts = 0;
+  int crashes = 0;
+  int testerFails = 0;
+  int compileFails = 0;
+  int retries = 0;  ///< extra attempts spent on hard failures
+
+  /// Hard failures: the quarantine-relevant count.
+  [[nodiscard]] int hard() const { return timeouts + crashes; }
+  [[nodiscard]] int total() const {
+    return timeouts + crashes + testerFails + compileFails;
+  }
+  void add(const EvalOutcome& o) {
+    switch (o.status) {
+      case EvalOutcome::Status::Timeout: ++timeouts; break;
+      case EvalOutcome::Status::Crash: ++crashes; break;
+      case EvalOutcome::Status::TesterFail: ++testerFails; break;
+      case EvalOutcome::Status::CompileFail: ++compileFails; break;
+      default: break;
+    }
+    retries += o.attempts - 1;
+  }
+  FailureCounts& operator+=(const FailureCounts& o) {
+    timeouts += o.timeouts;
+    crashes += o.crashes;
+    testerFails += o.testerFails;
+    compileFails += o.compileFails;
+    retries += o.retries;
+    return *this;
+  }
+};
+
+/// A deterministic schedule of injected evaluation faults.  Evaluations
+/// are numbered 1, 2, ... in the order the guarded path starts them (per
+/// FaultInjector); a rule decides from that index and the attempt number
+/// whether to fault.  Spec grammar (comma-separated rules):
+///
+///   kind@N        fault evaluation N
+///   kind@N+K      fault evaluations N, N+K, N+2K, ...
+///   kind%P:seed=S fault pseudo-randomly ~1/P of evaluations (SplitMix64
+///                 of S and the index, so the schedule is seed-stable)
+///   ...:once      any rule: transient — fires on attempt 1 only, so a
+///                 retry succeeds
+///   kind          crash | hang | tester
+///
+/// e.g. "crash@3,hang@10+7:once,tester%5:seed=42".
+struct FaultPlan {
+  enum class Kind : uint8_t { Crash, Hang, TesterFail };
+  struct Rule {
+    Kind kind = Kind::Crash;
+    uint64_t at = 0;     ///< first evaluation index hit (1-based); 0 = random rule
+    uint64_t every = 0;  ///< repeat period; 0 = fire once (at-rules only)
+    uint64_t oneIn = 0;  ///< random rule: fire when hash(seed,i) % oneIn == 0
+    uint64_t seed = 1;
+    bool transient = false;
+  };
+  std::vector<Rule> rules;
+
+  [[nodiscard]] bool empty() const { return rules.empty(); }
+  /// The fault (if any) rule-scheduled for this evaluation and attempt.
+  [[nodiscard]] std::optional<Kind> fires(uint64_t evalIndex,
+                                          int attempt) const;
+  /// Parses the spec grammar above; "" parses to an empty plan.
+  [[nodiscard]] static std::optional<FaultPlan> parse(const std::string& spec,
+                                                      std::string* error);
+};
+
+[[nodiscard]] std::string_view faultKindName(FaultPlan::Kind kind);
+
+/// Applies a FaultPlan across one run: hands out evaluation indices
+/// (thread-safe, so pool workers share one numbering) and raises the
+/// scheduled faults the way the real ones happen — Crash throws, Hang
+/// burns the thread's sim::ScopedEvalBudget until it expires (or throws
+/// TimeoutError outright when no deadline is armed), TesterFail returns a
+/// forced rejection.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+  [[nodiscard]] bool empty() const { return plan_.empty(); }
+  /// Claims the next evaluation index (first call returns 1).
+  [[nodiscard]] uint64_t nextIndex() { return ++count_; }
+  /// Raises the fault scheduled for (evalIndex, attempt), if any: throws
+  /// for crash/hang, returns a forced outcome for tester faults, returns
+  /// nullopt when no fault is due.
+  std::optional<EvalOutcome> fire(uint64_t evalIndex, int attempt) const;
+  /// Evaluation indices handed out so far.
+  [[nodiscard]] uint64_t evaluationsStarted() const { return count_.load(); }
+
+ private:
+  FaultPlan plan_;
+  std::atomic<uint64_t> count_{0};
+};
+
+/// evaluateCandidate with containment: deadline, classification, retry.
+/// Never throws — every failure comes back as a structured EvalOutcome.
+/// `injector` (may be null) injects the FaultPlan's scheduled faults.
+[[nodiscard]] EvalOutcome guardedEvaluateCandidate(
+    const std::string& hilSource, const fko::LoweredKernel& lowered,
+    const kernels::KernelSpec* spec, const fko::AnalysisReport& analysis,
+    const arch::MachineConfig& machine, const SearchConfig& config,
+    const opt::TuningParams& params, FaultInjector* injector = nullptr);
+
+/// The deterministic ms -> simulated-work conversion behind evalTimeoutMs:
+/// steps = ms * 100'000 interpreter steps, cycles = ms * 1'000'000 model
+/// cycles.  Exposed so tests and docs agree with the implementation.
+inline constexpr uint64_t kStepsPerTimeoutMs = 100'000;
+inline constexpr uint64_t kCyclesPerTimeoutMs = 1'000'000;
+
+}  // namespace ifko::search

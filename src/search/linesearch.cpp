@@ -6,6 +6,7 @@
 #include "fko/harness.h"
 #include "kernels/tester.h"
 #include "opt/paramspace.h"
+#include "search/faultguard.h"
 
 namespace ifko::search {
 
@@ -21,9 +22,19 @@ std::string_view evalStatusName(EvalOutcome::Status s) {
     case EvalOutcome::Status::Timed: return "timed";
     case EvalOutcome::Status::CompileFail: return "compile_fail";
     case EvalOutcome::Status::TesterFail: return "tester_fail";
-    case EvalOutcome::Status::Cached: return "cached";
+    case EvalOutcome::Status::Timeout: return "timeout";
+    case EvalOutcome::Status::Crash: return "crash";
+    case EvalOutcome::Status::FailUnknown: return "fail";
   }
   return "?";
+}
+
+std::optional<EvalOutcome::Status> parseEvalStatus(std::string_view name) {
+  using S = EvalOutcome::Status;
+  for (S s : {S::Timed, S::CompileFail, S::TesterFail, S::Timeout, S::Crash,
+              S::FailUnknown})
+    if (evalStatusName(s) == name) return s;
+  return std::nullopt;
 }
 
 void Evaluator::onDimensionEnd(const std::string&, uint64_t,
@@ -142,13 +153,16 @@ class SerialEvaluator final : public Evaluator {
       std::string key = opt::formatTuningSpec(params);
       auto it = memo_.find(key);
       if (it != memo_.end()) {
-        out.push_back({it->second, EvalOutcome::Status::Cached});
+        EvalOutcome o = it->second;
+        o.fromCache = true;
+        out.push_back(o);
         continue;
       }
       ++evaluations_;
-      EvalOutcome o = evaluateCandidate(source_, lowered_, spec_, analysis_,
-                                        machine_, config_, params);
-      memo_[key] = o.cycles;
+      EvalOutcome o = guardedEvaluateCandidate(source_, lowered_, spec_,
+                                               analysis_, machine_, config_,
+                                               params);
+      memo_[key] = o;
       out.push_back(o);
     }
     return out;
@@ -163,7 +177,7 @@ class SerialEvaluator final : public Evaluator {
   const SearchConfig& config_;
   fko::AnalysisReport analysis_;
   fko::LoweredKernel lowered_;
-  std::map<std::string, uint64_t> memo_;
+  std::map<std::string, EvalOutcome> memo_;
   int evaluations_ = 0;
 };
 

@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -66,6 +67,20 @@ struct SearchConfig {
   /// paper lists as planned work.  Off by default so Table 3 matches the
   /// evaluated FKO.
   bool searchExtensions = false;
+
+  // --- fault isolation (search/faultguard.h) -------------------------------
+  /// Per-candidate deadline in "milliseconds", converted at a fixed
+  /// deterministic rate into an interpreter-step and simulated-cycle budget
+  /// (sim/budget.h) so the verdict is reproducible on any host and any
+  /// --jobs.  0 disables the deadline.
+  int64_t evalTimeoutMs = 0;
+  /// Total attempts per candidate (first try + retries) for hard failures
+  /// (Timeout/Crash).  Deterministic rejections are never retried.  1 = no
+  /// retry; values < 1 behave as 1.
+  int maxEvalAttempts = 2;
+  /// Base backoff between retry attempts, doubled per attempt, capped at
+  /// 1 s.  0 retries immediately (what tests use).
+  int64_t retryBackoffMs = 0;
 
   // Special members spelled out inside the suppression region so that
   // initializing/copying the deprecated `fast` member warns only at direct
@@ -141,15 +156,45 @@ struct TuneResult {
 };
 
 /// Outcome of evaluating one candidate parameter set.  cycles == 0 means
-/// the candidate is unusable (failed to compile or rejected by the tester).
+/// the candidate is unusable; `status` records which way it failed:
+///
+///   Timed        compiled, passed the tester, timed (cycles != 0)
+///   CompileFail  the transformed kernel did not compile
+///   TesterFail   compiled but computed a wrong answer (paper §3: the
+///                tester rejects transformations that break correctness)
+///   Timeout      exceeded its cooperative step/cycle deadline (sim/budget.h)
+///   Crash        the evaluation threw — a simulator machine fault or an
+///                injected fault, contained by search/faultguard.h
+///   FailUnknown  a pre-status cache line recorded only cycles == 0; the
+///                failure flavour was never written down
+///
+/// CompileFail/TesterFail are deterministic rejections; Timeout/Crash are
+/// the "hard" failures the guarded path retries and the orchestrator's
+/// quarantine counts.
 struct EvalOutcome {
-  enum class Status : uint8_t { Timed, CompileFail, TesterFail, Cached };
+  enum class Status : uint8_t {
+    Timed, CompileFail, TesterFail, Timeout, Crash, FailUnknown
+  };
   uint64_t cycles = 0;
   Status status = Status::Timed;
+  bool fromCache = false;  ///< replayed from a memo/cache, not re-evaluated
+  int attempts = 1;        ///< evaluation attempts the guarded path spent
+
+  [[nodiscard]] bool usable() const {
+    return status == Status::Timed && cycles != 0;
+  }
+  /// Timeout or Crash: possibly transient, worth a retry, quarantine-worthy.
+  [[nodiscard]] bool hardFailure() const {
+    return status == Status::Timeout || status == Status::Crash;
+  }
 };
 
-/// Trace-friendly name: "timed", "compile_fail", "tester_fail", "cached".
+/// Trace/cache name: "timed", "compile_fail", "tester_fail", "timeout",
+/// "crash", "fail" (FailUnknown).
 [[nodiscard]] std::string_view evalStatusName(EvalOutcome::Status s);
+/// Inverse of evalStatusName; nullopt for unknown strings.
+[[nodiscard]] std::optional<EvalOutcome::Status> parseEvalStatus(
+    std::string_view name);
 
 /// Evaluation backend for the search core.
 class Evaluator {

@@ -2,90 +2,28 @@
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
-#include <deque>
 #include <filesystem>
 #include <fstream>
-#include <functional>
 #include <sstream>
-#include <thread>
 #include <unordered_map>
 
+#include "search/threadpool.h"
 #include "support/hash.h"
 #include "support/json.h"
 
 namespace ifko::search {
 
-namespace detail {
+namespace {
 
-/// Fixed-size worker pool executing index-space batches.  The orchestrator
-/// thread blocks until a batch drains; workers persist across batches.
-class ThreadPool {
- public:
-  explicit ThreadPool(int threads) {
-    for (int i = 0; i < std::max(0, threads); ++i)
-      workers_.emplace_back([this] { workerLoop(); });
-  }
-
-  ~ThreadPool() {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      stop_ = true;
-    }
-    cv_.notify_all();
-    for (auto& w : workers_) w.join();
-  }
-
-  /// Runs fn(0) .. fn(count-1) across the workers; returns when all have.
-  void parallelFor(size_t count, const std::function<void(size_t)>& fn) {
-    if (count == 0) return;
-    if (workers_.empty() || count == 1) {
-      for (size_t i = 0; i < count; ++i) fn(i);
-      return;
-    }
-    std::mutex doneMu;
-    std::condition_variable doneCv;
-    size_t done = 0;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      for (size_t i = 0; i < count; ++i)
-        queue_.push_back([&, i] {
-          fn(i);
-          {
-            std::lock_guard<std::mutex> dl(doneMu);
-            ++done;
-          }
-          doneCv.notify_one();
-        });
-    }
-    cv_.notify_all();
-    std::unique_lock<std::mutex> dl(doneMu);
-    doneCv.wait(dl, [&] { return done == count; });
-  }
-
- private:
-  void workerLoop() {
-    for (;;) {
-      std::function<void()> task;
-      {
-        std::unique_lock<std::mutex> lock(mu_);
-        cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-        if (stop_ && queue_.empty()) return;
-        task = std::move(queue_.front());
-        queue_.pop_front();
-      }
-      task();
-    }
-  }
-
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  std::vector<std::thread> workers_;
-  bool stop_ = false;
+/// Thrown by OrchestratedEvaluator (on the orchestrator thread, after a
+/// batch drains) when a kernel crosses the quarantine threshold; caught by
+/// Orchestrator::tune, which turns it into a failed-with-diagnostic
+/// outcome.  Never escapes the orchestrator.
+struct QuarantineSignal {
+  FailureCounts faults;
 };
 
-}  // namespace detail
+}  // namespace
 
 /// The orchestrated backend: consults the shared EvalCache, fans cache
 /// misses out to the pool, and emits candidate/dimension trace events.
@@ -120,10 +58,10 @@ class OrchestratedEvaluator final : public Evaluator {
     const size_t count = batch.size();
     std::vector<EvalOutcome> out(count);
     std::vector<std::string> specs(count);
-    std::vector<bool> hit(count, false);
     // Cache pre-pass; first occurrence of each missing key gets evaluated,
     // duplicates (none in practice — the sweeps build distinct candidates)
-    // copy its result.
+    // copy its result.  A hit replays the recorded failure status, so warm
+    // runs reproduce cold-run outcomes faithfully.
     std::vector<size_t> missIdx;
     std::unordered_map<std::string, size_t> firstMiss;
     std::vector<size_t> copyFrom(count, SIZE_MAX);
@@ -131,8 +69,7 @@ class OrchestratedEvaluator final : public Evaluator {
       specs[i] = opt::formatTuningSpec(batch[i]);
       auto cached = orch_.cache_.lookup(keyFor(specs[i]));
       if (cached.has_value()) {
-        out[i] = {*cached, EvalOutcome::Status::Cached};
-        hit[i] = true;
+        out[i] = {cached->cycles, cached->status, /*fromCache=*/true};
         continue;
       }
       auto [it, inserted] = firstMiss.emplace(specs[i], i);
@@ -141,10 +78,15 @@ class OrchestratedEvaluator final : public Evaluator {
     }
 
     const SearchConfig& cfg = orch_.config_.search;
+    FaultInjector* injector =
+        orch_.injector_.empty() ? nullptr : &orch_.injector_;
+    // guardedEvaluateCandidate never throws — workers cannot unwind — but
+    // parallelFor would contain and rethrow an exception here regardless.
     auto evalOne = [&](size_t k) {
       size_t i = missIdx[k];
-      out[i] = evaluateCandidate(job_.hilSource, lowered_, job_.spec,
-                                 analysis_, orch_.machine_, cfg, batch[i]);
+      out[i] = guardedEvaluateCandidate(job_.hilSource, lowered_, job_.spec,
+                                        analysis_, orch_.machine_, cfg,
+                                        batch[i], injector);
     };
     if (orch_.pool_ != nullptr) {
       orch_.pool_->parallelFor(missIdx.size(), evalOne);
@@ -153,12 +95,16 @@ class OrchestratedEvaluator final : public Evaluator {
     }
 
     for (size_t i : missIdx) {
-      orch_.cache_.insert(keyFor(specs[i]), out[i].cycles);
+      orch_.cache_.insert(keyFor(specs[i]), out[i].cycles, out[i].status);
+      faults_.add(out[i]);
       ++evaluations_;
     }
     for (size_t i = 0; i < count; ++i)
-      if (copyFrom[i] != SIZE_MAX)
-        out[i] = {out[copyFrom[i]].cycles, EvalOutcome::Status::Cached};
+      if (copyFrom[i] != SIZE_MAX) {
+        out[i] = out[copyFrom[i]];
+        out[i].fromCache = true;
+        out[i].attempts = 1;
+      }
 
     if (orch_.trace_ != nullptr) {
       for (size_t i = 0; i < count; ++i) {
@@ -168,20 +114,25 @@ class OrchestratedEvaluator final : public Evaluator {
             .field("dim", dimension)
             .field("params", specs[i])
             .field("cycles", out[i].cycles)
-            .field("cache", hit[i] ? "hit" : "miss");
-        // Tester verdict.  A cached zero is some failure whose flavour the
-        // cache does not record.
-        if (out[i].status == EvalOutcome::Status::Cached)
-          w.field("verdict", out[i].cycles != 0 ? "pass" : "fail");
-        else
-          w.field("verdict", out[i].status == EvalOutcome::Status::Timed
-                                 ? "pass"
-                                 : evalStatusName(out[i].status));
+            .field("cache", out[i].fromCache ? "hit" : "miss")
+            .field("verdict", out[i].status == EvalOutcome::Status::Timed
+                                  ? "pass"
+                                  : evalStatusName(out[i].status));
+        if (out[i].attempts > 1) w.field("attempts", out[i].attempts);
         orch_.trace(w.str());
       }
     }
+
+    // Quarantine check, on the orchestrator thread after the whole batch
+    // drained (and was cached/traced): a kernel that keeps hard-failing is
+    // abandoned rather than allowed to poison the rest of the batch.
+    const int threshold = orch_.config_.quarantineAfter;
+    if (threshold > 0 && faults_.hard() >= threshold)
+      throw QuarantineSignal{faults_};
     return out;
   }
+
+  [[nodiscard]] const FailureCounts& faults() const { return faults_; }
 
   int evaluations() const override { return evaluations_; }
 
@@ -210,18 +161,23 @@ class OrchestratedEvaluator final : public Evaluator {
   EvalKey baseKey_;
   std::string lastDim_;
   int evaluations_ = 0;
+  FailureCounts faults_;
 };
 
 Orchestrator::Orchestrator(const arch::MachineConfig& machine,
                            OrchestratorConfig config, std::string* error)
-    : machine_(machine), config_(std::move(config)) {
+    : machine_(machine), config_(std::move(config)),
+      injector_(config_.faultPlan) {
+  config_.search.jobs = std::max(1, config_.search.jobs);
   std::string problems;
   if (!config_.cachePath.empty()) {
     std::string err;
     if (!cache_.open(config_.cachePath, &err)) problems = err;
   }
   if (!config_.tracePath.empty()) {
-    trace_ = std::fopen(config_.tracePath.c_str(), "w");
+    // Append, never truncate: earlier runs' events stay in the trace and
+    // tools/tune_report splits runs on the run_start marker.
+    trace_ = std::fopen(config_.tracePath.c_str(), "a");
     if (trace_ == nullptr) {
       if (!problems.empty()) problems += "; ";
       problems += "cannot open trace file '" + config_.tracePath + "'";
@@ -229,6 +185,18 @@ Orchestrator::Orchestrator(const arch::MachineConfig& machine,
   }
   if (config_.search.jobs > 1)
     pool_ = std::make_unique<detail::ThreadPool>(config_.search.jobs);
+  {
+    JsonWriter w;
+    w.field("event", "run_start")
+        .field("machine", machine_.name)
+        .field("context", sim::contextName(config_.search.context))
+        .field("n", config_.search.n)
+        .field("jobs", config_.search.jobs)
+        .field("strategy", std::string(strategyName(config_.strategy)))
+        .field("eval_timeout_ms", config_.search.evalTimeoutMs)
+        .field("max_attempts", std::max(1, config_.search.maxEvalAttempts));
+    trace(w.str());
+  }
   if (error != nullptr) *error = problems;
 }
 
@@ -263,8 +231,21 @@ KernelOutcome Orchestrator::tune(const KernelJob& job) {
   OrchestratedEvaluator eval(*this, job);
   std::unique_ptr<SearchStrategy> strategy =
       makeStrategy(config_.strategy, config_.budget);
-  outcome.result = runStrategySearch(job.hilSource, machine_, config_.search,
-                                     *strategy, config_.budget, eval);
+  try {
+    outcome.result = runStrategySearch(job.hilSource, machine_, config_.search,
+                                       *strategy, config_.budget, eval);
+  } catch (const QuarantineSignal& q) {
+    outcome.result = {};
+    outcome.result.ok = false;
+    outcome.result.error =
+        "quarantined after " + std::to_string(q.faults.hard()) +
+        " hard evaluation failures (" + std::to_string(q.faults.timeouts) +
+        " timeouts, " + std::to_string(q.faults.crashes) + " crashes)";
+    outcome.result.evaluations = eval.evaluations();
+    outcome.quarantined = true;
+    quarantined_.push_back({job.name, eval.faults()});
+  }
+  outcome.faults = eval.faults();
   outcome.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -284,9 +265,15 @@ KernelOutcome Orchestrator::tune(const KernelJob& job) {
           .field("evaluations", outcome.result.evaluations)
           .field("proposals", outcome.result.proposals);
     } else {
-      w.field("error", outcome.result.error);
+      w.field("error", outcome.result.error)
+          .field("quarantined", outcome.quarantined);
     }
-    w.field("cache_hits", outcome.cacheHits)
+    w.field("timeouts", outcome.faults.timeouts)
+        .field("crashes", outcome.faults.crashes)
+        .field("tester_fails", outcome.faults.testerFails)
+        .field("compile_fails", outcome.faults.compileFails)
+        .field("retries", outcome.faults.retries)
+        .field("cache_hits", outcome.cacheHits)
         .field("cache_misses", outcome.cacheMisses)
         .field("seconds", outcome.seconds);
     trace(w.str());
@@ -304,6 +291,7 @@ BatchOutcome Orchestrator::tuneAll(const std::vector<KernelJob>& jobs) {
     batch.cacheHits += o.cacheHits;
     batch.cacheMisses += o.cacheMisses;
     batch.evaluations += o.result.evaluations;
+    batch.faults += o.faults;
   }
   batch.wallSeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -312,7 +300,10 @@ BatchOutcome Orchestrator::tuneAll(const std::vector<KernelJob>& jobs) {
   w.field("event", "batch_end")
       .field("kernels", static_cast<int64_t>(batch.kernels.size()))
       .field("failures", batch.failures())
+      .field("quarantined", batch.quarantined())
       .field("evaluations", batch.evaluations)
+      .field("timeouts", batch.faults.timeouts)
+      .field("crashes", batch.faults.crashes)
       .field("cache_hits", batch.cacheHits)
       .field("cache_misses", batch.cacheMisses)
       .field("hit_rate", batch.hitRate())

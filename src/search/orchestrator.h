@@ -10,17 +10,30 @@
 // changes the chosen parameters: jobs=N, warm or cold, reproduces the
 // serial search bit for bit.
 //
-// Trace event schema (one flat JSON object per line; see docs/TUNING.md):
-//   kernel_start    kernel, machine, context, n, jobs
+// Evaluation is fault-isolated (search/faultguard.h): every candidate runs
+// through guardedEvaluateCandidate — cooperative deadline, exception
+// containment, bounded retry — so a crashing or hanging candidate scores a
+// structured failure instead of killing the batch, and a kernel whose
+// candidates keep hard-failing is quarantined (skipped with a diagnostic)
+// rather than poisoning the rest of the run.
+//
+// Trace event schema (one flat JSON object per line; the trace file is
+// opened in append mode, one run_start per run; see docs/TUNING.md):
+//   run_start       machine, context, n, jobs, strategy, eval_timeout_ms,
+//                   max_attempts
+//   kernel_start    kernel, machine, context, n, jobs, strategy
 //   dimension_start kernel, dim
 //   candidate       kernel, dim, params, cycles, cache (hit|miss),
-//                   verdict (pass|compile_fail|tester_fail|fail)
+//                   verdict (pass|compile_fail|tester_fail|timeout|crash|
+//                   fail), [attempts]
 //   dimension_end   kernel, dim, best_cycles, best_params
-//   kernel_end      kernel, ok, [error] | [default_cycles, best_cycles,
-//                   best_params, speedup, evaluations], cache_hits,
-//                   cache_misses, seconds
-//   batch_end       kernels, failures, evaluations, cache_hits,
-//                   cache_misses, hit_rate, seconds
+//   kernel_end      kernel, ok, [error, quarantined] | [default_cycles,
+//                   best_cycles, best_params, speedup, evaluations,
+//                   proposals], timeouts, crashes, tester_fails,
+//                   compile_fails, retries, cache_hits, cache_misses,
+//                   seconds
+//   batch_end       kernels, failures, quarantined, evaluations, timeouts,
+//                   crashes, cache_hits, cache_misses, hit_rate, seconds
 #pragma once
 
 #include <cstdio>
@@ -30,20 +43,30 @@
 
 #include "arch/machine.h"
 #include "search/evalcache.h"
+#include "search/faultguard.h"
 #include "search/linesearch.h"
 #include "search/strategy/strategy.h"
 
 namespace ifko::search {
 
 struct OrchestratorConfig {
-  SearchConfig search;    ///< search.jobs sizes the worker pool
+  /// search.jobs sizes the worker pool (values < 1 normalize to 1);
+  /// search.evalTimeoutMs / maxEvalAttempts / retryBackoffMs set the
+  /// fault-isolation policy (search/faultguard.h).
+  SearchConfig search;
   std::string cachePath;  ///< persistent JSONL evaluation cache ("" = memory only)
-  std::string tracePath;  ///< JSONL event trace ("" = off); truncated per run
+  std::string tracePath;  ///< JSONL event trace ("" = off); appended per run
   /// Search policy.  Every kind runs through the same strategy driver;
   /// Line with an unlimited budget reproduces the legacy serial
   /// runLineSearch bit for bit (orchestrator_test holds it to that).
   StrategyKind strategy = StrategyKind::Line;
   Budget budget;  ///< default: unlimited, seed 1
+  /// Quarantine: once a kernel accumulates this many hard failures
+  /// (Timeout/Crash, post-retry), its search is abandoned with a
+  /// diagnostic instead of poisoning the batch.  0 = never quarantine.
+  int quarantineAfter = 3;
+  /// Deterministic fault injection for tests/benchmarks; empty = none.
+  FaultPlan faultPlan;
 };
 
 /// One kernel to tune.  When `spec` names a surveyed BLAS kernel its
@@ -61,6 +84,11 @@ struct KernelOutcome {
   uint64_t cacheHits = 0;
   uint64_t cacheMisses = 0;
   double seconds = 0.0;
+  /// Evaluation failures this kernel's search survived (post-retry).
+  FailureCounts faults;
+  /// The search was abandoned by the quarantine policy; result.ok is
+  /// false and result.error carries the diagnostic.
+  bool quarantined = false;
 };
 
 struct BatchOutcome {
@@ -69,6 +97,7 @@ struct BatchOutcome {
   uint64_t cacheMisses = 0;
   int evaluations = 0;  ///< real (uncached) compile+test+time evaluations
   double wallSeconds = 0.0;
+  FailureCounts faults;  ///< summed over kernels
 
   [[nodiscard]] double hitRate() const {
     uint64_t total = cacheHits + cacheMisses;
@@ -79,6 +108,11 @@ struct BatchOutcome {
   [[nodiscard]] int failures() const {
     int n = 0;
     for (const auto& k : kernels) n += k.result.ok ? 0 : 1;
+    return n;
+  }
+  [[nodiscard]] int quarantined() const {
+    int n = 0;
+    for (const auto& k : kernels) n += k.quarantined ? 1 : 0;
     return n;
   }
 };
@@ -108,6 +142,17 @@ class Orchestrator {
   [[nodiscard]] BatchOutcome tuneAll(const std::vector<KernelJob>& jobs);
 
   [[nodiscard]] EvalCache& cache() { return cache_; }
+  /// Worker-pool width after normalization (always >= 1).
+  [[nodiscard]] int jobs() const { return config_.search.jobs; }
+
+  /// Kernels the quarantine policy abandoned this run, with their tallies.
+  struct QuarantineRecord {
+    std::string kernel;
+    FailureCounts faults;
+  };
+  [[nodiscard]] const std::vector<QuarantineRecord>& quarantined() const {
+    return quarantined_;
+  }
 
  private:
   void trace(const std::string& jsonLine);
@@ -117,6 +162,8 @@ class Orchestrator {
   EvalCache cache_;
   std::unique_ptr<detail::ThreadPool> pool_;
   std::FILE* trace_ = nullptr;
+  FaultInjector injector_;
+  std::vector<QuarantineRecord> quarantined_;
 
   friend class OrchestratedEvaluator;
 };

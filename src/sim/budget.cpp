@@ -1,0 +1,39 @@
+#include "sim/budget.h"
+
+namespace ifko::sim {
+
+namespace {
+thread_local detail::EvalBudgetState* tlsBudget = nullptr;
+}  // namespace
+
+namespace detail {
+EvalBudgetState* currentEvalBudget() { return tlsBudget; }
+}  // namespace detail
+
+ScopedEvalBudget::ScopedEvalBudget(uint64_t maxSteps, uint64_t cycleCap)
+    : state_{maxSteps, cycleCap}, prev_(tlsBudget) {
+  tlsBudget = &state_;
+}
+
+ScopedEvalBudget::~ScopedEvalBudget() { tlsBudget = prev_; }
+
+bool ScopedEvalBudget::active() { return tlsBudget != nullptr; }
+
+void ScopedEvalBudget::chargeSteps(uint64_t n) {
+  detail::EvalBudgetState* b = tlsBudget;
+  if (b == nullptr) return;
+  if (b->stepsLeft < n) {
+    b->stepsLeft = 0;
+    throw TimeoutError("evaluation exceeded its interpreter step budget");
+  }
+  b->stepsLeft -= n;
+}
+
+void ScopedEvalBudget::checkCycles(uint64_t completionCycle) {
+  detail::EvalBudgetState* b = tlsBudget;
+  if (b == nullptr || b->cycleCap == 0) return;
+  if (completionCycle > b->cycleCap)
+    throw TimeoutError("evaluation exceeded its simulated cycle budget");
+}
+
+}  // namespace ifko::sim

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "sim/budget.h"
+
 namespace ifko::sim {
 
 using ir::Op;
@@ -84,6 +86,9 @@ RunResult Interp::run(std::span<const ArgValue> args) {
   size_t blockPos = 0;
   size_t instIdx = 0;
   uint64_t dyn = 0;
+  // Cooperative deadline (sim/budget.h): one charge per dynamic
+  // instruction, against the budget installed when run() began.
+  detail::EvalBudgetState* budget = detail::currentEvalBudget();
 
   while (true) {
     const ir::BasicBlock& bb = fn_.blocks[blockPos];
@@ -98,6 +103,11 @@ RunResult Interp::run(std::span<const ArgValue> args) {
     const ir::Inst& in = bb.insts[instIdx];
     if (++dyn > max_dyn_)
       throw std::runtime_error("Interp: dynamic instruction budget exceeded");
+    if (budget != nullptr) {
+      if (budget->stepsLeft == 0)
+        throw TimeoutError("evaluation exceeded its interpreter step budget");
+      --budget->stepsLeft;
+    }
 
     InstEvent ev;
     ev.inst = &in;

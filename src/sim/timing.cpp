@@ -9,7 +9,7 @@ using ir::Reg;
 using ir::RegKind;
 
 TimingModel::TimingModel(const arch::MachineConfig& cfg, MemSystem& mem)
-    : cfg_(cfg), mem_(mem) {
+    : cfg_(cfg), mem_(mem), budget_(detail::currentEvalBudget()) {
   rob_retire_.assign(static_cast<size_t>(cfg.robSize), 0);
   predictor_.assign(1024, 1);  // weakly not-taken
 }
@@ -206,6 +206,12 @@ void TimingModel::onInst(const InstEvent& ev) {
   rob_pos_ = (rob_pos_ + 1) % rob_retire_.size();
 
   max_complete_ = std::max(max_complete_, retire);
+
+  // Cooperative deadline (sim/budget.h): the clock only moves forward, so a
+  // periodic check bounds how far a runaway candidate can run past its cap.
+  if (budget_ != nullptr && budget_->cycleCap != 0 &&
+      (stats_.insts & 0x3FF) == 0 && max_complete_ > budget_->cycleCap)
+    throw TimeoutError("evaluation exceeded its simulated cycle budget");
 }
 
 }  // namespace ifko::sim

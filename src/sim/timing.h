@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "arch/machine.h"
+#include "sim/budget.h"
 #include "sim/interp.h"
 #include "sim/memsys.h"
 
@@ -61,6 +62,9 @@ class TimingModel : public InstObserver {
 
   const arch::MachineConfig& cfg_;
   MemSystem& mem_;
+  /// The cooperative deadline installed on the constructing thread (may be
+  /// null); cached so the hot path pays one pointer test, not a TLS lookup.
+  detail::EvalBudgetState* budget_;
 
   std::vector<uint64_t> int_ready_;
   std::vector<uint64_t> fp_ready_;

@@ -173,7 +173,8 @@ TEST(EvalCacheTest, PersistAndReload) {
     cache.insert(key, 99999);  // duplicate insert is a no-op
     auto hit = cache.lookup(key);
     ASSERT_TRUE(hit.has_value());
-    EXPECT_EQ(*hit, 12345u);
+    EXPECT_EQ(hit->cycles, 12345u);
+    EXPECT_EQ(hit->status, EvalOutcome::Status::Timed);
   }
   {
     EvalCache cache;
@@ -182,7 +183,7 @@ TEST(EvalCacheTest, PersistAndReload) {
     EXPECT_EQ(cache.size(), 1u);
     auto hit = cache.lookup(key);
     ASSERT_TRUE(hit.has_value());
-    EXPECT_EQ(*hit, 12345u);
+    EXPECT_EQ(hit->cycles, 12345u);
     EXPECT_EQ(cache.hits(), 1u);
     EXPECT_EQ(cache.misses(), 0u);
     EXPECT_EQ(cache.hitRate(), 1.0);
@@ -207,7 +208,7 @@ TEST(EvalCacheTest, SkipsCorruptLines) {
   EvalKey key{"aa", "P4E", "in-L2", 128, 1, 16, "ur=2"};
   auto hit = cache.lookup(key);
   ASSERT_TRUE(hit.has_value());
-  EXPECT_EQ(*hit, 777u);
+  EXPECT_EQ(hit->cycles, 777u);
   std::remove(path.c_str());
 }
 

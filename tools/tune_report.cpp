@@ -1,11 +1,14 @@
 // Renders a human-readable report from an orchestrator event trace
 // (ifko tune / tune-all --trace=FILE; schema in docs/TUNING.md).
 //
-//   tune_report <trace.jsonl> [--ledger]
+//   tune_report <trace.jsonl> [--ledger] [--all-runs]
 //
 // Summarizes, per kernel: candidates evaluated, cache hit rate, tester and
-// compile rejections, the default -> best cycle improvement, and (with
-// --ledger) the per-dimension progression the search committed.
+// compile rejections, timeouts and crashes the search survived, the
+// default -> best cycle improvement, and (with --ledger) the per-dimension
+// progression the search committed.  The trace file is append-mode across
+// runs; each run opens with a run_start event.  By default only the last
+// run is reported — --all-runs aggregates every run in the file.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -33,9 +36,13 @@ struct KernelStats {
   int misses = 0;
   int testerFails = 0;
   int compileFails = 0;
+  int timeouts = 0;
+  int crashes = 0;
+  int retries = 0;
   std::vector<DimBest> ledger;
   bool ok = false;
   bool ended = false;
+  bool quarantined = false;
   std::string error;
   uint64_t defaultCycles = 0;
   uint64_t bestCycles = 0;
@@ -60,16 +67,29 @@ double getNum(const std::map<std::string, JsonValue>& obj, const char* key) {
   return v != nullptr && v->kind == JsonValue::Kind::Number ? v->number : 0.0;
 }
 
+bool getBool(const std::map<std::string, JsonValue>& obj, const char* key) {
+  const JsonValue* v = get(obj, key);
+  return v != nullptr && v->kind == JsonValue::Kind::Bool && v->boolean;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr, "usage: tune_report <trace.jsonl> [--ledger]\n");
+    std::fprintf(stderr,
+                 "usage: tune_report <trace.jsonl> [--ledger] [--all-runs]\n");
     return 2;
   }
   bool showLedger = false;
-  for (int i = 2; i < argc; ++i)
+  bool allRuns = false;
+  for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--ledger") == 0) showLedger = true;
+    else if (std::strcmp(argv[i], "--all-runs") == 0) allRuns = true;
+    else {
+      std::fprintf(stderr, "unknown option '%s'\n", argv[i]);
+      return 2;
+    }
+  }
 
   std::ifstream in(argv[1]);
   if (!in) {
@@ -91,6 +111,7 @@ int main(int argc, char** argv) {
   bool sawBatchEnd = false;
   double batchSeconds = 0.0;
   int badLines = 0;
+  int runs = 0;
   std::string line;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
@@ -101,7 +122,16 @@ int main(int argc, char** argv) {
     }
     std::string event = getStr(obj, "event");
     std::string kernel = getStr(obj, "kernel");
-    if (event == "candidate") {
+    if (event == "run_start") {
+      ++runs;
+      if (!allRuns) {
+        // Only the last run matters: drop everything accumulated so far.
+        order.clear();
+        kernels.clear();
+        sawBatchEnd = false;
+        batchSeconds = 0.0;
+      }
+    } else if (event == "candidate") {
       KernelStats& k = statsFor(kernel);
       ++k.candidates;
       if (getStr(obj, "cache") == "hit") ++k.hits;
@@ -109,6 +139,11 @@ int main(int argc, char** argv) {
       std::string verdict = getStr(obj, "verdict");
       if (verdict == "tester_fail") ++k.testerFails;
       else if (verdict == "compile_fail") ++k.compileFails;
+      else if (verdict == "timeout") ++k.timeouts;
+      else if (verdict == "crash") ++k.crashes;
+      k.retries += static_cast<int>(getNum(obj, "attempts")) > 1
+                       ? static_cast<int>(getNum(obj, "attempts")) - 1
+                       : 0;
     } else if (event == "dimension_end") {
       statsFor(kernel).ledger.push_back(
           {getStr(obj, "dim"),
@@ -116,8 +151,8 @@ int main(int argc, char** argv) {
     } else if (event == "kernel_end") {
       KernelStats& k = statsFor(kernel);
       k.ended = true;
-      const JsonValue* ok = get(obj, "ok");
-      k.ok = ok != nullptr && ok->kind == JsonValue::Kind::Bool && ok->boolean;
+      k.ok = getBool(obj, "ok");
+      k.quarantined = getBool(obj, "quarantined");
       k.error = getStr(obj, "error");
       k.defaultCycles = static_cast<uint64_t>(getNum(obj, "default_cycles"));
       k.bestCycles = static_cast<uint64_t>(getNum(obj, "best_cycles"));
@@ -135,25 +170,33 @@ int main(int argc, char** argv) {
   }
 
   TextTable t;
-  t.setHeader({"kernel", "cands", "hit%", "tester-", "compile-", "FKO cyc",
-               "ifko cyc", "speedup", "sec"});
-  int totalCands = 0, totalHits = 0;
+  t.setHeader({"kernel", "cands", "hit%", "tester-", "compile-", "t/o",
+               "crash", "FKO cyc", "ifko cyc", "speedup", "sec"});
+  int totalCands = 0, totalHits = 0, totalTimeouts = 0, totalCrashes = 0;
+  int totalRetries = 0, quarantinedKernels = 0;
   for (const auto& name : order) {
     const KernelStats& k = kernels.at(name);
     totalCands += k.candidates;
     totalHits += k.hits;
+    totalTimeouts += k.timeouts;
+    totalCrashes += k.crashes;
+    totalRetries += k.retries;
+    quarantinedKernels += k.quarantined ? 1 : 0;
     double hitPct = k.candidates == 0 ? 0.0 : 100.0 * k.hits / k.candidates;
+    std::string label = k.name + (k.quarantined ? " (quarantined)" : "");
     if (!k.ended || !k.ok) {
-      t.addRow({k.name, std::to_string(k.candidates), fmtFixed(hitPct, 1),
+      t.addRow({label, std::to_string(k.candidates), fmtFixed(hitPct, 1),
                 std::to_string(k.testerFails), std::to_string(k.compileFails),
-                "-", "-",
+                std::to_string(k.timeouts), std::to_string(k.crashes), "-",
+                "-",
                 !k.ended ? "(incomplete)"
                          : (k.error.empty() ? "(failed)" : k.error),
                 fmtFixed(k.seconds, 2)});
       continue;
     }
-    t.addRow({k.name, std::to_string(k.candidates), fmtFixed(hitPct, 1),
+    t.addRow({label, std::to_string(k.candidates), fmtFixed(hitPct, 1),
               std::to_string(k.testerFails), std::to_string(k.compileFails),
+              std::to_string(k.timeouts), std::to_string(k.crashes),
               std::to_string(k.defaultCycles), std::to_string(k.bestCycles),
               fmtFixed(k.speedup, 2) + "x", fmtFixed(k.seconds, 2)});
   }
@@ -163,9 +206,24 @@ int main(int argc, char** argv) {
               "cache",
               order.size(), totalCands,
               totalCands == 0 ? 0.0 : 100.0 * totalHits / totalCands);
+  if (totalTimeouts + totalCrashes + totalRetries > 0)
+    std::printf(", %d timeouts / %d crashes / %d retries survived",
+                totalTimeouts, totalCrashes, totalRetries);
+  if (quarantinedKernels > 0)
+    std::printf(", %d kernel(s) quarantined", quarantinedKernels);
   if (sawBatchEnd) std::printf(", %.2f s wall", batchSeconds);
   if (badLines != 0) std::printf(" (%d malformed trace lines skipped)", badLines);
-  std::printf("\n");
+  if (runs > 1)
+    std::printf("\n%s", allRuns
+                            ? ("aggregated over " + std::to_string(runs) +
+                               " runs (--all-runs)\n")
+                                  .c_str()
+                            : ("trace holds " + std::to_string(runs) +
+                               " runs; reporting the last (use --all-runs "
+                               "to aggregate)\n")
+                                  .c_str());
+  else
+    std::printf("\n");
 
   if (showLedger) {
     for (const auto& name : order) {
