@@ -41,6 +41,13 @@
 //       Batch-tunes every *.hil kernel in <dir> through the orchestrator and
 //       prints a Table-3-style summary with turnaround and cache statistics.
 //
+//   ifko explain <file.hil> (same options as tune)
+//       Tunes the kernel (cheap when a --cache is warm), then diffs the
+//       winner against the FKO defaults: a per-cause cycle-attribution
+//       table (why the winner is faster, not just that it is), the memory
+//       system's per-level counters, and the compile pipeline's per-pass
+//       deltas for the winning parameters.
+//
 //   ifko sim <file.ir> [--arch=...] [--n=N] [--context=ooc|inl2]
 //       Parse a textual IR dump (the --dump-ir format) and time it on the
 //       simulated machine — the path for hand-edited or hand-written code.
@@ -68,7 +75,7 @@ using namespace ifko;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: ifko <analyze|compile|run|tune|tune-all|sim> "
+               "usage: ifko <analyze|compile|run|tune|tune-all|explain|sim> "
                "<file|dir> [options]\n"
                "see the header of src/driver/main.cpp or docs/TUNING.md\n");
   return 2;
@@ -104,17 +111,6 @@ struct Options {
   bool ok = true;
 };
 
-/// Strict decimal parse; rejects empty strings and trailing garbage —
-/// "--ur=abc" must be an error, never a silent 0.
-bool parseNum(const std::string& v, int64_t* out) {
-  if (v.empty()) return false;
-  char* end = nullptr;
-  long long val = std::strtoll(v.c_str(), &end, 10);
-  if (end != v.c_str() + v.size()) return false;
-  *out = val;
-  return true;
-}
-
 Options parseOptions(int argc, char** argv, int first) {
   Options o;
   // Every tuning-parameter flag funnels through the TuningSpec parser, so
@@ -132,7 +128,7 @@ Options parseOptions(int argc, char** argv, int first) {
   auto intFlag = [&](const std::string& v, const char* name, int64_t minValue,
                      int64_t* out) {
     int64_t parsed = 0;
-    if (!parseNum(v, &parsed) || parsed < minValue) {
+    if (!parseInt64(v, &parsed) || parsed < minValue) {
       std::fprintf(stderr, "bad %s (want integer >= %lld): '%s'\n", name,
                    static_cast<long long>(minValue), v.c_str());
       o.ok = false;
@@ -316,6 +312,8 @@ int cmdCompile(const std::string& src, const Options& o, bool alsoRun) {
   std::printf("compiled: %zu instructions, %d spill slots, %d repeatable "
               "iterations\n",
               r.fn.instCount(), r.spillSlots, r.repeatableIters);
+  for (const auto& w : r.warnings)
+    std::fprintf(stderr, "%s\n", w.str().c_str());
   if (o.dumpIr) std::fputs(ir::print(r.fn).c_str(), stdout);
 
   auto diff = fko::testAgainstUnoptimized(src, r.fn, std::min<int64_t>(o.n, 512));
@@ -356,6 +354,10 @@ int cmdTune(const std::string& path, const std::string& src, const Options& o) {
     std::fprintf(stderr, "%s\n", err.c_str());
     return 1;
   }
+  if (orch.cache().damagedLines() > 0)
+    std::fprintf(stderr,
+                 "tune: warning: skipped %zu damaged line(s) in cache '%s'\n",
+                 orch.cache().damagedLines(), o.cachePath.c_str());
   auto outcome = orch.tune({pathStem(path), src, nullptr});
   const search::TuneResult& r = outcome.result;
   if (!r.ok) {
@@ -399,6 +401,140 @@ int cmdTune(const std::string& path, const std::string& src, const Options& o) {
                 static_cast<unsigned long long>(outcome.cacheHits),
                 static_cast<unsigned long long>(outcome.cacheMisses),
                 orch.cache().size(), o.cachePath.c_str());
+  return 0;
+}
+
+/// `ifko explain`: tune (warm-cache cheap), then attribute the cycles of the
+/// default and winning parameter sets cause by cause, so the speedup has an
+/// explanation and not just a number.
+int cmdExplain(const std::string& path, const std::string& src,
+               const Options& o) {
+  search::OrchestratorConfig oc = orchestratorConfig(o);
+  std::string err;
+  search::Orchestrator orch(o.machine, oc, &err);
+  if (!err.empty()) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    return 1;
+  }
+  if (orch.cache().damagedLines() > 0)
+    std::fprintf(stderr,
+                 "explain: warning: skipped %zu damaged line(s) in cache "
+                 "'%s'\n",
+                 orch.cache().damagedLines(), o.cachePath.c_str());
+  auto outcome = orch.tune({pathStem(path), src, nullptr});
+  const search::TuneResult& r = outcome.result;
+  if (!r.ok) {
+    std::fprintf(stderr, "tuning failed: %s\n", r.error.c_str());
+    return 1;
+  }
+
+  // Re-evaluate the two endpoints directly: a pre-v3 cache has no counters
+  // to replay, and two evaluations are cheap next to the search itself.
+  search::SearchConfig cfg = searchConfig(o);
+  auto lowered = fko::lowerKernel(src);
+  if (!lowered.ok) {
+    std::fprintf(stderr, "lowering failed: %s\n", lowered.error.c_str());
+    return 1;
+  }
+  auto def = search::evaluateCandidate(src, lowered, nullptr, r.analysis,
+                                       o.machine, cfg, r.defaults);
+  auto best = search::evaluateCandidate(src, lowered, nullptr, r.analysis,
+                                        o.machine, cfg, r.best);
+  if (!def.counters.has_value() || !best.counters.has_value()) {
+    std::fprintf(stderr, "explain: endpoint re-evaluation failed (%s / %s)\n",
+                 std::string(search::evalStatusName(def.status)).c_str(),
+                 std::string(search::evalStatusName(best.status)).c_str());
+    return 1;
+  }
+  const search::EvalCounters& dc = *def.counters;
+  const search::EvalCounters& bc = *best.counters;
+
+  std::printf("%s on %s, N=%lld, %s\n", pathStem(path).c_str(),
+              o.machine.name.c_str(), static_cast<long long>(o.n),
+              std::string(sim::contextName(o.context)).c_str());
+  std::printf("defaults: %-40s %10llu cycles\n",
+              opt::formatTuningSpec(r.defaults).c_str(),
+              static_cast<unsigned long long>(def.cycles));
+  std::printf("winner:   %-40s %10llu cycles (%.2fx)\n",
+              opt::formatTuningSpec(r.best).c_str(),
+              static_cast<unsigned long long>(best.cycles),
+              best.cycles == 0 ? 0.0
+                               : static_cast<double>(def.cycles) /
+                                     static_cast<double>(best.cycles));
+
+  // Per-cause attribution, defaults vs winner.  Shares are of each run's own
+  // total, which equals its cycle count exactly (the accounting identity).
+  uint64_t dTot = dc.attr.total();
+  uint64_t bTot = bc.attr.total();
+  auto share = [](uint64_t c, uint64_t total) {
+    return total == 0 ? 0.0
+                      : 100.0 * static_cast<double>(c) /
+                            static_cast<double>(total);
+  };
+  std::printf("\ncycle attribution (why, not just how much):\n");
+  TextTable t;
+  t.setHeader({"cause", "FKO cyc", "FKO %", "ifko cyc", "ifko %", "delta"});
+  for (size_t i = 0; i < sim::kNumStallCauses; ++i) {
+    uint64_t d = dc.attr.cycles[i];
+    uint64_t b = bc.attr.cycles[i];
+    if (d == 0 && b == 0) continue;
+    int64_t delta = static_cast<int64_t>(b) - static_cast<int64_t>(d);
+    t.addRow({std::string(sim::stallCauseName(static_cast<sim::StallCause>(i))),
+              std::to_string(d), fmtFixed(share(d, dTot), 1),
+              std::to_string(b), fmtFixed(share(b, bTot), 1),
+              (delta > 0 ? "+" : "") + std::to_string(delta)});
+  }
+  t.addRow({"total", std::to_string(dTot), "100.0", std::to_string(bTot),
+            "100.0",
+            (bTot > dTot ? "+" : "") +
+                std::to_string(static_cast<int64_t>(bTot) -
+                               static_cast<int64_t>(dTot))});
+  std::fputs(t.str().c_str(), stdout);
+  std::printf("memory stalls: %llu cycles (%.1f%%) -> %llu cycles (%.1f%%)\n",
+              static_cast<unsigned long long>(dc.attr.memoryStalls()),
+              share(dc.attr.memoryStalls(), dTot),
+              static_cast<unsigned long long>(bc.attr.memoryStalls()),
+              share(bc.attr.memoryStalls(), bTot));
+
+  auto memLine = [](const char* who, const search::EvalCounters& c) {
+    std::printf("  %-8s loads %llu (L1 %llu, L2 %llu, mem %llu)  stores %llu "
+                "(RFO %llu, NT %llu)  pref %llu/%llu useful  evict %llu+%llu  "
+                "bus %lluB\n",
+                who, static_cast<unsigned long long>(c.mem.loads),
+                static_cast<unsigned long long>(c.mem.loadHitL1),
+                static_cast<unsigned long long>(c.mem.loadHitL2),
+                static_cast<unsigned long long>(c.mem.loadMissMem),
+                static_cast<unsigned long long>(c.mem.stores),
+                static_cast<unsigned long long>(c.mem.storeRFOs),
+                static_cast<unsigned long long>(c.mem.ntStores),
+                static_cast<unsigned long long>(c.mem.prefUseful),
+                static_cast<unsigned long long>(c.mem.prefIssued),
+                static_cast<unsigned long long>(c.mem.evictL1),
+                static_cast<unsigned long long>(c.mem.evictL2),
+                static_cast<unsigned long long>(c.mem.busBytes));
+  };
+  std::printf("\nmemory system:\n");
+  memLine("defaults", dc);
+  memLine("winner", bc);
+
+  // Compile observability for the winning parameters: the per-pass deltas of
+  // the fundamental + repeatable pipeline.
+  fko::CompileOptions copts = o.compile;
+  copts.tuning = r.best;
+  auto compiled = fko::compileKernel(src, copts, o.machine);
+  if (compiled.ok) {
+    std::printf("\ncompile (winner): %zu IR instructions, %d spill slots, "
+                "%d repeatable iteration(s)%s\n",
+                compiled.fn.instCount(), compiled.spillSlots,
+                compiled.repeatableIters,
+                compiled.repeatableConverged ? "" : " [did not converge]");
+    for (const auto& p : compiled.passes)
+      std::printf("  %-12s %4zu -> %4zu insts  (%d iteration%s)\n",
+                  p.name.c_str(), p.instsBefore, p.instsAfter, p.iterations,
+                  p.iterations == 1 ? "" : "s");
+    for (const auto& w : compiled.warnings)
+      std::fprintf(stderr, "%s\n", w.str().c_str());
+  }
   return 0;
 }
 
@@ -527,6 +663,7 @@ int main(int argc, char** argv) {
   if (cmd == "compile") return cmdCompile(*src, o, /*alsoRun=*/false);
   if (cmd == "run") return cmdCompile(*src, o, /*alsoRun=*/true);
   if (cmd == "tune") return cmdTune(argv[2], *src, o);
+  if (cmd == "explain") return cmdExplain(argv[2], *src, o);
   if (cmd == "sim") return cmdSim(*src, o);
   return usage();
 }

@@ -38,6 +38,7 @@ CompileResult compileKernel(const ir::Function& lowered,
                             const arch::MachineConfig& machine) {
   CompileResult result;
   std::string err;
+  const size_t loweredInsts = lowered.instCount();
   auto transformed =
       opt::applyFundamentalTransforms(lowered, options.tuning, machine, &err);
   if (!transformed) {
@@ -45,9 +46,33 @@ CompileResult compileKernel(const ir::Function& lowered,
     return result;
   }
   result.fn = std::move(*transformed);
+  {
+    opt::PassDelta fundamental;
+    fundamental.name = "fundamental";
+    fundamental.instsBefore = loweredInsts;
+    fundamental.instsAfter = result.fn.instCount();
+    fundamental.iterations = 1;
+    fundamental.changed = fundamental.instsAfter != fundamental.instsBefore;
+    result.passes.push_back(std::move(fundamental));
+  }
 
-  if (options.runRepeatable)
-    result.repeatableIters = opt::runRepeatable(result.fn);
+  if (options.runRepeatable) {
+    opt::RepeatableReport rep =
+        opt::runRepeatableReport(result.fn, options.maxRepeatableIters);
+    result.repeatableIters = rep.iterations;
+    result.repeatableConverged = rep.converged;
+    for (auto& delta : rep.passes)
+      if (delta.changed) result.passes.push_back(std::move(delta));
+    if (!rep.converged) {
+      Diagnostic warn;
+      warn.severity = DiagSeverity::Warning;
+      warn.message = "repeatable optimization block hit its iteration cap (" +
+                     std::to_string(options.maxRepeatableIters) +
+                     ") before reaching a fixed point; a pass oscillation "
+                     "would look exactly like this";
+      result.warnings.push_back(std::move(warn));
+    }
+  }
 
   if (options.runRegalloc) {
     auto ra = opt::allocateRegisters(result.fn, options.regalloc);

@@ -19,6 +19,8 @@
 #include "ir/function.h"
 #include "opt/params.h"
 #include "opt/regalloc.h"
+#include "opt/repeatable.h"
+#include "support/diagnostics.h"
 
 namespace ifko::fko {
 
@@ -27,6 +29,9 @@ struct CompileOptions {
   opt::RegAllocKind regalloc = opt::RegAllocKind::LinearScan;
   bool runRepeatable = true;
   bool runRegalloc = true;
+  /// Iteration cap for the repeatable optimization block; hitting it
+  /// without reaching a fixed point sets repeatableConverged = false.
+  int maxRepeatableIters = 10;
 };
 
 struct CompileResult {
@@ -34,7 +39,15 @@ struct CompileResult {
   std::string error;
   ir::Function fn;
   int repeatableIters = 0;
+  /// False when the repeatable block's iteration cap cut off a
+  /// still-changing (possibly oscillating) pass sequence.
+  bool repeatableConverged = true;
   int spillSlots = 0;
+  /// Per-pass observability: the fundamental-transform delta first, then
+  /// one entry per repeatable pass that fired.
+  std::vector<opt::PassDelta> passes;
+  /// Non-fatal compile diagnostics (e.g. the repeatable cap warning).
+  std::vector<Diagnostic> warnings;
 };
 
 [[nodiscard]] CompileResult compileKernel(const std::string& hilSource,

@@ -162,6 +162,9 @@ sim::TimeResult timeCompiled(const arch::MachineConfig& machine,
   sim::MemSystem mem(machine);
   if (ctx == sim::TimeContext::InL2)
     for (const auto& span : data.arrays) mem.warm(span.addr, span.bytes);
+  // Warming displaces lines; reset so its evictions never reach the timed
+  // run's counters (and OutOfCache/InL2 stats stay independent).
+  mem.resetStats();
   sim::TimingModel timing(machine, mem);
   sim::Interp interp(fn, *data.mem, &timing);
   sim::RunResult run = interp.run(data.args);
@@ -171,6 +174,7 @@ sim::TimeResult timeCompiled(const arch::MachineConfig& machine,
   out.dynInsts = run.dynInsts;
   out.mem = mem.stats();
   out.core = timing.stats();
+  out.attr = timing.attribution();
   return out;
 }
 

@@ -1,5 +1,6 @@
 #include "opt/repeatable.h"
 
+#include <iterator>
 #include <map>
 #include <set>
 #include <unordered_map>
@@ -280,21 +281,49 @@ bool mergeBlocks(ir::Function& fn) {
   return changed;
 }
 
-int runRepeatable(ir::Function& fn, int maxIters) {
-  int effective = 0;
+RepeatableReport runRepeatableReport(ir::Function& fn, int maxIters) {
+  static constexpr struct {
+    const char* name;
+    bool (*run)(ir::Function&);
+  } kPasses[] = {
+      {"copy-prop", copyPropagation},   {"dce", deadCodeElim},
+      {"peephole", peepholeLoadOp},     {"branch-chain", branchChaining},
+      {"jump-elim", uselessJumpElim},   {"unreachable", removeUnreachable},
+      {"merge-blocks", mergeBlocks},
+  };
+  constexpr size_t kNumPasses = std::size(kPasses);
+
+  RepeatableReport report;
+  report.passes.resize(kNumPasses);
+  for (size_t p = 0; p < kNumPasses; ++p)
+    report.passes[p].name = kPasses[p].name;
+
+  bool lastChanged = false;
   for (int iter = 0; iter < maxIters; ++iter) {
-    bool changed = false;
-    changed |= copyPropagation(fn);
-    changed |= deadCodeElim(fn);
-    changed |= peepholeLoadOp(fn);
-    changed |= branchChaining(fn);
-    changed |= uselessJumpElim(fn);
-    changed |= removeUnreachable(fn);
-    changed |= mergeBlocks(fn);
-    if (!changed) break;
-    ++effective;
+    lastChanged = false;
+    for (size_t p = 0; p < kNumPasses; ++p) {
+      PassDelta& delta = report.passes[p];
+      size_t before = fn.instCount();
+      bool changed = kPasses[p].run(fn);
+      if (changed) {
+        if (!delta.changed) delta.instsBefore = before;
+        delta.instsAfter = fn.instCount();
+        delta.changed = true;
+        ++delta.iterations;
+      }
+      lastChanged |= changed;
+    }
+    if (!lastChanged) break;
+    ++report.iterations;
   }
-  return effective;
+  // Converged iff the loop exited because a sweep was a no-op; if the cap
+  // cut off a still-changing sequence, the fixed point was not reached.
+  report.converged = !lastChanged;
+  return report;
+}
+
+int runRepeatable(ir::Function& fn, int maxIters) {
+  return runRepeatableReport(fn, maxIters).iterations;
 }
 
 }  // namespace ifko::opt

@@ -14,6 +14,9 @@
 // them to a fixed point.
 #pragma once
 
+#include <string>
+#include <vector>
+
 #include "ir/function.h"
 
 namespace ifko::opt {
@@ -25,6 +28,30 @@ bool branchChaining(ir::Function& fn);
 bool uselessJumpElim(ir::Function& fn);
 bool removeUnreachable(ir::Function& fn);
 bool mergeBlocks(ir::Function& fn);
+
+/// Observability record for one pass of the optimization block: how many
+/// instructions it saw, what it left behind, and across how many of the
+/// block's iterations it fired.
+struct PassDelta {
+  std::string name;
+  size_t instsBefore = 0;  ///< at the pass's first application
+  size_t instsAfter = 0;   ///< after its last application
+  int iterations = 0;      ///< block iterations in which the pass changed fn
+  bool changed = false;
+};
+
+struct RepeatableReport {
+  int iterations = 0;  ///< block iterations that changed something
+  /// True when the block exited because a full sweep changed nothing;
+  /// false means the iteration cap cut a still-changing (possibly
+  /// oscillating) sequence short.
+  bool converged = true;
+  std::vector<PassDelta> passes;
+};
+
+/// Runs the full optimization block to a fixed point (bounded), recording
+/// per-pass deltas.
+RepeatableReport runRepeatableReport(ir::Function& fn, int maxIters = 10);
 
 /// Runs the full optimization block to a fixed point (bounded).
 /// Returns the number of iterations that changed something.

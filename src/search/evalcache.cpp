@@ -72,6 +72,11 @@ bool EvalCache::open(const std::string& path, std::string* error) {
           }
           rec.status = *parsed;
         }
+        // v3 lines nest the observability counters; v2/v1 replay without.
+        if (auto it = obj.find("counters");
+            it != obj.end() && it->second.kind == JsonValue::Kind::Object &&
+            it->second.object != nullptr)
+          rec.counters = parseCounters(*it->second.object);
         EvalKey key{*source,
                     *machine,
                     *context,
@@ -105,9 +110,11 @@ std::optional<EvalRecord> EvalCache::lookup(const EvalKey& key) {
 }
 
 void EvalCache::insert(const EvalKey& key, uint64_t cycles,
-                       EvalOutcome::Status status) {
+                       EvalOutcome::Status status,
+                       const std::optional<EvalCounters>& counters) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto [it, inserted] = map_.emplace(key.str(), EvalRecord{cycles, status});
+  auto [it, inserted] =
+      map_.emplace(key.str(), EvalRecord{cycles, status, counters});
   if (!inserted) return;
   if (out_ == nullptr) return;
   JsonWriter w;
@@ -120,6 +127,7 @@ void EvalCache::insert(const EvalKey& key, uint64_t cycles,
       .field("params", key.params)
       .field("cycles", cycles)
       .field("status", std::string(evalStatusName(status)));
+  if (counters.has_value()) w.field("counters", countersJson(*counters));
   // One whole line per fputs + flush: an interrupted run can only ever
   // truncate the final line, which load() skips.
   std::fputs((w.str() + "\n").c_str(), out_);

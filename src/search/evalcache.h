@@ -19,6 +19,12 @@
 // v1 lines (no status field) still load: cycles > 0 reads as Timed,
 // cycles == 0 as FailUnknown — "some failure whose flavour the cache did
 // not record".
+//
+// Schema v3: timed lines additionally carry a nested `counters` object
+// (search/counters.h) — the per-cause cycle attribution, memory-system
+// counters, and compile observability of the evaluation — so warm replays
+// surface the same `ifko explain` attribution without re-simulating.
+// v2/v1 lines still load; they simply replay without counters.
 #pragma once
 
 #include <cstdint>
@@ -50,10 +56,12 @@ struct EvalKey {
   [[nodiscard]] std::string str() const;
 };
 
-/// One memoized evaluation: the cycles and how the evaluation ended.
+/// One memoized evaluation: the cycles, how the evaluation ended, and (for
+/// v3 timed entries) the observability counters.
 struct EvalRecord {
   uint64_t cycles = 0;
   EvalOutcome::Status status = EvalOutcome::Status::Timed;
+  std::optional<EvalCounters> counters;
 };
 
 /// Thread-safe evaluation memo with optional JSONL persistence.
@@ -73,11 +81,13 @@ class EvalCache {
   /// Returns the memoized record, counting a hit or miss.
   [[nodiscard]] std::optional<EvalRecord> lookup(const EvalKey& key);
 
-  /// Records the evaluation (cycles plus failure status) and appends it to
-  /// the persistence file when one is attached.  Re-inserting an existing
-  /// key is a no-op (no duplicate line is written).
+  /// Records the evaluation (cycles, failure status, and — when available —
+  /// the observability counters) and appends it to the persistence file
+  /// when one is attached.  Re-inserting an existing key is a no-op (no
+  /// duplicate line is written).
   void insert(const EvalKey& key, uint64_t cycles,
-              EvalOutcome::Status status = EvalOutcome::Status::Timed);
+              EvalOutcome::Status status = EvalOutcome::Status::Timed,
+              const std::optional<EvalCounters>& counters = std::nullopt);
 
   [[nodiscard]] size_t size() const;
   [[nodiscard]] uint64_t hits() const;

@@ -115,20 +115,20 @@ EvalOutcome evaluateCandidate(const std::string& hilSource,
                   .ok;
     if (!pass) return {0, EvalOutcome::Status::TesterFail};
   }
-  uint64_t cycles;
+  sim::TimeResult timed;
   if (spec != nullptr) {
-    cycles = sim::timeKernel(machine, compiled.fn, *spec, config.n,
-                             config.context, config.seed)
-                 .cycles;
+    timed = sim::timeKernel(machine, compiled.fn, *spec, config.n,
+                            config.context, config.seed);
   } else {
     int64_t strideElems = 1;
     for (const auto& a : analysis.arrays)
       strideElems = std::max(strideElems, a.strideElems);
-    cycles = fko::timeCompiled(machine, compiled.fn, config.n, config.context,
-                               config.seed, strideElems)
-                 .cycles;
+    timed = fko::timeCompiled(machine, compiled.fn, config.n, config.context,
+                              config.seed, strideElems);
   }
-  return {cycles, EvalOutcome::Status::Timed};
+  EvalOutcome out{timed.cycles, EvalOutcome::Status::Timed};
+  out.counters = collectCounters(compiled, timed);
+  return out;
 }
 
 namespace {

@@ -32,6 +32,7 @@
 #include "fko/compiler.h"
 #include "kernels/registry.h"
 #include "opt/params.h"
+#include "search/counters.h"
 #include "sim/timer.h"
 
 // Reading a deprecated member from its own accessors must not warn.
@@ -179,6 +180,9 @@ struct EvalOutcome {
   Status status = Status::Timed;
   bool fromCache = false;  ///< replayed from a memo/cache, not re-evaluated
   int attempts = 1;        ///< evaluation attempts the guarded path spent
+  /// Observability counters for a timed candidate (attribution, memory,
+  /// compile); absent for failures and for pre-v3 cache replays.
+  std::optional<EvalCounters> counters;
 
   [[nodiscard]] bool usable() const {
     return status == Status::Timed && cycles != 0;

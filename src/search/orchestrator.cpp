@@ -70,6 +70,7 @@ class OrchestratedEvaluator final : public Evaluator {
       auto cached = orch_.cache_.lookup(keyFor(specs[i]));
       if (cached.has_value()) {
         out[i] = {cached->cycles, cached->status, /*fromCache=*/true};
+        out[i].counters = cached->counters;
         continue;
       }
       auto [it, inserted] = firstMiss.emplace(specs[i], i);
@@ -95,7 +96,8 @@ class OrchestratedEvaluator final : public Evaluator {
     }
 
     for (size_t i : missIdx) {
-      orch_.cache_.insert(keyFor(specs[i]), out[i].cycles, out[i].status);
+      orch_.cache_.insert(keyFor(specs[i]), out[i].cycles, out[i].status,
+                          out[i].counters);
       faults_.add(out[i]);
       ++evaluations_;
     }
@@ -119,6 +121,9 @@ class OrchestratedEvaluator final : public Evaluator {
                                   ? "pass"
                                   : evalStatusName(out[i].status));
         if (out[i].attempts > 1) w.field("attempts", out[i].attempts);
+        // Trace v3: timed candidates carry their observability counters.
+        if (out[i].counters.has_value())
+          w.field("counters", countersJson(*out[i].counters));
         orch_.trace(w.str());
       }
     }

@@ -73,16 +73,24 @@ uint64_t MemSystem::busAcquireImpl(uint64_t now, BusDir dir, bool buffered) {
 
 void MemSystem::installLine(Level& level, uint64_t laddr, uint64_t now,
                             uint64_t fillReady, bool dirty, bool exclusive,
-                            bool ntHint) {
+                            bool ntHint, bool prefetched) {
   if (Line* hit = level.find(laddr)) {
     hit->dirty = hit->dirty || dirty;
     hit->exclusive = hit->exclusive || exclusive;
     hit->fillReady = std::max(hit->fillReady, fillReady);
     hit->lastUse = use_counter_++;
     hit->nt = hit->nt && ntHint;
+    hit->pref = hit->pref && prefetched;
     return;
   }
   Line& v = level.victim(laddr);
+  if (v.valid) {
+    // Per-level eviction accounting (the dirty ones also write back below).
+    if (&level == &levels_[0])
+      ++stats_.evictL1;
+    else
+      ++stats_.evictL2;
+  }
   if (v.valid && v.dirty) {
     // Writeback: buffered by the controller, occupies bandwidth but causes
     // no read/write turnaround and nothing waits on it.
@@ -97,11 +105,20 @@ void MemSystem::installLine(Level& level, uint64_t laddr, uint64_t now,
   // Non-temporal fills are marked first-out (prefetchnta's "nearest cache,
   // do not pollute" behaviour) but age normally among themselves.
   v.nt = ntHint;
+  v.pref = prefetched;
   v.lastUse = use_counter_++;
 }
 
+void MemSystem::noteDemandHit(Line& line) {
+  if (line.pref) {
+    line.pref = false;
+    ++stats_.prefUseful;
+  }
+}
+
 uint64_t MemSystem::fetchLine(uint64_t laddr, uint64_t now, bool forWrite,
-                              bool intoL1, bool intoL2, bool ntHint) {
+                              bool intoL1, bool intoL2, bool ntHint,
+                              bool isPrefetch) {
   // Deduplicate against in-flight fills.
   if (auto it = inflight_.find(laddr); it != inflight_.end()) {
     uint64_t ready = it->second;
@@ -137,9 +154,10 @@ uint64_t MemSystem::fetchLine(uint64_t laddr, uint64_t now, bool forWrite,
 #endif
   if (intoL2 && levels_.size() > 1)
     installLine(levels_[1], laddr, now, ready, forWrite && false, forWrite,
-                ntHint && !intoL1);
+                ntHint && !intoL1, isPrefetch);
   if (intoL1)
-    installLine(levels_[0], laddr, now, ready, false, forWrite, ntHint);
+    installLine(levels_[0], laddr, now, ready, false, forWrite, ntHint,
+                isPrefetch);
   return ready;
 }
 
@@ -152,6 +170,9 @@ uint64_t MemSystem::load(uint64_t addr, uint32_t bytes, uint64_t now) {
   Level& l1 = levels_[0];
   if (Line* hit = l1.find(laddr)) {
     hit->lastUse = use_counter_++;
+    ++stats_.loadHitL1;
+    noteDemandHit(*hit);
+    last_service_ = Service::L1;
     return std::max(now + l1.cfg.latency, hit->fillReady + l1.cfg.latency);
   }
   ++stats_.loadMissL1;
@@ -160,6 +181,9 @@ uint64_t MemSystem::load(uint64_t addr, uint32_t bytes, uint64_t now) {
     Level& l2 = levels_[1];
     if (Line* hit = l2.find(laddr)) {
       hit->lastUse = use_counter_++;
+      ++stats_.loadHitL2;
+      noteDemandHit(*hit);
+      last_service_ = Service::L2;
       uint64_t ready =
           std::max(now + l2.cfg.latency,
                    hit->fillReady + static_cast<uint64_t>(l2.cfg.latency));
@@ -169,6 +193,7 @@ uint64_t MemSystem::load(uint64_t addr, uint32_t bytes, uint64_t now) {
   }
   uint64_t ready = fetchLine(laddr, now, /*forWrite=*/false, /*intoL1=*/true,
                              /*intoL2=*/true, /*ntHint=*/false);
+  last_service_ = Service::Mem;
   return std::max(ready, now + l1.cfg.latency);
 }
 
@@ -210,7 +235,7 @@ void MemSystem::trainHwPrefetcher(uint64_t laddr, uint64_t now) {
       break;  // like software prefetch, throttled when the bus is backed up
     ++stats_.hwPrefetches;
     fetchLine(target, now, /*forWrite=*/false, /*intoL1=*/false,
-              /*intoL2=*/true, /*ntHint=*/false);
+              /*intoL2=*/true, /*ntHint=*/false, /*isPrefetch=*/true);
   }
 }
 
@@ -236,6 +261,9 @@ uint64_t MemSystem::store(uint64_t addr, uint32_t bytes, uint64_t now) {
   if (l1hit == nullptr) trainHwPrefetcher(laddr, now);
   if (Line* hit = l1hit) {
     hit->lastUse = use_counter_++;
+    ++stats_.storeHitL1;
+    noteDemandHit(*hit);
+    last_service_ = Service::L1;
     uint64_t extra = 0;
     if (!hit->exclusive) {
       // Ownership upgrade: short address-only transaction; costs the store
@@ -250,6 +278,9 @@ uint64_t MemSystem::store(uint64_t addr, uint32_t bytes, uint64_t now) {
     Level& l2 = levels_[1];
     if (Line* hit = l2.find(laddr)) {
       hit->lastUse = use_counter_++;
+      ++stats_.storeHitL2;
+      noteDemandHit(*hit);
+      last_service_ = Service::L2;
       uint64_t extra = 0;
       if (!hit->exclusive) {
         extra = 4;
@@ -264,6 +295,7 @@ uint64_t MemSystem::store(uint64_t addr, uint32_t bytes, uint64_t now) {
   ++stats_.storeRFOs;
   uint64_t ready = fetchLine(laddr, now, /*forWrite=*/true, /*intoL1=*/true,
                              /*intoL2=*/true, /*ntHint=*/false);
+  last_service_ = Service::Mem;
   if (Line* hit = l1.find(laddr)) hit->dirty = true;
   return reserveSlot(ready);
 }
@@ -356,11 +388,11 @@ void MemSystem::prefetch(ir::PrefKind kind, uint64_t addr, uint64_t now) {
     // L2 -> L1 move: no memory traffic, just install.
     Line* hit = levels_[1].find(laddr);
     if (intoL1)
-      installLine(levels_[0], laddr, now,
-                  now + levels_[1].cfg.latency, false, hit->exclusive, ntHint);
+      installLine(levels_[0], laddr, now, now + levels_[1].cfg.latency, false,
+                  hit->exclusive, ntHint, /*prefetched=*/true);
     return;
   }
-  fetchLine(laddr, now, forWrite, intoL1, intoL2, ntHint);
+  fetchLine(laddr, now, forWrite, intoL1, intoL2, ntHint, /*isPrefetch=*/true);
 }
 
 void MemSystem::warm(uint64_t addr, uint64_t bytes) {

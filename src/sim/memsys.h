@@ -31,6 +31,12 @@ class MemSystem {
  public:
   explicit MemSystem(const arch::MachineConfig& cfg);
 
+  /// The level that serviced the most recent load()/store() call.  Read by
+  /// the timing model immediately after each access to attribute the stall
+  /// to a memory level (safe: one MemSystem is owned by one evaluation).
+  enum class Service : uint8_t { None, L1, L2, Mem };
+  [[nodiscard]] Service lastService() const { return last_service_; }
+
   /// Data-ready cycle for a load of `bytes` at `addr` executed at `now`.
   uint64_t load(uint64_t addr, uint32_t bytes, uint64_t now);
   /// Commit cycle for a write-allocate store (store buffer permitting).
@@ -57,6 +63,16 @@ class MemSystem {
     uint64_t hwPrefetches = 0;
     uint64_t writebacks = 0;
     uint64_t busBytes = 0;
+    // Per-level accounting (observability layer; appended so existing
+    // aggregate initializers keep their field positions).
+    uint64_t loadHitL1 = 0;
+    uint64_t loadHitL2 = 0;   ///< L1 misses served by the L2
+    uint64_t storeHitL1 = 0;
+    uint64_t storeHitL2 = 0;
+    uint64_t evictL1 = 0;     ///< valid lines displaced from the L1
+    uint64_t evictL2 = 0;
+    uint64_t prefUseful = 0;  ///< prefetched lines later hit by demand
+    friend bool operator==(const Stats&, const Stats&) = default;
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
   void resetStats() { stats_ = {}; }
@@ -73,6 +89,7 @@ class MemSystem {
     bool dirty = false;
     bool exclusive = false;  ///< owned for writing (no upgrade needed)
     bool nt = false;         ///< non-temporal fill: preferred eviction victim
+    bool pref = false;       ///< filled by a prefetch, not yet demand-hit
   };
   struct Level {
     arch::CacheLevelConfig cfg;
@@ -94,12 +111,17 @@ class MemSystem {
   uint64_t busAcquireImpl(uint64_t now, BusDir dir, bool buffered);
 
   /// Fetches a line from memory (deduplicating against in-flight fills);
-  /// returns the data-ready cycle.  `forWrite` installs it exclusive.
+  /// returns the data-ready cycle.  `forWrite` installs it exclusive;
+  /// `isPrefetch` marks the installed lines for prefetch-useful accounting.
   uint64_t fetchLine(uint64_t laddr, uint64_t now, bool forWrite,
-                     bool intoL1, bool intoL2, bool ntHint);
+                     bool intoL1, bool intoL2, bool ntHint,
+                     bool isPrefetch = false);
 
   void installLine(Level& level, uint64_t laddr, uint64_t now,
-                   uint64_t fillReady, bool dirty, bool exclusive, bool ntHint);
+                   uint64_t fillReady, bool dirty, bool exclusive, bool ntHint,
+                   bool prefetched = false);
+  /// Demand access touched `line`: credits a useful prefetch once.
+  void noteDemandHit(Line& line);
   void flushWC(uint64_t now, size_t idx);
   /// Trains the hardware stride prefetcher on a demand miss and issues
   /// ahead-fetches into the L2 once a sequential stream is detected.
@@ -128,6 +150,7 @@ class MemSystem {
   };
   Stream streams_[8];
   Stats stats_;
+  Service last_service_ = Service::None;
 };
 
 }  // namespace ifko::sim

@@ -19,6 +19,9 @@ TimeResult timeKernel(const arch::MachineConfig& machine,
     mem.warm(data.xAddr, bytes);
     if (data.yAddr != 0) mem.warm(data.yAddr, bytes);
   }
+  // Warming displaces lines and would otherwise leak eviction counts into
+  // the timed run's stats; the timed region starts from a clean slate.
+  mem.resetStats();
   TimingModel timing(machine, mem);
   Interp interp(fn, *data.mem, &timing);
   RunResult run = interp.run(data.args(fn));
@@ -28,6 +31,7 @@ TimeResult timeKernel(const arch::MachineConfig& machine,
   out.dynInsts = run.dynInsts;
   out.mem = mem.stats();
   out.core = timing.stats();
+  out.attr = timing.attribution();
   return out;
 }
 

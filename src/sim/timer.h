@@ -27,6 +27,7 @@ struct TimeResult {
   uint64_t dynInsts = 0;
   MemSystem::Stats mem;
   TimingModel::Stats core;
+  Attribution attr;  ///< per-cause cycle attribution; attr.total() == cycles
 
   /// MFLOPS given the FLOP count charged for the run.
   [[nodiscard]] double mflops(double flops, double ghz) const {

@@ -8,6 +8,47 @@ using ir::Op;
 using ir::Reg;
 using ir::RegKind;
 
+std::string_view stallCauseName(StallCause c) {
+  switch (c) {
+    case StallCause::Issue: return "issue";
+    case StallCause::FpDep: return "fp_dep";
+    case StallCause::IntDep: return "int_dep";
+    case StallCause::Rob: return "rob";
+    case StallCause::Mispredict: return "mispredict";
+    case StallCause::Unit: return "unit";
+    case StallCause::MemL1: return "mem_l1";
+    case StallCause::MemL2: return "mem_l2";
+    case StallCause::MemMain: return "mem_main";
+    case StallCause::Store: return "store";
+  }
+  return "?";
+}
+
+namespace {
+
+/// The memory level that served the last access, as a stall cause.
+StallCause serviceCause(MemSystem::Service s) {
+  switch (s) {
+    case MemSystem::Service::L1: return StallCause::MemL1;
+    case MemSystem::Service::L2: return StallCause::MemL2;
+    case MemSystem::Service::Mem: return StallCause::MemMain;
+    case MemSystem::Service::None: break;
+  }
+  return StallCause::MemL1;
+}
+
+/// Store commits that stay in the L1/store buffer are cheap bookkeeping
+/// (Store); ones that had to fetch ownership from further out are memory.
+StallCause storeServiceCause(MemSystem::Service s) {
+  switch (s) {
+    case MemSystem::Service::L2: return StallCause::MemL2;
+    case MemSystem::Service::Mem: return StallCause::MemMain;
+    default: return StallCause::Store;
+  }
+}
+
+}  // namespace
+
 TimingModel::TimingModel(const arch::MachineConfig& cfg, MemSystem& mem)
     : cfg_(cfg), mem_(mem), budget_(detail::currentEvalBudget()) {
   rob_retire_.assign(static_cast<size_t>(cfg.robSize), 0);
@@ -127,30 +168,62 @@ void TimingModel::onInst(const InstEvent& ev) {
   // the address is known).
   const bool isStore = info.writesMem;
   uint64_t deps = issueAt;
+  // The attribution charges dependency waits to the register class of the
+  // operand that gates dispatch (FP chain vs integer/address/flags).
+  StallCause depCause = StallCause::IntDep;
+  auto raiseDep = [&](uint64_t t, StallCause c) {
+    if (t > deps) {
+      deps = t;
+      depCause = c;
+    }
+  };
+  auto regCause = [](Reg r) {
+    return r.kind == RegKind::Fp ? StallCause::FpDep : StallCause::IntDep;
+  };
   if (!isStore) {
-    if (info.numSrcs >= 1) deps = std::max(deps, readyOf(inst.src1));
-    if (info.numSrcs >= 2) deps = std::max(deps, readyOf(inst.src2));
-    if (info.numSrcs >= 3) deps = std::max(deps, readyOf(inst.src3));
+    if (info.numSrcs >= 1) raiseDep(readyOf(inst.src1), regCause(inst.src1));
+    if (info.numSrcs >= 2) raiseDep(readyOf(inst.src2), regCause(inst.src2));
+    if (info.numSrcs >= 3) raiseDep(readyOf(inst.src3), regCause(inst.src3));
   }
   if (inst.op == Op::Ret && inst.src1.valid())
-    deps = std::max(deps, readyOf(inst.src1));
-  if (ir::touchesMem(inst.op)) deps = std::max(deps, memOperandReady(inst));
-  if (info.readsFlags) deps = std::max(deps, flags_ready_);
+    raiseDep(readyOf(inst.src1), regCause(inst.src1));
+  if (ir::touchesMem(inst.op))
+    raiseDep(memOperandReady(inst), StallCause::IntDep);
+  if (info.readsFlags) raiseDep(flags_ready_, StallCause::IntDep);
   uint64_t storeDataReady = isStore ? readyOf(inst.src1) : 0;
 
   Cost cost = costOf(inst);
   uint64_t execStart = acquireUnit(cost.unit, deps, cost.occupancy);
   uint64_t complete = execStart + static_cast<uint64_t>(cost.latency);
 
+  // Attribution milestones for the [execStart, complete) span: an optional
+  // op-specific mid boundary, then a tail cause for the final segment
+  // (exposed latency of the unit class unless the op says otherwise).
+  uint64_t midAt = 0;
+  StallCause midCause = StallCause::Issue;
+  StallCause tailCause = StallCause::Issue;
+  switch (cost.unit) {
+    case Unit::FpAdd: case Unit::FpMul: case Unit::FpAny:
+      tailCause = StallCause::FpDep;
+      break;
+    case Unit::Int:
+      tailCause = StallCause::IntDep;
+      break;
+    default:
+      break;
+  }
+
   // ---- memory and control specifics ---------------------------------------
   switch (inst.op) {
     case Op::ILd: case Op::FLd: case Op::VLd:
       complete = mem_.load(ev.addr, ev.accessBytes, execStart);
+      tailCause = serviceCause(mem_.lastService());
       break;
     case Op::Touch:
       // The fill is initiated (and nothing waits on the value).
       mem_.load(ev.addr, ev.accessBytes, execStart);
       complete = execStart + 1;
+      tailCause = StallCause::Issue;
       break;
     case Op::FAddM: case Op::FMulM: case Op::VAddM: case Op::VMulM: {
       // Fused load + arithmetic: the load micro-op goes first.
@@ -158,22 +231,35 @@ void TimingModel::onInst(const InstEvent& ev) {
       uint64_t dataReady = mem_.load(ev.addr, ev.accessBytes, loadStart);
       uint64_t start = std::max(execStart, dataReady);
       complete = start + static_cast<uint64_t>(cost.latency);
+      // Waiting for the operand is memory; the arithmetic is FP latency.
+      midAt = start;
+      midCause = serviceCause(mem_.lastService());
+      tailCause = StallCause::FpDep;
       break;
     }
-    case Op::ISt: case Op::FSt: case Op::VSt:
-      complete = std::max(mem_.store(ev.addr, ev.accessBytes, execStart),
-                          storeDataReady);
+    case Op::ISt: case Op::FSt: case Op::VSt: {
+      uint64_t commit = mem_.store(ev.addr, ev.accessBytes, execStart);
+      complete = std::max(commit, storeDataReady);
+      midAt = commit;
+      midCause = storeServiceCause(mem_.lastService());
+      // Past the commit point the store only waits for its data operand.
+      tailCause = regCause(inst.src1);
       break;
+    }
     case Op::FStNT: case Op::VStNT:
       // NT stores drain through the write-combining buffer once the data
       // arrives.
       complete = std::max(mem_.storeNT(ev.addr, ev.accessBytes,
                                        std::max(execStart, storeDataReady)),
                           storeDataReady);
+      midAt = std::max(execStart, storeDataReady);
+      midCause = regCause(inst.src1);
+      tailCause = StallCause::Store;
       break;
     case Op::Pref:
       mem_.prefetch(inst.pref, ev.addr, execStart);
       complete = execStart + 1;
+      tailCause = StallCause::Issue;
       break;
     case Op::Jcc: {
       ++stats_.branches;
@@ -187,6 +273,9 @@ void TimingModel::onInst(const InstEvent& ev) {
             std::max(issue_cycle_,
                      resolve + static_cast<uint64_t>(cfg_.mispredictPenalty));
         issued_in_cycle_ = 0;
+        // Issue cycles inflated by this restart are charged to Mispredict
+        // (see the attribution segment below) on the refilled instructions.
+        mispredict_until_ = std::max(mispredict_until_, issue_cycle_);
       }
       if (ev.taken && ctr < 3) ++ctr;
       if (!ev.taken && ctr > 0) --ctr;
@@ -198,6 +287,30 @@ void TimingModel::onInst(const InstEvent& ev) {
 
   if (info.hasDst) setReady(inst.dst, complete);
   if (info.setsFlags) flags_ready_ = complete;
+
+  // ---- cycle attribution ---------------------------------------------------
+  // Partition this instruction's advance of the completion front
+  // [last_retire_, complete) along its ordered critical-path milestones.
+  // Boundaries are clamped to `complete` and the cursor only moves forward,
+  // so the per-instruction charges sum to exactly the front's advance:
+  // the accounting identity  attribution().total() == cycles().
+  {
+    uint64_t lo = last_retire_;
+    auto seg = [&](uint64_t boundary, StallCause c) {
+      uint64_t hi = std::min(boundary, complete);
+      if (hi > lo) {
+        attr_.cycles[static_cast<size_t>(c)] += hi - lo;
+        lo = hi;
+      }
+    };
+    seg(std::min(issueAt, mispredict_until_), StallCause::Mispredict);
+    seg(std::min(issueAt, robGate), StallCause::Rob);
+    seg(issueAt, StallCause::Issue);
+    seg(deps, depCause);
+    seg(execStart, StallCause::Unit);
+    if (midAt != 0) seg(midAt, midCause);
+    seg(complete, tailCause);
+  }
 
   // ---- in-order retire -----------------------------------------------------
   uint64_t retire = std::max(complete, last_retire_);

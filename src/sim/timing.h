@@ -19,7 +19,9 @@
 // order is chosen by operand readiness, not program order.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "arch/machine.h"
@@ -28,6 +30,51 @@
 #include "sim/memsys.h"
 
 namespace ifko::sim {
+
+/// The closed set of causes every simulated cycle is charged to.  Each
+/// instruction's advance of the completion front is partitioned along its
+/// critical path: front-end restart after a mispredict, ROB-full pressure,
+/// steady in-order issue, waiting on an FP (or integer/address) operand,
+/// functional-unit occupancy, the memory level that served its access, or
+/// store commit/drain.  See TimingModel::attribution().
+enum class StallCause : uint8_t {
+  Issue,       ///< steady-state in-order issue (front-end pacing)
+  FpDep,       ///< FP dependency chain: waiting on / exposing FP latency
+  IntDep,      ///< integer/address dependency (incl. exposed int latency)
+  Rob,         ///< reorder-buffer (window) pressure
+  Mispredict,  ///< front-end restart after a branch mispredict
+  Unit,        ///< functional-unit occupancy
+  MemL1,       ///< load-to-use latency served by the L1
+  MemL2,       ///< L1 miss served by the L2
+  MemMain,     ///< miss to main memory (bus + DRAM latency)
+  Store,       ///< store commit, store-buffer and WC-buffer drain
+};
+inline constexpr size_t kNumStallCauses = 10;
+
+/// Trace/cache field name ("issue", "fp_dep", "mem_main", ...).
+[[nodiscard]] std::string_view stallCauseName(StallCause c);
+
+/// Cycles charged per cause.  The accounting identity: total() of the
+/// attribution equals TimingModel::cycles() exactly — every cycle the
+/// completion front advanced is charged to exactly one cause.
+struct Attribution {
+  std::array<uint64_t, kNumStallCauses> cycles{};
+
+  [[nodiscard]] uint64_t of(StallCause c) const {
+    return cycles[static_cast<size_t>(c)];
+  }
+  [[nodiscard]] uint64_t total() const {
+    uint64_t t = 0;
+    for (uint64_t v : cycles) t += v;
+    return t;
+  }
+  /// MemL1 + MemL2 + MemMain + Store: every memory-system stall.
+  [[nodiscard]] uint64_t memoryStalls() const {
+    return of(StallCause::MemL1) + of(StallCause::MemL2) +
+           of(StallCause::MemMain) + of(StallCause::Store);
+  }
+  friend bool operator==(const Attribution&, const Attribution&) = default;
+};
 
 class TimingModel : public InstObserver {
  public:
@@ -44,6 +91,9 @@ class TimingModel : public InstObserver {
     uint64_t mispredicts = 0;
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Per-cause cycle attribution; attribution().total() == cycles() always.
+  [[nodiscard]] const Attribution& attribution() const { return attr_; }
 
  private:
   enum class Unit : uint8_t { Int, FpAdd, FpMul, FpAny, Load, Store, None };
@@ -72,6 +122,9 @@ class TimingModel : public InstObserver {
 
   uint64_t issue_cycle_ = 0;
   int issued_in_cycle_ = 0;
+  /// Issue cycles below this watermark were inflated by a mispredict
+  /// restart; the attribution charges them to Mispredict, not Issue.
+  uint64_t mispredict_until_ = 0;
   std::vector<uint64_t> rob_retire_;  ///< circular, robSize entries
   size_t rob_pos_ = 0;
   uint64_t last_retire_ = 0;
@@ -84,6 +137,7 @@ class TimingModel : public InstObserver {
 
   uint64_t max_complete_ = 0;
   Stats stats_;
+  Attribution attr_;
 };
 
 }  // namespace ifko::sim

@@ -64,6 +64,9 @@ JsonWriter& JsonWriter::field(std::string_view key, double value) {
 JsonWriter& JsonWriter::field(std::string_view key, bool value) {
   return raw(key, value ? "true" : "false");
 }
+JsonWriter& JsonWriter::field(std::string_view key, const JsonWriter& nested) {
+  return raw(key, nested.str());
+}
 
 std::string JsonWriter::str() const { return "{" + body_ + "}"; }
 
@@ -143,7 +146,9 @@ struct Parser {
     return true;
   }
 
-  bool parseValue(JsonValue* out) {
+  bool parseObject(std::map<std::string, JsonValue>* out, int depth);
+
+  bool parseValue(JsonValue* out, int depth) {
     skipWs();
     if (pos >= s.size()) return fail("missing value");
     char c = s[pos];
@@ -151,7 +156,14 @@ struct Parser {
       out->kind = JsonValue::Kind::String;
       return parseString(&out->string);
     }
-    if (c == '{' || c == '[') return fail("nested values unsupported");
+    if (c == '{') {
+      // Shallow nesting only: grouped counters, not general documents.
+      if (depth >= 4) return fail("object nested too deep");
+      out->kind = JsonValue::Kind::Object;
+      out->object = std::make_shared<std::map<std::string, JsonValue>>();
+      return parseObject(out->object.get(), depth + 1);
+    }
+    if (c == '[') return fail("arrays unsupported");
     if (s.compare(pos, 4, "true") == 0) {
       out->kind = JsonValue::Kind::Bool;
       out->boolean = true;
@@ -186,6 +198,26 @@ struct Parser {
   }
 };
 
+bool Parser::parseObject(std::map<std::string, JsonValue>* out, int depth) {
+  if (!expect('{')) return false;
+  if (!peekIs('}')) {
+    for (;;) {
+      std::string key;
+      if (!parseString(&key)) return false;
+      if (!expect(':')) return false;
+      JsonValue v;
+      if (!parseValue(&v, depth)) return false;
+      (*out)[key] = std::move(v);
+      if (peekIs(',')) {
+        ++pos;
+        continue;
+      }
+      break;
+    }
+  }
+  return expect('}');
+}
+
 }  // namespace
 
 bool parseJsonObject(std::string_view line,
@@ -197,23 +229,7 @@ bool parseJsonObject(std::string_view line,
     if (error != nullptr) *error = p.error;
     return false;
   };
-  if (!p.expect('{')) return bail();
-  if (!p.peekIs('}')) {
-    for (;;) {
-      std::string key;
-      if (!p.parseString(&key)) return bail();
-      if (!p.expect(':')) return bail();
-      JsonValue v;
-      if (!p.parseValue(&v)) return bail();
-      (*out)[key] = std::move(v);
-      if (p.peekIs(',')) {
-        ++p.pos;
-        continue;
-      }
-      break;
-    }
-  }
-  if (!p.expect('}')) return bail();
+  if (!p.parseObject(out, 0)) return bail();
   p.skipWs();
   if (p.pos != line.size()) {
     p.fail("trailing garbage");

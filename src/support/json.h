@@ -1,12 +1,14 @@
 // Minimal JSON support for the JSONL files the tuning subsystem exchanges:
 // the persistent evaluation cache and the search event trace.  Both are
-// streams of FLAT one-line objects (string/number/bool/null values, no
-// nesting), which is all this implements — by design, so a cache line can be
-// appended atomically and a trace can be processed with line-oriented tools.
+// streams of one-line objects (string/number/bool/null values, plus
+// shallowly nested objects for grouped counters — no arrays), which is all
+// this implements — by design, so a cache line can be appended atomically
+// and a trace can be processed with line-oriented tools.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 
@@ -30,6 +32,8 @@ class JsonWriter {
   JsonWriter& field(std::string_view key, int value);
   JsonWriter& field(std::string_view key, double value);
   JsonWriter& field(std::string_view key, bool value);
+  /// Embeds another writer's object as a nested value.
+  JsonWriter& field(std::string_view key, const JsonWriter& nested);
 
   /// The complete object, e.g. {"event":"candidate","cycles":123}.
   [[nodiscard]] std::string str() const;
@@ -39,13 +43,15 @@ class JsonWriter {
   std::string body_;
 };
 
-/// One parsed flat JSON value.
+/// One parsed JSON value.  Objects nest (boundedly deep); arrays do not.
 struct JsonValue {
-  enum class Kind : uint8_t { Null, Bool, Number, String };
+  enum class Kind : uint8_t { Null, Bool, Number, String, Object };
   Kind kind = Kind::Null;
   bool boolean = false;
   double number = 0.0;
   std::string string;
+  /// Set iff kind == Object (shared_ptr: JsonValue is incomplete here).
+  std::shared_ptr<std::map<std::string, JsonValue>> object;
 
   [[nodiscard]] int64_t asInt() const { return static_cast<int64_t>(number); }
   [[nodiscard]] uint64_t asUint() const {
@@ -53,9 +59,9 @@ struct JsonValue {
   }
 };
 
-/// Parses one flat JSON object into `out` (cleared first).  Returns false —
+/// Parses one JSON object into `out` (cleared first).  Returns false —
 /// with a message in *error when given — on malformed input, trailing
-/// garbage, or nested arrays/objects.
+/// garbage, arrays, or objects nested deeper than a small bound.
 [[nodiscard]] bool parseJsonObject(std::string_view line,
                                    std::map<std::string, JsonValue>* out,
                                    std::string* error = nullptr);

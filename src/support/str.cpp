@@ -1,8 +1,30 @@
 #include "support/str.h"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 
 namespace ifko {
+
+bool parseInt64(std::string_view s, int64_t* out) {
+  // strtoll needs a terminated buffer; reject anything that is not exactly
+  // one integer (the lenient atoi family turns garbage into silent zeros).
+  // strtoll itself would skip leading whitespace — " 4" is still garbage
+  // for a flag value, so rule it out up front.
+  if (s.empty() || s.size() > 32) return false;
+  if (s.front() == ' ' || s.front() == '\t' || s.front() == '\n' ||
+      s.front() == '\r')
+    return false;
+  char buf[33];
+  s.copy(buf, s.size());
+  buf[s.size()] = '\0';
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(buf, &end, 10);
+  if (end != buf + s.size() || errno == ERANGE) return false;
+  *out = static_cast<int64_t>(v);
+  return true;
+}
 
 std::string_view trim(std::string_view s) {
   size_t b = 0, e = s.size();

@@ -1,6 +1,7 @@
 // Small string helpers used across the toolchain.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -8,6 +9,10 @@
 namespace ifko {
 
 [[nodiscard]] std::string_view trim(std::string_view s);
+/// Strict base-10 integer parse: the whole of `s` must be a number (no
+/// empty input, no trailing garbage, no overflow).  On success stores the
+/// value in *out and returns true; on failure *out is untouched.
+[[nodiscard]] bool parseInt64(std::string_view s, int64_t* out);
 [[nodiscard]] std::vector<std::string> split(std::string_view s, char sep);
 [[nodiscard]] bool startsWith(std::string_view s, std::string_view prefix);
 /// Replace every occurrence of `from` in `s` with `to`.

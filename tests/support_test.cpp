@@ -169,9 +169,58 @@ TEST(Json, ParseRejectsMalformed) {
   std::map<std::string, JsonValue> obj;
   EXPECT_FALSE(parseJsonObject("not json", &obj));
   EXPECT_FALSE(parseJsonObject("{\"a\":1", &obj));
-  EXPECT_FALSE(parseJsonObject("{\"a\":{\"nested\":1}}", &obj));
+  EXPECT_FALSE(parseJsonObject("{\"a\":[1,2]}", &obj));
   EXPECT_FALSE(parseJsonObject("{\"a\":1} trailing", &obj));
   EXPECT_TRUE(parseJsonObject("{}", &obj));
+}
+
+TEST(Json, NestedObjectRoundTrip) {
+  JsonWriter inner;
+  inner.field("attr_issue", uint64_t{12}).field("repeat_converged", true);
+  JsonWriter outer;
+  outer.field("event", "candidate").field("counters", inner);
+  EXPECT_EQ(outer.str(),
+            "{\"event\":\"candidate\",\"counters\":"
+            "{\"attr_issue\":12,\"repeat_converged\":true}}");
+
+  std::map<std::string, JsonValue> obj;
+  std::string err;
+  ASSERT_TRUE(parseJsonObject(outer.str(), &obj, &err)) << err;
+  const JsonValue& counters = obj.at("counters");
+  ASSERT_EQ(counters.kind, JsonValue::Kind::Object);
+  ASSERT_NE(counters.object, nullptr);
+  EXPECT_EQ(counters.object->at("attr_issue").asUint(), 12u);
+  EXPECT_TRUE(counters.object->at("repeat_converged").boolean);
+}
+
+TEST(Json, ParseRejectsDeeplyNestedObjects) {
+  std::map<std::string, JsonValue> obj;
+  // Depth 2 is fine (a counters object inside an event)...
+  EXPECT_TRUE(parseJsonObject("{\"a\":{\"b\":{\"c\":1}}}", &obj));
+  // ...but unbounded nesting is not: the format is line-oriented records,
+  // not a document language.
+  EXPECT_FALSE(parseJsonObject(
+      "{\"a\":{\"b\":{\"c\":{\"d\":{\"e\":{\"f\":1}}}}}}", &obj));
+}
+
+TEST(Str, ParseInt64Strict) {
+  int64_t v = -1;
+  EXPECT_TRUE(parseInt64("0", &v));
+  EXPECT_EQ(v, 0);
+  EXPECT_TRUE(parseInt64("80000", &v));
+  EXPECT_EQ(v, 80000);
+  EXPECT_TRUE(parseInt64("-42", &v));
+  EXPECT_EQ(v, -42);
+
+  // Rejections must not clobber the output.
+  v = 7;
+  EXPECT_FALSE(parseInt64("", &v));
+  EXPECT_FALSE(parseInt64("12abc", &v));
+  EXPECT_FALSE(parseInt64("abc", &v));
+  EXPECT_FALSE(parseInt64("4 ", &v));
+  EXPECT_FALSE(parseInt64(" 4", &v));
+  EXPECT_FALSE(parseInt64("99999999999999999999999999", &v));  // ERANGE
+  EXPECT_EQ(v, 7);
 }
 
 }  // namespace

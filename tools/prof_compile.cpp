@@ -1,4 +1,6 @@
 // Developer utility: profile one FKO compile + test configuration.
+//
+//   prof_compile [UR] [AE] [runRepeatable] [runRegalloc]
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -7,20 +9,40 @@
 #include "fko/compiler.h"
 #include "kernels/registry.h"
 #include "kernels/tester.h"
+#include "support/str.h"
 
 using namespace ifko;
 using Clock = std::chrono::steady_clock;
 
+namespace {
+
+/// Positional integer argument, strictly validated — "prof_compile 4x"
+/// must be an error, never atoi's silent prefix parse.
+int64_t argInt(int argc, char** argv, int i, int64_t fallback) {
+  if (argc <= i) return fallback;
+  int64_t out = 0;
+  if (!parseInt64(argv[i], &out)) {
+    std::fprintf(stderr, "bad integer argument '%s'\n", argv[i]);
+    std::fprintf(stderr,
+                 "usage: prof_compile [UR] [AE] [runRepeatable] "
+                 "[runRegalloc]\n");
+    std::exit(2);
+  }
+  return out;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  int ur = argc > 1 ? std::atoi(argv[1]) : 16;
-  int ae = argc > 2 ? std::atoi(argv[2]) : 8;
+  int ur = static_cast<int>(argInt(argc, argv, 1, 16));
+  int ae = static_cast<int>(argInt(argc, argv, 2, 8));
   kernels::KernelSpec spec{kernels::BlasOp::Asum, ir::Scal::F32};
   fko::CompileOptions opts;
   opts.tuning.unroll = ur;
   opts.tuning.accumExpand = ae;
   opts.tuning.optimizeLoopControl = false;
-  opts.runRepeatable = argc > 3 ? std::atoi(argv[3]) != 0 : true;
-  opts.runRegalloc = argc > 4 ? std::atoi(argv[4]) != 0 : true;
+  opts.runRepeatable = argInt(argc, argv, 3, 1) != 0;
+  opts.runRegalloc = argInt(argc, argv, 4, 1) != 0;
   auto t0 = Clock::now();
   auto r = fko::compileKernel(spec.hilSource(), opts, arch::opteron());
   auto t1 = Clock::now();

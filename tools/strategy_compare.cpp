@@ -25,10 +25,15 @@ using namespace ifko;
 
 namespace {
 
-int64_t parseNum(const char* v, int64_t fallback) {
-  char* end = nullptr;
-  long long parsed = std::strtoll(v, &end, 10);
-  return end == v || *end != '\0' ? fallback : parsed;
+/// Strictly validated flag value: "--n=80k" is an error, not a silent
+/// fallback (support/str's parseInt64 is the shared strict parser).
+int64_t numFlag(const char* name, const char* v) {
+  int64_t out = 0;
+  if (!parseInt64(v, &out)) {
+    std::fprintf(stderr, "bad %s (want integer): '%s'\n", name, v);
+    std::exit(2);
+  }
+  return out;
 }
 
 }  // namespace
@@ -49,10 +54,11 @@ int main(int argc, char** argv) {
     else if (a == "--arch=p4e") machine = arch::p4e();
     else if (a == "--context=inl2") context = sim::TimeContext::InL2;
     else if (a == "--context=ooc") context = sim::TimeContext::OutOfCache;
-    else if (startsWith(a, "--n=")) n = parseNum(a.c_str() + 4, 0);
-    else if (startsWith(a, "--budget=")) budget = parseNum(a.c_str() + 9, 0);
+    else if (startsWith(a, "--n=")) n = numFlag("--n", a.c_str() + 4);
+    else if (startsWith(a, "--budget="))
+      budget = numFlag("--budget", a.c_str() + 9);
     else if (startsWith(a, "--search-seed="))
-      seed = static_cast<uint64_t>(parseNum(a.c_str() + 14, 1));
+      seed = static_cast<uint64_t>(numFlag("--search-seed", a.c_str() + 14));
     else if (startsWith(a, "--kernel=")) only.push_back(a.substr(9));
     else {
       std::fprintf(stderr, "unknown option '%s'\n", a.c_str());

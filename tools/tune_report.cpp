@@ -1,14 +1,18 @@
 // Renders a human-readable report from an orchestrator event trace
 // (ifko tune / tune-all --trace=FILE; schema in docs/TUNING.md).
 //
-//   tune_report <trace.jsonl> [--ledger] [--all-runs]
+//   tune_report <trace.jsonl> [--ledger] [--all-runs] [--attr]
 //
 // Summarizes, per kernel: candidates evaluated, cache hit rate, tester and
 // compile rejections, timeouts and crashes the search survived, the
 // default -> best cycle improvement, and (with --ledger) the per-dimension
-// progression the search committed.  The trace file is append-mode across
-// runs; each run opens with a run_start event.  By default only the last
-// run is reported — --all-runs aggregates every run in the file.
+// progression the search committed.  --attr adds the trace-v3 cycle
+// attribution: per kernel, the share of cycles each stall cause claims for
+// the FKO defaults versus the search's winner.  The trace file is
+// append-mode across runs; each run opens with a run_start event.  By
+// default only the last run is reported — --all-runs aggregates every run
+// in the file.
+#include <array>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -27,6 +31,25 @@ namespace {
 struct DimBest {
   std::string dim;
   uint64_t bestCycles = 0;
+};
+
+// The closed cause set of the trace-v3 `counters` object, in the
+// sim::StallCause enum order (fields are named "attr_<cause>").
+constexpr size_t kNumCauses = 10;
+constexpr const char* kCauseNames[kNumCauses] = {
+    "issue",  "fp_dep", "int_dep", "rob",      "mispredict",
+    "unit",   "mem_l1", "mem_l2",  "mem_main", "store"};
+
+/// One candidate's attribution vector, pulled from its nested counters.
+struct AttrSample {
+  bool have = false;
+  std::array<uint64_t, kNumCauses> cycles{};
+
+  [[nodiscard]] uint64_t total() const {
+    uint64_t t = 0;
+    for (uint64_t v : cycles) t += v;
+    return t;
+  }
 };
 
 struct KernelStats {
@@ -48,6 +71,11 @@ struct KernelStats {
   uint64_t bestCycles = 0;
   double speedup = 0.0;
   double seconds = 0.0;
+  // --attr: the DEFAULTS candidate's attribution and the best (fewest
+  // cycles) passing candidate's, from the nested trace-v3 counters.
+  AttrSample defAttr;
+  AttrSample bestAttr;
+  uint64_t bestAttrCycles = 0;
 };
 
 const JsonValue* get(const std::map<std::string, JsonValue>& obj,
@@ -72,19 +100,36 @@ bool getBool(const std::map<std::string, JsonValue>& obj, const char* key) {
   return v != nullptr && v->kind == JsonValue::Kind::Bool && v->boolean;
 }
 
+/// Reads the "attr_*" fields out of a candidate's nested counters object.
+AttrSample readAttr(const std::map<std::string, JsonValue>& obj) {
+  AttrSample s;
+  const JsonValue* counters = get(obj, "counters");
+  if (counters == nullptr || counters->kind != JsonValue::Kind::Object ||
+      counters->object == nullptr)
+    return s;
+  for (size_t i = 0; i < kNumCauses; ++i)
+    s.cycles[i] = static_cast<uint64_t>(
+        getNum(*counters->object, ("attr_" + std::string(kCauseNames[i])).c_str()));
+  s.have = s.total() != 0;
+  return s;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: tune_report <trace.jsonl> [--ledger] [--all-runs]\n");
+                 "usage: tune_report <trace.jsonl> [--ledger] [--all-runs] "
+                 "[--attr]\n");
     return 2;
   }
   bool showLedger = false;
   bool allRuns = false;
+  bool showAttr = false;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--ledger") == 0) showLedger = true;
     else if (std::strcmp(argv[i], "--all-runs") == 0) allRuns = true;
+    else if (std::strcmp(argv[i], "--attr") == 0) showAttr = true;
     else {
       std::fprintf(stderr, "unknown option '%s'\n", argv[i]);
       return 2;
@@ -144,6 +189,18 @@ int main(int argc, char** argv) {
       k.retries += static_cast<int>(getNum(obj, "attempts")) > 1
                        ? static_cast<int>(getNum(obj, "attempts")) - 1
                        : 0;
+      if (verdict == "pass") {
+        AttrSample attr = readAttr(obj);
+        if (attr.have) {
+          std::string dim = getStr(obj, "dim");
+          if (dim == "DEFAULTS" && !k.defAttr.have) k.defAttr = attr;
+          uint64_t cycles = static_cast<uint64_t>(getNum(obj, "cycles"));
+          if (!k.bestAttr.have || cycles < k.bestAttrCycles) {
+            k.bestAttr = attr;
+            k.bestAttrCycles = cycles;
+          }
+        }
+      }
     } else if (event == "dimension_end") {
       statsFor(kernel).ledger.push_back(
           {getStr(obj, "dim"),
@@ -242,6 +299,42 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(d.bestCycles), gain);
         prev = d.bestCycles;
       }
+    }
+  }
+
+  if (showAttr) {
+    // Per-cause share of each run's own cycle total; attribution sums
+    // exactly to the cycle count, so the shares per row sum to 100.
+    TextTable a;
+    std::vector<std::string> header = {"kernel", "who"};
+    for (const char* c : kCauseNames) header.emplace_back(c);
+    a.setHeader(header);
+    int kernelsWithAttr = 0;
+    auto addAttrRow = [&](const std::string& label, const char* who,
+                          const AttrSample& s) {
+      std::vector<std::string> row = {label, who};
+      uint64_t total = s.total();
+      for (size_t i = 0; i < kNumCauses; ++i)
+        row.push_back(
+            fmtFixed(total == 0 ? 0.0
+                                : 100.0 * static_cast<double>(s.cycles[i]) /
+                                      static_cast<double>(total),
+                     1));
+      a.addRow(row);
+    };
+    for (const auto& name : order) {
+      const KernelStats& k = kernels.at(name);
+      if (!k.defAttr.have && !k.bestAttr.have) continue;
+      ++kernelsWithAttr;
+      if (k.defAttr.have) addAttrRow(k.name, "FKO", k.defAttr);
+      if (k.bestAttr.have) addAttrRow(k.name, "ifko", k.bestAttr);
+    }
+    if (kernelsWithAttr == 0) {
+      std::printf("\nno attribution counters in the trace (pre-v3 trace, or "
+                  "all candidates replayed from a pre-v3 cache)\n");
+    } else {
+      std::printf("\ncycle attribution (%% of each run's cycles):\n");
+      std::fputs(a.str().c_str(), stdout);
     }
   }
   return 0;
