@@ -13,6 +13,7 @@
 
 #include "fko/compiler.h"
 #include "harness.h"
+#include "search/evalpipeline.h"
 #include "search/linesearch.h"
 
 int main() {
@@ -80,13 +81,9 @@ int main() {
       }
       double sp = r.speedupOverDefaults();
       cells.push_back(fmtFixed(sp, 2));
-      auto lowered = fko::lowerKernel(spec.hilSource());
-      auto def = search::evaluateCandidate(spec.hilSource(), lowered, &spec,
-                                           r.analysis, c.machine, cfg,
-                                           r.defaults);
-      auto best = search::evaluateCandidate(spec.hilSource(), lowered, &spec,
-                                            r.analysis, c.machine, cfg,
-                                            r.best);
+      search::EvalPipeline pipe(spec.hilSource(), &spec, c.machine, cfg);
+      auto def = search::evaluateCandidate(pipe.request(r.defaults));
+      auto best = search::evaluateCandidate(pipe.request(r.best));
       cells.push_back(shareCell(def, best, [](const sim::Attribution& a) {
         return a.of(sim::StallCause::FpDep);
       }));

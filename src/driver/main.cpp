@@ -20,6 +20,7 @@
 //             [--strategy=line|random|hillclimb|evolve] [--budget=N]
 //             [--budget-cycles=N] [--search-seed=S] [--eval-timeout-ms=N]
 //             [--eval-retries=N] [--quarantine=N] [--fault-plan=SPEC]
+//             [--screen-n=N] [--screen-margin=X] [--no-predecode]
 //       The empirical search, with the per-dimension ledger.  --strategy
 //       picks the search policy (default: the paper's line search);
 //       --budget caps observed candidates, --budget-cycles caps simulated
@@ -32,6 +33,10 @@
 //       kernel after N hard failures (default 3, 0 = never), and
 //       --fault-plan injects deterministic faults for testing (grammar in
 //       docs/TUNING.md).
+//       Fast path: --screen-n times each new cohort at a reduced size first
+//       and confirms only the near-best at full --n (0 = off), with
+//       --screen-margin setting the survivor cutoff (default 1.25x);
+//       --no-predecode disables the pre-decoded execution form (debugging).
 //
 //   ifko tune-all <dir> [--arch=...] [--n=N] [--context=ooc|inl2] [--fast]
 //                 [--extensions] [--jobs=N] [--cache=FILE] [--trace=FILE]
@@ -65,6 +70,7 @@
 #include "ir/parser.h"
 #include "ir/printer.h"
 #include "ir/verifier.h"
+#include "search/evalpipeline.h"
 #include "search/orchestrator.h"
 #include "support/str.h"
 #include "support/table.h"
@@ -107,6 +113,9 @@ struct Options {
   int64_t evalTimeoutMs = 0;  ///< per-candidate deadline; 0 = off
   int64_t evalRetries = 1;    ///< extra attempts after a hard failure
   int64_t quarantine = 3;     ///< hard failures before abandoning; 0 = never
+  int64_t screenN = 0;        ///< screen-then-confirm sample size; 0 = off
+  double screenMargin = 0;    ///< survivor margin; 0 = SearchConfig default
+  bool predecode = true;      ///< run candidates through sim/decode.h
   search::FaultPlan faultPlan;
   bool ok = true;
 };
@@ -208,6 +217,20 @@ Options parseOptions(int argc, char** argv, int first) {
       intFlag(*v, "--eval-retries", 0, &o.evalRetries);
     } else if (auto v = value("--quarantine=")) {
       intFlag(*v, "--quarantine", 0, &o.quarantine);
+    } else if (auto v = value("--screen-n=")) {
+      intFlag(*v, "--screen-n", 0, &o.screenN);
+    } else if (auto v = value("--screen-margin=")) {
+      char* end = nullptr;
+      double m = std::strtod(v->c_str(), &end);
+      if (end == v->c_str() || *end != '\0' || m < 1.0) {
+        std::fprintf(stderr, "bad --screen-margin (want number >= 1): '%s'\n",
+                     v->c_str());
+        o.ok = false;
+      } else {
+        o.screenMargin = m;
+      }
+    } else if (a == "--no-predecode") {
+      o.predecode = false;
     } else if (auto v = value("--fault-plan=")) {
       std::string perr;
       auto plan = search::FaultPlan::parse(*v, &perr);
@@ -243,6 +266,9 @@ search::SearchConfig searchConfig(const Options& o) {
   cfg.searchExtensions = o.extensions;
   cfg.evalTimeoutMs = o.evalTimeoutMs;
   cfg.maxEvalAttempts = static_cast<int>(o.evalRetries) + 1;
+  cfg.screenN = o.screenN;
+  if (o.screenMargin > 0) cfg.screenMargin = o.screenMargin;
+  cfg.predecode = o.predecode;
   return cfg;
 }
 
@@ -430,16 +456,18 @@ int cmdExplain(const std::string& path, const std::string& src,
 
   // Re-evaluate the two endpoints directly: a pre-v3 cache has no counters
   // to replay, and two evaluations are cheap next to the search itself.
+  // One pipeline lowers the source once and keeps the winner's compiled
+  // artifact for the pass-delta display below — no re-lowering, no second
+  // compile of the same candidate.
   search::SearchConfig cfg = searchConfig(o);
-  auto lowered = fko::lowerKernel(src);
-  if (!lowered.ok) {
-    std::fprintf(stderr, "lowering failed: %s\n", lowered.error.c_str());
+  search::EvalPipeline pipe(src, nullptr, o.machine, cfg);
+  if (!pipe.lowered().ok) {
+    std::fprintf(stderr, "lowering failed: %s\n",
+                 pipe.lowered().error.c_str());
     return 1;
   }
-  auto def = search::evaluateCandidate(src, lowered, nullptr, r.analysis,
-                                       o.machine, cfg, r.defaults);
-  auto best = search::evaluateCandidate(src, lowered, nullptr, r.analysis,
-                                        o.machine, cfg, r.best);
+  auto def = search::evaluateCandidate(pipe.request(r.defaults));
+  auto best = search::evaluateCandidate(pipe.request(r.best));
   if (!def.counters.has_value() || !best.counters.has_value()) {
     std::fprintf(stderr, "explain: endpoint re-evaluation failed (%s / %s)\n",
                  std::string(search::evalStatusName(def.status)).c_str(),
@@ -518,10 +546,9 @@ int cmdExplain(const std::string& path, const std::string& src,
   memLine("winner", bc);
 
   // Compile observability for the winning parameters: the per-pass deltas of
-  // the fundamental + repeatable pipeline.
-  fko::CompileOptions copts = o.compile;
-  copts.tuning = r.best;
-  auto compiled = fko::compileKernel(src, copts, o.machine);
+  // the fundamental + repeatable pipeline.  The pipeline memo already holds
+  // the winner's artifact from the endpoint re-evaluation above.
+  const fko::CompileResult& compiled = pipe.compile(r.best)->compiled;
   if (compiled.ok) {
     std::printf("\ncompile (winner): %zu IR instructions, %d spill slots, "
                 "%d repeatable iteration(s)%s\n",

@@ -10,26 +10,26 @@
 
 namespace ifko::fko {
 
-GenericData makeGenericData(const ir::Function& fn, int64_t n, uint64_t seed,
-                            double alpha, int64_t strideElems) {
+GenericData makeGenericData(const std::vector<ir::Param>& params, int64_t n,
+                            uint64_t seed, double alpha, int64_t strideElems) {
   GenericData data;
   // Integer parameters: the last is the (tuned, inner) length n; earlier
   // ones are outer dimensions fixed at 64.  Arrays are sized by the
   // product, so an MxN matrix operand fits.
   int numInts = 0;
-  for (const auto& p : fn.params) numInts += p.kind == ir::ParamKind::Int;
+  for (const auto& p : params) numInts += p.kind == ir::ParamKind::Int;
   int64_t product = n;
   for (int i = 1; i < numInts; ++i) product *= 64;
   const size_t elems = static_cast<size_t>(std::max<int64_t>(product, 1)) *
                        static_cast<size_t>(std::max<int64_t>(strideElems, 1));
   size_t totalVecBytes = 0;
-  for (const auto& p : fn.params)
+  for (const auto& p : params)
     if (p.isPointer())
       totalVecBytes += elems * scalBytes(p.elemType()) + 256;
   data.mem = std::make_unique<sim::Memory>(totalVecBytes + (1 << 21));
 
   SplitMix64 rng(seed);
-  for (const auto& p : fn.params) {
+  for (const auto& p : params) {
     if (p.isPointer()) {
       size_t esize = scalBytes(p.elemType());
       size_t bytes = std::max<size_t>(elems * esize, 64);
@@ -154,20 +154,37 @@ DiffOutcome testAgainstUnoptimized(const std::string& hilSource,
   return {};
 }
 
-sim::TimeResult timeCompiled(const arch::MachineConfig& machine,
-                             const ir::Function& fn, int64_t n,
-                             sim::TimeContext ctx, uint64_t seed,
-                             int64_t strideElems) {
-  GenericData data = makeGenericData(fn, n, seed, 0.75, strideElems);
+namespace {
+
+// Shared operand setup + result assembly for the two timeCompiled overloads.
+template <typename RunFn>
+sim::TimeResult timeCompiledWith(const arch::MachineConfig& machine,
+                                 const std::vector<ir::Param>& params,
+                                 int64_t n, sim::TimeContext ctx,
+                                 uint64_t seed, int64_t strideElems,
+                                 int64_t loopN, const GenericData* tmpl,
+                                 RunFn&& execute) {
+  GenericData data = tmpl != nullptr
+                         ? tmpl->clone()
+                         : makeGenericData(params, n, seed, 0.75, strideElems);
   sim::MemSystem mem(machine);
   if (ctx == sim::TimeContext::InL2)
     for (const auto& span : data.arrays) mem.warm(span.addr, span.bytes);
   // Warming displaces lines; reset so its evictions never reach the timed
   // run's counters (and OutOfCache/InL2 stats stay independent).
   mem.resetStats();
+  // Truncated runs keep the full-size operands and shorten only the trip
+  // count (the LAST integer parameter; see makeGenericData): the timed
+  // region is an exact prefix of the full run.
+  if (loopN > 0) {
+    for (size_t i = params.size(); i-- > 0;) {
+      if (params[i].kind != ir::ParamKind::Int) continue;
+      data.args[i] = sim::ArgValue(loopN);
+      break;
+    }
+  }
   sim::TimingModel timing(machine, mem);
-  sim::Interp interp(fn, *data.mem, &timing);
-  sim::RunResult run = interp.run(data.args);
+  sim::RunResult run = execute(data, timing);
 
   sim::TimeResult out;
   out.cycles = timing.cycles();
@@ -176,6 +193,34 @@ sim::TimeResult timeCompiled(const arch::MachineConfig& machine,
   out.core = timing.stats();
   out.attr = timing.attribution();
   return out;
+}
+
+}  // namespace
+
+sim::TimeResult timeCompiled(const arch::MachineConfig& machine,
+                             const ir::Function& fn, int64_t n,
+                             sim::TimeContext ctx, uint64_t seed,
+                             int64_t strideElems, int64_t loopN,
+                             const GenericData* tmpl) {
+  return timeCompiledWith(machine, fn.params, n, ctx, seed, strideElems, loopN,
+                          tmpl,
+                          [&](GenericData& data, sim::TimingModel& timing) {
+                            sim::Interp interp(fn, *data.mem, &timing);
+                            return interp.run(data.args);
+                          });
+}
+
+sim::TimeResult timeCompiled(const arch::MachineConfig& machine,
+                             const sim::DecodedFunction& dfn, int64_t n,
+                             sim::TimeContext ctx, uint64_t seed,
+                             int64_t strideElems, int64_t loopN,
+                             const GenericData* tmpl) {
+  return timeCompiledWith(machine, dfn.params, n, ctx, seed, strideElems,
+                          loopN, tmpl,
+                          [&](GenericData& data, sim::TimingModel& timing) {
+                            return sim::runDecoded(dfn, *data.mem, data.args,
+                                                   &timing);
+                          });
 }
 
 }  // namespace ifko::fko

@@ -17,6 +17,7 @@
 
 #include "arch/machine.h"
 #include "ir/function.h"
+#include "sim/decode.h"
 #include "sim/interp.h"
 #include "sim/memsys.h"
 #include "sim/timer.h"
@@ -39,15 +40,30 @@ struct GenericData {
     bool written = false;
   };
   std::vector<Span> arrays;
+
+  /// A deep copy (fresh memory image); see kernels::KernelData::clone().
+  [[nodiscard]] GenericData clone() const {
+    GenericData out;
+    out.mem = std::make_unique<sim::Memory>(*mem);
+    out.args = args;
+    out.arrays = arrays;
+    return out;
+  }
 };
 
 /// `strideElems` scales every array allocation (a stride-k kernel touches
 /// k*n elements over n iterations); derive it from the analysis when the
 /// source is available.
-[[nodiscard]] GenericData makeGenericData(const ir::Function& fn, int64_t n,
-                                          uint64_t seed = 42,
+[[nodiscard]] GenericData makeGenericData(const std::vector<ir::Param>& params,
+                                          int64_t n, uint64_t seed = 42,
                                           double alpha = 0.75,
                                           int64_t strideElems = 1);
+[[nodiscard]] inline GenericData makeGenericData(const ir::Function& fn,
+                                                 int64_t n, uint64_t seed = 42,
+                                                 double alpha = 0.75,
+                                                 int64_t strideElems = 1) {
+  return makeGenericData(fn.params, n, seed, alpha, strideElems);
+}
 
 struct DiffOutcome {
   bool ok = true;
@@ -62,11 +78,26 @@ struct DiffOutcome {
                                                  int64_t n, uint64_t seed = 42);
 
 /// Times any compiled kernel at length n (generic analogue of
-/// sim::timeKernel).  InL2 pre-warms every vector parameter.
+/// sim::timeKernel).  InL2 pre-warms every vector parameter.  `loopN`
+/// (0 = n) truncates the loop trip count while the operands stay sized at
+/// `n` — the screen-then-confirm prefix run (see sim/timer.h); `tmpl`
+/// clones a pristine operand image instead of regenerating the data.
 [[nodiscard]] sim::TimeResult timeCompiled(const arch::MachineConfig& machine,
                                            const ir::Function& fn, int64_t n,
                                            sim::TimeContext ctx,
                                            uint64_t seed = 42,
-                                           int64_t strideElems = 1);
+                                           int64_t strideElems = 1,
+                                           int64_t loopN = 0,
+                                           const GenericData* tmpl = nullptr);
+
+/// Fast-path variant over the pre-decoded form (sim/decode.h); bit-identical
+/// results to the ir::Function overload for the same kernel.
+[[nodiscard]] sim::TimeResult timeCompiled(const arch::MachineConfig& machine,
+                                           const sim::DecodedFunction& dfn,
+                                           int64_t n, sim::TimeContext ctx,
+                                           uint64_t seed = 42,
+                                           int64_t strideElems = 1,
+                                           int64_t loopN = 0,
+                                           const GenericData* tmpl = nullptr);
 
 }  // namespace ifko::fko

@@ -8,10 +8,11 @@
 
 namespace ifko::kernels {
 
-std::vector<sim::ArgValue> KernelData::args(const ir::Function& fn) const {
+std::vector<sim::ArgValue> KernelData::args(
+    const std::vector<ir::Param>& params) const {
   std::vector<sim::ArgValue> out;
   double scalar = alpha;
-  for (const auto& p : fn.params) {
+  for (const auto& p : params) {
     if (p.isPointer()) {
       // Single-vector kernels (scal names its vector Y) store it at xAddr.
       bool useY = p.name == "Y" && yAddr != 0;

@@ -26,7 +26,27 @@ struct KernelData {
 
   /// Arguments in the order of `fn`'s parameter list (matched by name for
   /// vectors, by kind for alpha/N).
-  [[nodiscard]] std::vector<sim::ArgValue> args(const ir::Function& fn) const;
+  [[nodiscard]] std::vector<sim::ArgValue> args(const ir::Function& fn) const {
+    return args(fn.params);
+  }
+  /// Same, from a bare parameter list (used by the pre-decoded timing path,
+  /// which does not keep the ir::Function around).
+  [[nodiscard]] std::vector<sim::ArgValue> args(
+      const std::vector<ir::Param>& params) const;
+
+  /// A deep copy (fresh memory image).  Timed runs mutate their operands,
+  /// so repeated evaluations clone a pristine template instead of paying
+  /// the data-generation cost again; the clone is bit-for-bit the image
+  /// makeKernelData would produce.
+  [[nodiscard]] KernelData clone() const {
+    KernelData out;
+    out.mem = std::make_unique<sim::Memory>(*mem);
+    out.xAddr = xAddr;
+    out.yAddr = yAddr;
+    out.n = n;
+    out.alpha = alpha;
+    return out;
+  }
 };
 
 /// Allocates and initializes operands for `spec` at length `n` with

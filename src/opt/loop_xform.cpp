@@ -542,7 +542,8 @@ class LoopXform {
   void insertPrefetches() {
     const int line = machine_.lineBytes();
     std::vector<Inst> prefs;
-    for (const auto& a : info_.arrays) {
+    for (size_t ord = 0; ord < info_.arrays.size(); ++ord) {
+      const auto& a = info_.arrays[ord];
       auto it = params_.prefetch.find(a.name);
       if (it == params_.prefetch.end() || !it->second.enabled) continue;
       if (!a.prefetchable()) continue;
@@ -556,7 +557,11 @@ class LoopXform {
                              ? ir::memIdx(a.ptr, cisc_idx_, 1,
                                           it->second.distBytes + j * line)
                              : ir::mem(a.ptr, it->second.distBytes + j * line);
-        prefs.push_back({.op = Op::Pref, .mem = target, .pref = kind});
+        // `imm` records which analysis array this Pref serves (ordinal in
+        // the analysis report's array order) so the evaluation pipeline can
+        // re-aim the displacement when only prefetch distances change.
+        prefs.push_back({.op = Op::Pref, .mem = target,
+                         .imm = static_cast<int64_t>(ord), .pref = kind});
       }
     }
     if (prefs.empty()) return;

@@ -148,11 +148,9 @@ std::optional<EvalOutcome> FaultInjector::fire(uint64_t evalIndex,
   return std::nullopt;
 }
 
-EvalOutcome guardedEvaluateCandidate(
-    const std::string& hilSource, const fko::LoweredKernel& lowered,
-    const kernels::KernelSpec* spec, const fko::AnalysisReport& analysis,
-    const arch::MachineConfig& machine, const SearchConfig& config,
-    const opt::TuningParams& params, FaultInjector* injector) {
+EvalOutcome guardedEvaluateCandidate(const EvalRequest& req) {
+  const SearchConfig& config = *req.config;
+  FaultInjector* injector = req.injector;
   const int maxAttempts = std::max(1, config.maxEvalAttempts);
   const uint64_t evalIndex =
       injector != nullptr && !injector->empty() ? injector->nextIndex() : 0;
@@ -171,8 +169,7 @@ EvalOutcome guardedEvaluateCandidate(
           return *forced;  // deterministic rejection: no retry
         }
       }
-      EvalOutcome o = evaluateCandidate(hilSource, lowered, spec, analysis,
-                                        machine, config, params);
+      EvalOutcome o = evaluateCandidate(req);
       o.attempts = attempt;
       return o;
     } catch (const sim::TimeoutError&) {
@@ -188,6 +185,23 @@ EvalOutcome guardedEvaluateCandidate(
     }
   }
   return last;
+}
+
+EvalOutcome guardedEvaluateCandidate(
+    const std::string& hilSource, const fko::LoweredKernel& lowered,
+    const kernels::KernelSpec* spec, const fko::AnalysisReport& analysis,
+    const arch::MachineConfig& machine, const SearchConfig& config,
+    const opt::TuningParams& params, FaultInjector* injector) {
+  EvalRequest req;
+  req.hilSource = &hilSource;
+  req.lowered = &lowered;
+  req.spec = spec;
+  req.analysis = &analysis;
+  req.machine = &machine;
+  req.config = &config;
+  req.params = params;
+  req.injector = injector;
+  return guardedEvaluateCandidate(req);
 }
 
 }  // namespace ifko::search

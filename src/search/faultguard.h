@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "search/evalpipeline.h"
 #include "search/linesearch.h"
 
 namespace ifko::search {
@@ -133,7 +134,12 @@ class FaultInjector {
 
 /// evaluateCandidate with containment: deadline, classification, retry.
 /// Never throws — every failure comes back as a structured EvalOutcome.
-/// `injector` (may be null) injects the FaultPlan's scheduled faults.
+/// req.injector (may be null) injects the FaultPlan's scheduled faults.
+[[nodiscard]] EvalOutcome guardedEvaluateCandidate(const EvalRequest& req);
+
+/// Deprecated loose-parameter shim for the EvalRequest form; one release of
+/// grace for out-of-tree callers.  `injector` maps to EvalRequest::injector.
+[[deprecated("pack the arguments into a search::EvalRequest")]]
 [[nodiscard]] EvalOutcome guardedEvaluateCandidate(
     const std::string& hilSource, const fko::LoweredKernel& lowered,
     const kernels::KernelSpec* spec, const fko::AnalysisReport& analysis,

@@ -6,6 +6,7 @@
 #include "fko/harness.h"
 #include "kernels/tester.h"
 #include "opt/paramspace.h"
+#include "search/evalpipeline.h"
 #include "search/faultguard.h"
 
 namespace ifko::search {
@@ -25,6 +26,7 @@ std::string_view evalStatusName(EvalOutcome::Status s) {
     case EvalOutcome::Status::Timeout: return "timeout";
     case EvalOutcome::Status::Crash: return "crash";
     case EvalOutcome::Status::FailUnknown: return "fail";
+    case EvalOutcome::Status::ScreenedOut: return "screened";
   }
   return "?";
 }
@@ -32,7 +34,7 @@ std::string_view evalStatusName(EvalOutcome::Status s) {
 std::optional<EvalOutcome::Status> parseEvalStatus(std::string_view name) {
   using S = EvalOutcome::Status;
   for (S s : {S::Timed, S::CompileFail, S::TesterFail, S::Timeout, S::Crash,
-              S::FailUnknown})
+              S::FailUnknown, S::ScreenedOut})
     if (evalStatusName(s) == name) return s;
   return std::nullopt;
 }
@@ -101,69 +103,106 @@ EvalOutcome evaluateCandidate(const std::string& hilSource,
                               const arch::MachineConfig& machine,
                               const SearchConfig& config,
                               const opt::TuningParams& params) {
-  if (!lowered.ok) return {0, EvalOutcome::Status::CompileFail};
-  fko::CompileOptions opts;
-  opts.tuning = params;
-  auto compiled = fko::compileKernel(lowered.fn, opts, machine);
-  if (!compiled.ok) return {0, EvalOutcome::Status::CompileFail};
-  if (config.testerN > 0) {
-    bool pass =
-        spec != nullptr
-            ? kernels::testKernel(*spec, compiled.fn, config.testerN).ok
-            : fko::testAgainstUnoptimized(hilSource, compiled.fn,
-                                          config.testerN)
-                  .ok;
-    if (!pass) return {0, EvalOutcome::Status::TesterFail};
-  }
-  sim::TimeResult timed;
-  if (spec != nullptr) {
-    timed = sim::timeKernel(machine, compiled.fn, *spec, config.n,
-                            config.context, config.seed);
-  } else {
-    int64_t strideElems = 1;
-    for (const auto& a : analysis.arrays)
-      strideElems = std::max(strideElems, a.strideElems);
-    timed = fko::timeCompiled(machine, compiled.fn, config.n, config.context,
-                              config.seed, strideElems);
-  }
-  EvalOutcome out{timed.cycles, EvalOutcome::Status::Timed};
-  out.counters = collectCounters(compiled, timed);
-  return out;
+  EvalRequest req;
+  req.hilSource = &hilSource;
+  req.lowered = &lowered;
+  req.spec = spec;
+  req.analysis = &analysis;
+  req.machine = &machine;
+  req.config = &config;
+  req.params = params;
+  return evaluateCandidate(req);
 }
 
 namespace {
 
-/// The built-in backend: evaluates in order on the calling thread, memoized
-/// on the canonical TuningSpec string for the lifetime of one search.
+/// The built-in backend: evaluates in order on the calling thread through a
+/// per-search EvalPipeline (compile/decode/tester memos), with whole
+/// outcomes additionally memoized on the canonical TuningSpec string for
+/// the lifetime of one search.  Screen-then-confirm (SearchConfig::screenN)
+/// applies per batch of memo misses.
 class SerialEvaluator final : public Evaluator {
  public:
   SerialEvaluator(std::string source, const kernels::KernelSpec* spec,
                   const arch::MachineConfig& machine,
                   const SearchConfig& config)
-      : source_(std::move(source)), spec_(spec), machine_(machine),
-        config_(config), analysis_(fko::analyzeKernel(source_, machine)),
-        lowered_(fko::lowerKernel(source_)) {}
+      : config_(config), pipeline_(std::move(source), spec, machine, config) {}
 
   std::vector<EvalOutcome> evaluateBatch(
       const std::vector<opt::TuningParams>& batch,
       const std::string& /*dimension*/) override {
-    std::vector<EvalOutcome> out;
-    out.reserve(batch.size());
-    for (const TuningParams& params : batch) {
-      std::string key = opt::formatTuningSpec(params);
+    std::vector<EvalOutcome> out(batch.size());
+    // Memo pre-pass: replays are free and leave the cohort of fresh
+    // candidates the screening policy applies to.  A spec repeated within
+    // one batch is evaluated once and replayed for the duplicates, exactly
+    // like the serial scan's insert-then-hit did.
+    std::vector<size_t> miss;
+    std::map<std::string, size_t> firstMiss;
+    std::vector<std::pair<size_t, size_t>> dups;  // (duplicate, original)
+    for (size_t i = 0; i < batch.size(); ++i) {
+      std::string key = opt::formatTuningSpec(batch[i]);
       auto it = memo_.find(key);
       if (it != memo_.end()) {
-        EvalOutcome o = it->second;
-        o.fromCache = true;
-        out.push_back(o);
+        out[i] = it->second;
+        out[i].fromCache = true;
         continue;
       }
+      auto [fit, fresh] = firstMiss.emplace(key, i);
+      if (fresh)
+        miss.push_back(i);
+      else
+        dups.emplace_back(i, fit->second);
+    }
+
+    auto evalAt = [&](size_t i, int64_t timeN) {
+      EvalRequest req = pipeline_.request(batch[i]);
+      req.timeN = timeN;
+      return guardedEvaluateCandidate(req);
+    };
+
+    if (screeningApplies(config_, miss.size())) {
+      std::vector<EvalOutcome> screens(miss.size());
+      for (size_t k = 0; k < miss.size(); ++k) {
+        EvalOutcome head = evalAt(miss[k], config_.screenN);
+        if (!head.usable()) {
+          screens[k] = head;
+          continue;
+        }
+        EvalOutcome tail = evalAt(miss[k], 2 * config_.screenN);
+        if (!tail.usable()) {
+          screens[k] = tail;
+          continue;
+        }
+        screens[k] = deltaScreen(head, tail);
+      }
+      std::vector<char> advance =
+          screenSurvivors(config_, screens, incumbentScreen_);
+      for (size_t k = 0; k < miss.size(); ++k) {
+        if (advance[k]) {
+          out[miss[k]] = evalAt(miss[k], 0);
+          noteConfirmed(out[miss[k]], screens[k].cycles);
+        } else if (screens[k].usable()) {
+          EvalOutcome o{0, EvalOutcome::Status::ScreenedOut};
+          o.attempts = screens[k].attempts;
+          out[miss[k]] = o;
+        } else {
+          out[miss[k]] = screens[k];  // the screen's failure is final
+        }
+      }
+    } else {
+      for (size_t i : miss) {
+        out[i] = evalAt(i, 0);
+        noteConfirmed(out[i], 0);
+      }
+    }
+
+    for (size_t i : miss) {
       ++evaluations_;
-      EvalOutcome o = guardedEvaluateCandidate(source_, lowered_, spec_,
-                                               analysis_, machine_, config_,
-                                               params);
-      memo_[key] = o;
-      out.push_back(o);
+      memo_[opt::formatTuningSpec(batch[i])] = out[i];
+    }
+    for (auto [i, j] : dups) {
+      out[i] = out[j];
+      out[i].fromCache = true;
     }
     return out;
   }
@@ -171,14 +210,23 @@ class SerialEvaluator final : public Evaluator {
   int evaluations() const override { return evaluations_; }
 
  private:
-  std::string source_;
-  const kernels::KernelSpec* spec_;
-  const arch::MachineConfig& machine_;
+  /// Track the search incumbent so screenSurvivors can skip full-size
+  /// confirmation of candidates that cannot beat it.  `screenCycles` is the
+  /// candidate's own screen-size time (0 when it ran unscreened — then only
+  /// the full-size best advances, the screen yardstick stays put).
+  void noteConfirmed(const EvalOutcome& full, uint64_t screenCycles) {
+    if (!full.usable()) return;
+    if (bestFull_ != 0 && full.cycles >= bestFull_) return;
+    bestFull_ = full.cycles;
+    if (screenCycles != 0) incumbentScreen_ = screenCycles;
+  }
+
   const SearchConfig& config_;
-  fko::AnalysisReport analysis_;
-  fko::LoweredKernel lowered_;
+  EvalPipeline pipeline_;
   std::map<std::string, EvalOutcome> memo_;
   int evaluations_ = 0;
+  uint64_t bestFull_ = 0;        ///< best full-size cycles confirmed so far
+  uint64_t incumbentScreen_ = 0; ///< that incumbent's screen-size cycles
 };
 
 class LineSearchCore {

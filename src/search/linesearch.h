@@ -35,18 +35,9 @@
 #include "search/counters.h"
 #include "sim/timer.h"
 
-// Reading a deprecated member from its own accessors must not warn.
-#if defined(__GNUC__)
-#define IFKO_SUPPRESS_DEPRECATED_BEGIN \
-  _Pragma("GCC diagnostic push")       \
-  _Pragma("GCC diagnostic ignored \"-Wdeprecated-declarations\"")
-#define IFKO_SUPPRESS_DEPRECATED_END _Pragma("GCC diagnostic pop")
-#else
-#define IFKO_SUPPRESS_DEPRECATED_BEGIN
-#define IFKO_SUPPRESS_DEPRECATED_END
-#endif
-
 namespace ifko::search {
+
+struct EvalRequest;  // search/evalpipeline.h
 
 struct SearchConfig {
   int64_t n = 80000;  ///< problem size to time (paper: 80000 / 1024)
@@ -58,16 +49,41 @@ struct SearchConfig {
   /// (the built-in serial evaluator ignores it).  Any value produces
   /// identical results; it only changes turnaround.
   int jobs = 1;
-  /// Reduced grids for smoke tests.  Deprecated alias slated for removal:
-  /// construct with SearchConfig::smoke() (which also shrinks N and the
-  /// tester) and read through reducedGrids().
-  [[deprecated(
-      "set via SearchConfig::smoke() and read via reducedGrids()")]] bool
-      fast = false;
   /// Also search the extension transforms (block fetch, CISC indexing) the
   /// paper lists as planned work.  Off by default so Table 3 matches the
   /// evaluated FKO.
   bool searchExtensions = false;
+
+  // --- evaluation fast path (search/evalpipeline.h) ------------------------
+  /// Execute timing runs over the pre-decoded instruction form
+  /// (sim/decode.h) when an EvalPipeline is attached.  Bit-identical cycles
+  /// to the interpreter path; exists as a switch only for A/B testing.
+  bool predecode = true;
+  /// Reuse compiled artifacts across candidates that differ only in
+  /// prefetch distances (the largest line-search dimension): the pipeline
+  /// patches the Pref displacements of a previously compiled sibling
+  /// instead of re-running the pass stack.  Byte-identical output either
+  /// way; a switch for A/B testing.
+  bool reusePrefixCompiles = true;
+  /// Generate the timing operands once per search and clone the pristine
+  /// image per evaluation (timed runs mutate their operands) instead of
+  /// re-running data generation every time.  The clone is bit-for-bit the
+  /// fresh image; a switch for A/B testing.
+  bool reuseKernelData = true;
+  /// Screen-then-confirm (opt-in, 0 = off): when a batch has at least
+  /// kScreenMinCohort cache-missing candidates, each is first timed over
+  /// this many loop iterations ON THE FULL-SIZE OPERANDS — an exact prefix
+  /// of the full run, so prefetch distances and strides behave as they do
+  /// at full length.  Only candidates within screenMargin of the cohort's
+  /// best screen time (and of the incumbent's, once one is known) are
+  /// re-timed at the full `n` ("confirmed").  The rest score
+  /// Status::ScreenedOut (cycles 0, never committed).  Every cycle count
+  /// the search reports/commits still comes from a full-size run, so
+  /// confirmed results are comparable across screened and unscreened
+  /// searches; the set of candidates that got a full look may differ.
+  int64_t screenN = 0;
+  /// Screen survivors: screenCycles <= margin * bestScreenCycles.
+  double screenMargin = 1.25;
 
   // --- fault isolation (search/faultguard.h) -------------------------------
   /// Per-candidate deadline in "milliseconds", converted at a fixed
@@ -83,37 +99,31 @@ struct SearchConfig {
   /// 1 s.  0 retries immediately (what tests use).
   int64_t retryBackoffMs = 0;
 
-  // Special members spelled out inside the suppression region so that
-  // initializing/copying the deprecated `fast` member warns only at direct
-  // uses, not at every synthesized-constructor site.
-  IFKO_SUPPRESS_DEPRECATED_BEGIN
-  SearchConfig() = default;
-  SearchConfig(const SearchConfig&) = default;
-  SearchConfig(SearchConfig&&) = default;
-  SearchConfig& operator=(const SearchConfig&) = default;
-  SearchConfig& operator=(SearchConfig&&) = default;
-  IFKO_SUPPRESS_DEPRECATED_END
-
   /// Named constructor for smoke-test scale: reduced sweep grids, small
-  /// problem size (4096) and tester length (64).  Replaces bare `fast=true`.
+  /// problem size (4096) and tester length (64).
   [[nodiscard]] static SearchConfig smoke() {
     SearchConfig c;
-    IFKO_SUPPRESS_DEPRECATED_BEGIN
-    c.fast = true;
-    IFKO_SUPPRESS_DEPRECATED_END
+    c.reducedGrids_ = true;
     c.n = 4096;
     c.testerN = 64;
     return c;
   }
 
-  /// Whether the search sweeps the reduced smoke-test grids (the
-  /// non-deprecated read of the legacy `fast` flag).
-  [[nodiscard]] bool reducedGrids() const {
-    IFKO_SUPPRESS_DEPRECATED_BEGIN
-    return fast;
-    IFKO_SUPPRESS_DEPRECATED_END
-  }
+  /// Whether the search sweeps the reduced smoke-test grids (set only by
+  /// smoke()).
+  [[nodiscard]] bool reducedGrids() const { return reducedGrids_; }
+
+ private:
+  bool reducedGrids_ = false;
 };
+
+/// Smallest cohort of cache-missing candidates screen-then-confirm applies
+/// to: below this the screening run costs more than it saves (and DEFAULTS,
+/// always a batch of one, is always confirmed at full size).  Two is enough
+/// once an incumbent yardstick exists (SerialEvaluator::noteConfirmed):
+/// most of a line search's batches are pairs, and a pair that cannot beat
+/// the incumbent costs two short screens instead of two full-size runs.
+inline constexpr size_t kScreenMinCohort = 2;
 
 /// One completed line-search dimension, for the Figure 7 ledger.
 struct DimensionResult {
@@ -168,13 +178,17 @@ struct TuneResult {
 ///                injected fault, contained by search/faultguard.h
 ///   FailUnknown  a pre-status cache line recorded only cycles == 0; the
 ///                failure flavour was never written down
+///   ScreenedOut  screen-then-confirm (SearchConfig::screenN) timed the
+///                candidate at the reduced size and it fell outside the
+///                confirmation margin; it was never timed at full size and
+///                can never be committed
 ///
 /// CompileFail/TesterFail are deterministic rejections; Timeout/Crash are
 /// the "hard" failures the guarded path retries and the orchestrator's
 /// quarantine counts.
 struct EvalOutcome {
   enum class Status : uint8_t {
-    Timed, CompileFail, TesterFail, Timeout, Crash, FailUnknown
+    Timed, CompileFail, TesterFail, Timeout, Crash, FailUnknown, ScreenedOut
   };
   uint64_t cycles = 0;
   Status status = Status::Timed;
@@ -194,7 +208,7 @@ struct EvalOutcome {
 };
 
 /// Trace/cache name: "timed", "compile_fail", "tester_fail", "timeout",
-/// "crash", "fail" (FailUnknown).
+/// "crash", "fail" (FailUnknown), "screened" (ScreenedOut).
 [[nodiscard]] std::string_view evalStatusName(EvalOutcome::Status s);
 /// Inverse of evalStatusName; nullopt for unknown strings.
 [[nodiscard]] std::optional<EvalOutcome::Status> parseEvalStatus(
@@ -218,12 +232,15 @@ class Evaluator {
 };
 
 /// Compile + differential-test + time one candidate.  A pure function of
-/// its arguments (the simulator is deterministic and side-effect-free), so
-/// it is safe to call concurrently from worker threads.  `lowered` is the
-/// front end's output for `hilSource` (fko::lowerKernel) — callers lower
-/// once per kernel, not once per candidate.  `spec` may be null: generic
-/// kernels are then checked against their own unoptimized lowering
-/// (fko::testAgainstUnoptimized) instead of a reference BLAS.
+/// its request (the simulator is deterministic and side-effect-free), so it
+/// is safe to call concurrently from worker threads.  Declared in
+/// search/evalpipeline.h with the EvalRequest it consumes.
+[[nodiscard]] EvalOutcome evaluateCandidate(const EvalRequest& req);
+
+/// Deprecated loose-parameter shim for the EvalRequest form above; builds a
+/// request (no pipeline, so no fast path) and forwards.  One release of
+/// grace for out-of-tree callers, then it goes away.
+[[deprecated("pack the arguments into a search::EvalRequest")]]
 [[nodiscard]] EvalOutcome evaluateCandidate(const std::string& hilSource,
                                             const fko::LoweredKernel& lowered,
                                             const kernels::KernelSpec* spec,

@@ -27,6 +27,23 @@ MemSystem::Line* MemSystem::Level::find(uint64_t laddr) {
   return nullptr;
 }
 
+MemSystem::Line* MemSystem::findL1(uint64_t laddr) {
+  // Tags are unique within a level (installLine dedupes), and a tag can only
+  // live in its own set, so a valid tag match IS the line find would return.
+  if (Line* m = l1_memo_[0]; m != nullptr && m->valid && m->tag == laddr)
+    return m;
+  if (Line* m = l1_memo_[1]; m != nullptr && m->valid && m->tag == laddr) {
+    std::swap(l1_memo_[0], l1_memo_[1]);
+    return m;
+  }
+  Line* f = levels_[0].find(laddr);
+  if (f != nullptr) {
+    l1_memo_[1] = l1_memo_[0];
+    l1_memo_[0] = f;
+  }
+  return f;
+}
+
 MemSystem::Line& MemSystem::Level::victim(uint64_t laddr) {
   uint64_t set = (laddr / cfg.lineBytes) % static_cast<uint64_t>(numSets);
   Line* base = lines.data() + set * cfg.assoc;
@@ -74,6 +91,7 @@ uint64_t MemSystem::busAcquireImpl(uint64_t now, BusDir dir, bool buffered) {
 void MemSystem::installLine(Level& level, uint64_t laddr, uint64_t now,
                             uint64_t fillReady, bool dirty, bool exclusive,
                             bool ntHint, bool prefetched) {
+  if (laddr == nt_uncached_line_) nt_uncached_line_ = UINT64_MAX;
   if (Line* hit = level.find(laddr)) {
     hit->dirty = hit->dirty || dirty;
     hit->exclusive = hit->exclusive || exclusive;
@@ -120,18 +138,24 @@ uint64_t MemSystem::fetchLine(uint64_t laddr, uint64_t now, bool forWrite,
                               bool intoL1, bool intoL2, bool ntHint,
                               bool isPrefetch) {
   // Deduplicate against in-flight fills.
-  if (auto it = inflight_.find(laddr); it != inflight_.end()) {
-    uint64_t ready = it->second;
-    if (ready <= now) inflight_.erase(it);
+  for (auto& e : inflight_) {
+    if (e.first != laddr) continue;
+    uint64_t ready = e.second;
+    if (ready <= now) {
+      e = inflight_.back();
+      inflight_.pop_back();
+    }
     return std::max(ready, now);
   }
   // MSHR capacity: block until a slot frees (drop stale entries first).
   for (;;) {
-    for (auto it = inflight_.begin(); it != inflight_.end();) {
-      if (it->second <= now)
-        it = inflight_.erase(it);
-      else
-        ++it;
+    for (size_t i = 0; i < inflight_.size();) {
+      if (inflight_[i].second <= now) {
+        inflight_[i] = inflight_.back();
+        inflight_.pop_back();
+      } else {
+        ++i;
+      }
     }
     if (inflight_.size() <
         static_cast<size_t>(cfg_.maxOutstandingMisses))
@@ -143,7 +167,7 @@ uint64_t MemSystem::fetchLine(uint64_t laddr, uint64_t now, bool forWrite,
   }
   uint64_t grant = busAcquire(now, BusDir::Read);
   uint64_t ready = grant + static_cast<uint64_t>(cfg_.memLatency);
-  inflight_[laddr] = ready;
+  inflight_.emplace_back(laddr, ready);
   ++stats_.loadMissMem;
 #ifdef IFKO_DEBUG_MEM
   std::fprintf(stderr,
@@ -168,7 +192,7 @@ uint64_t MemSystem::load(uint64_t addr, uint32_t bytes, uint64_t now) {
   // vectors aligned, so model the access by its first line.
   (void)bytes;
   Level& l1 = levels_[0];
-  if (Line* hit = l1.find(laddr)) {
+  if (Line* hit = findL1(laddr)) {
     hit->lastUse = use_counter_++;
     ++stats_.loadHitL1;
     noteDemandHit(*hit);
@@ -228,7 +252,9 @@ void MemSystem::trainHwPrefetcher(uint64_t laddr, uint64_t now) {
     if ((target >> 12) != (laddr >> 12)) break;
     if (levels_.size() > 1 && levels_[1].find(target) != nullptr) continue;
     if (levels_[0].find(target) != nullptr) continue;
-    if (inflight_.count(target) != 0) continue;
+    bool inFlight = false;
+    for (const auto& [a, t] : inflight_) inFlight |= a == target;
+    if (inFlight) continue;
     if (inflight_.size() >= static_cast<size_t>(cfg_.maxOutstandingMisses))
       break;
     if (bus_free_ > now + static_cast<uint64_t>(cfg_.prefetchDropBacklog))
@@ -257,7 +283,7 @@ uint64_t MemSystem::store(uint64_t addr, uint32_t bytes, uint64_t now) {
   };
 
   Level& l1 = levels_[0];
-  Line* l1hit = l1.find(laddr);
+  Line* l1hit = findL1(laddr);
   if (l1hit == nullptr) trainHwPrefetcher(laddr, now);
   if (Line* hit = l1hit) {
     hit->lastUse = use_counter_++;
@@ -318,21 +344,26 @@ uint64_t MemSystem::storeNT(uint64_t addr, uint32_t bytes, uint64_t now) {
 
   // NT stores bypass the caches; a line that is currently cached must be
   // invalidated (and on machines where NT interacts poorly with cached
-  // read-modify-write streams, pay the flush penalty).
-  bool wasCached = false;
-  for (auto& level : levels_) {
-    if (Line* hit = level.find(laddr)) {
-      wasCached = true;
-      if (hit->dirty) {
-        busAcquireImpl(now, BusDir::Write, /*buffered=*/true);
-        ++stats_.writebacks;
+  // read-modify-write streams, pay the flush penalty).  A streaming NT
+  // store revisits the line it just invalidated: the cache walk is skipped
+  // while the line is provably absent (installLine clears the memo).
+  if (laddr != nt_uncached_line_) {
+    bool wasCached = false;
+    for (auto& level : levels_) {
+      if (Line* hit = level.find(laddr)) {
+        wasCached = true;
+        if (hit->dirty) {
+          busAcquireImpl(now, BusDir::Write, /*buffered=*/true);
+          ++stats_.writebacks;
+        }
+        hit->valid = false;
       }
-      hit->valid = false;
     }
-  }
-  if (wasCached && !cfg_.ntStoreCheapWhenCached) {
-    ++stats_.ntFlushes;
-    wc_extra_delay_ += static_cast<uint64_t>(cfg_.ntFlushPenalty);
+    if (wasCached && !cfg_.ntStoreCheapWhenCached) {
+      ++stats_.ntFlushes;
+      wc_extra_delay_ += static_cast<uint64_t>(cfg_.ntFlushPenalty);
+    }
+    nt_uncached_line_ = laddr;
   }
 
   if (wc_.empty()) wc_.resize(static_cast<size_t>(cfg_.wcBuffers));
@@ -361,16 +392,19 @@ uint64_t MemSystem::storeNT(uint64_t addr, uint32_t bytes, uint64_t now) {
 void MemSystem::prefetch(ir::PrefKind kind, uint64_t addr, uint64_t now) {
   uint64_t laddr = lineAddr(addr);
   // Already resident or in flight: nothing to do (not counted as dropped).
-  if (levels_[0].find(laddr) != nullptr) return;
+  if (findL1(laddr) != nullptr) return;
   bool l2Resident = levels_.size() > 1 && levels_[1].find(laddr) != nullptr;
-  if (inflight_.count(laddr) != 0) return;
+  for (const auto& [a, t] : inflight_)
+    if (a == laddr) return;
 
   // The drop rule: a busy bus or full MSHRs silently discards the prefetch.
-  for (auto it = inflight_.begin(); it != inflight_.end();) {
-    if (it->second <= now)
-      it = inflight_.erase(it);
-    else
-      ++it;
+  for (size_t i = 0; i < inflight_.size();) {
+    if (inflight_[i].second <= now) {
+      inflight_[i] = inflight_.back();
+      inflight_.pop_back();
+    } else {
+      ++i;
+    }
   }
   if (inflight_.size() >= static_cast<size_t>(cfg_.maxOutstandingMisses) ||
       bus_free_ > now + static_cast<uint64_t>(cfg_.prefetchDropBacklog)) {

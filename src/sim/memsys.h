@@ -19,7 +19,7 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "arch/machine.h"
@@ -127,14 +127,30 @@ class MemSystem {
   /// ahead-fetches into the L2 once a sequential stream is detected.
   void trainHwPrefetcher(uint64_t laddr, uint64_t now);
 
+  /// L1 lookup accelerator: the two most recently hit lines (streaming
+  /// kernels touch each line several times in a row, and two entries cover
+  /// a load stream and a store stream).  Pure cache of Level::find — the
+  /// tag/valid check re-validates on every use, so results are identical;
+  /// pointers are stable because the line arrays never resize after
+  /// construction.
+  Line* findL1(uint64_t laddr);
+
   const arch::MachineConfig& cfg_;
   int line_bytes_;
   std::vector<Level> levels_;
   uint64_t bus_free_ = 0;
   BusDir bus_last_dir_ = BusDir::Read;
   uint64_t use_counter_ = 1;
-  std::unordered_map<uint64_t, uint64_t> inflight_;  ///< lineAddr -> ready
-  std::vector<uint64_t> store_buffer_;               ///< outstanding commits
+  /// lineAddr -> ready cycle.  Flat, unordered, swap-pop erase: MSHR counts
+  /// are a handful, so linear scans beat hashing; no consumer depends on
+  /// order (min/existence scans only).
+  std::vector<std::pair<uint64_t, uint64_t>> inflight_;
+  std::vector<uint64_t> store_buffer_;  ///< outstanding commits
+  Line* l1_memo_[2] = {nullptr, nullptr};  ///< MRU-first; see findL1
+  /// Line known absent from every level (the last NT-stored line: storeNT
+  /// invalidates it and only installLine can bring it back).  Lets the NT
+  /// fast path skip the cache walk on streaming NT stores.
+  uint64_t nt_uncached_line_ = UINT64_MAX;
   // Write-combining buffers (cfg.wcBuffers of them).
   struct WcEntry {
     uint64_t line = UINT64_MAX;

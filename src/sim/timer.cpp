@@ -8,10 +8,17 @@ std::string_view contextName(TimeContext ctx) {
   return ctx == TimeContext::OutOfCache ? "out-of-cache" : "in-L2";
 }
 
-TimeResult timeKernel(const arch::MachineConfig& machine,
-                      const ir::Function& fn, const kernels::KernelSpec& spec,
-                      int64_t n, TimeContext ctx, uint64_t seed) {
-  kernels::KernelData data = kernels::makeKernelData(spec, n, seed);
+namespace {
+
+// Shared operand setup + result assembly; only the execution engine differs
+// between the two overloads.
+template <typename RunFn>
+TimeResult timeKernelWith(const arch::MachineConfig& machine,
+                          const kernels::KernelSpec& spec, int64_t n,
+                          TimeContext ctx, uint64_t seed, int64_t loopN,
+                          const kernels::KernelData* tmpl, RunFn&& execute) {
+  kernels::KernelData data =
+      tmpl != nullptr ? tmpl->clone() : kernels::makeKernelData(spec, n, seed);
   MemSystem mem(machine);
   if (ctx == TimeContext::InL2) {
     const uint64_t bytes =
@@ -22,9 +29,11 @@ TimeResult timeKernel(const arch::MachineConfig& machine,
   // Warming displaces lines and would otherwise leak eviction counts into
   // the timed run's stats; the timed region starts from a clean slate.
   mem.resetStats();
+  // Truncated runs keep the full-size operands and shorten only the loop
+  // trip count: the timed region is an exact prefix of the full run.
+  if (loopN > 0) data.n = loopN;
   TimingModel timing(machine, mem);
-  Interp interp(fn, *data.mem, &timing);
-  RunResult run = interp.run(data.args(fn));
+  RunResult run = execute(data, timing);
 
   TimeResult out;
   out.cycles = timing.cycles();
@@ -33,6 +42,31 @@ TimeResult timeKernel(const arch::MachineConfig& machine,
   out.core = timing.stats();
   out.attr = timing.attribution();
   return out;
+}
+
+}  // namespace
+
+TimeResult timeKernel(const arch::MachineConfig& machine,
+                      const ir::Function& fn, const kernels::KernelSpec& spec,
+                      int64_t n, TimeContext ctx, uint64_t seed, int64_t loopN,
+                      const kernels::KernelData* tmpl) {
+  return timeKernelWith(machine, spec, n, ctx, seed, loopN, tmpl,
+                        [&](kernels::KernelData& data, TimingModel& timing) {
+                          Interp interp(fn, *data.mem, &timing);
+                          return interp.run(data.args(fn));
+                        });
+}
+
+TimeResult timeKernel(const arch::MachineConfig& machine,
+                      const DecodedFunction& dfn,
+                      const kernels::KernelSpec& spec, int64_t n,
+                      TimeContext ctx, uint64_t seed, int64_t loopN,
+                      const kernels::KernelData* tmpl) {
+  return timeKernelWith(machine, spec, n, ctx, seed, loopN, tmpl,
+                        [&](kernels::KernelData& data, TimingModel& timing) {
+                          return runDecoded(dfn, *data.mem, data.args(dfn.params),
+                                            &timing);
+                        });
 }
 
 }  // namespace ifko::sim

@@ -15,6 +15,7 @@
 #include "ir/function.h"
 #include "kernels/registry.h"
 #include "kernels/tester.h"
+#include "sim/decode.h"
 #include "sim/memsys.h"
 #include "sim/timing.h"
 
@@ -37,10 +38,29 @@ struct TimeResult {
 };
 
 /// Times `fn` (a compiled kernel for `spec`) at length `n`.
+///
+/// `loopN` (0 = n) truncates the *iteration count* while the operands stay
+/// sized at `n`: the run is then an exact prefix of the full-length run —
+/// identical addresses, identical code — which is what the screen-then-
+/// confirm policy (search/evalpipeline.h) ranks candidates by.  `tmpl`, when
+/// non-null, is a pristine operand image for (spec, n, seed) that is cloned
+/// instead of re-generating the data; the clone is bit-identical to a fresh
+/// makeKernelData, just cheaper.
 [[nodiscard]] TimeResult timeKernel(const arch::MachineConfig& machine,
                                     const ir::Function& fn,
                                     const kernels::KernelSpec& spec, int64_t n,
-                                    TimeContext ctx, uint64_t seed = 42);
+                                    TimeContext ctx, uint64_t seed = 42,
+                                    int64_t loopN = 0,
+                                    const kernels::KernelData* tmpl = nullptr);
+
+/// Fast-path variant over the pre-decoded form (sim/decode.h).  Produces
+/// bit-identical results to the ir::Function overload for the same kernel.
+[[nodiscard]] TimeResult timeKernel(const arch::MachineConfig& machine,
+                                    const DecodedFunction& dfn,
+                                    const kernels::KernelSpec& spec, int64_t n,
+                                    TimeContext ctx, uint64_t seed = 42,
+                                    int64_t loopN = 0,
+                                    const kernels::KernelData* tmpl = nullptr);
 
 [[nodiscard]] std::string_view contextName(TimeContext ctx);
 

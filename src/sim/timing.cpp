@@ -74,16 +74,16 @@ uint64_t TimingModel::memOperandReady(const ir::Inst& inst) const {
   return t;
 }
 
-uint64_t TimingModel::acquireUnit(Unit u, uint64_t earliest, int occupancy) {
-  if (u == Unit::None) return earliest;
-  if (u == Unit::Int) {
+uint64_t TimingModel::acquireUnit(ExecUnit u, uint64_t earliest, int occupancy) {
+  if (u == ExecUnit::None) return earliest;
+  if (u == ExecUnit::Int) {
     // Two integer ALUs: pick whichever frees first.
     size_t best = unit_free_[0] <= unit_free_[1] ? 0 : 1;
     uint64_t start = std::max(earliest, unit_free_[best]);
     unit_free_[best] = start + static_cast<uint64_t>(occupancy);
     return start;
   }
-  if (u == Unit::FpAny) {
+  if (u == ExecUnit::FpAny) {
     // Logical/shuffle/blend micro-ops issue to whichever FP pipe is free
     // (both evaluation machines had two FP pipes accepting them).
     size_t best = unit_free_[2] <= unit_free_[3] ? 2 : 3;
@@ -91,61 +91,68 @@ uint64_t TimingModel::acquireUnit(Unit u, uint64_t earliest, int occupancy) {
     unit_free_[best] = start + static_cast<uint64_t>(occupancy);
     return start;
   }
-  size_t idx = u == Unit::FpAdd ? 2 : u == Unit::FpMul ? 3 : u == Unit::Load ? 4 : 5;
+  size_t idx = u == ExecUnit::FpAdd ? 2
+               : u == ExecUnit::FpMul ? 3
+               : u == ExecUnit::Load  ? 4
+                                        : 5;
   uint64_t start = std::max(earliest, unit_free_[idx]);
   unit_free_[idx] = start + static_cast<uint64_t>(occupancy);
   return start;
 }
 
-TimingModel::Cost TimingModel::costOf(const ir::Inst& inst) const {
+InstCost instCost(const ir::Inst& inst, const arch::MachineConfig& cfg) {
   const bool vec = ir::opInfo(inst.op).isVector;
-  const int vocc = vec ? cfg_.vecOccupancy : 1;
+  const int vocc = vec ? cfg.vecOccupancy : 1;
   switch (inst.op) {
     case Op::IMovI: case Op::IMov: case Op::IAdd: case Op::ISub:
     case Op::IAddI: case Op::IShlI: case Op::IAddCC: case Op::ICmp:
     case Op::ICmpI:
-      return {Unit::Int, cfg_.latInt, 1};
+      return {ExecUnit::Int, cfg.latInt, 1};
     case Op::IMul:
-      return {Unit::Int, 3, 1};
+      return {ExecUnit::Int, 3, 1};
     case Op::Jmp: case Op::Jcc: case Op::Ret:
-      return {Unit::Int, 1, 1};
+      return {ExecUnit::Int, 1, 1};
     case Op::ILd: case Op::FLd: case Op::VLd:
-      return {Unit::Load, 0, vocc};  // latency comes from the memory system
+      return {ExecUnit::Load, 0, vocc};  // latency comes from the memory system
     case Op::ISt: case Op::FSt: case Op::FStNT: case Op::VSt: case Op::VStNT:
-      return {Unit::Store, 0, vocc};
+      return {ExecUnit::Store, 0, vocc};
     case Op::FLdI: case Op::FMov: case Op::FAbs: case Op::FNeg:
-      return {Unit::FpAny, cfg_.latFMisc, 1};
+      return {ExecUnit::FpAny, cfg.latFMisc, 1};
     case Op::VMov: case Op::VAbs: case Op::VBcast: case Op::VZero:
     case Op::VCmpGT: case Op::VAnd: case Op::VAndN: case Op::VOr:
     case Op::VSel: case Op::VMovMsk: case Op::VIota: case Op::VExt:
-      return {Unit::FpAny, cfg_.latFMisc, vocc};
+      return {ExecUnit::FpAny, cfg.latFMisc, vocc};
     case Op::FToI:
-      return {Unit::FpAdd, cfg_.latFAdd, 1};
+      return {ExecUnit::FpAdd, cfg.latFAdd, 1};
     case Op::FAdd: case Op::FSub: case Op::FMax: case Op::FCmp:
-      return {Unit::FpAdd, cfg_.latFAdd, 1};
+      return {ExecUnit::FpAdd, cfg.latFAdd, 1};
     case Op::VAdd: case Op::VSub: case Op::VMax:
-      return {Unit::FpAdd, cfg_.latFAdd, vocc};
+      return {ExecUnit::FpAdd, cfg.latFAdd, vocc};
     case Op::VHAdd: case Op::VHMax:
-      return {Unit::FpAdd, cfg_.latFAdd + cfg_.latFMisc, vocc};
+      return {ExecUnit::FpAdd, cfg.latFAdd + cfg.latFMisc, vocc};
     case Op::FMul:
-      return {Unit::FpMul, cfg_.latFMul, 1};
+      return {ExecUnit::FpMul, cfg.latFMul, 1};
     case Op::VMul:
-      return {Unit::FpMul, cfg_.latFMul, vocc};
+      return {ExecUnit::FpMul, cfg.latFMul, vocc};
     case Op::FDiv:
-      return {Unit::FpMul, cfg_.latFDiv, cfg_.latFDiv};  // unpipelined
+      return {ExecUnit::FpMul, cfg.latFDiv, cfg.latFDiv};  // unpipelined
     case Op::FAddM: case Op::VAddM:
-      return {Unit::FpAdd, cfg_.latFAdd, vocc};
+      return {ExecUnit::FpAdd, cfg.latFAdd, vocc};
     case Op::FMulM: case Op::VMulM:
-      return {Unit::FpMul, cfg_.latFMul, vocc};
+      return {ExecUnit::FpMul, cfg.latFMul, vocc};
     case Op::Pref: case Op::Touch:
-      return {Unit::Load, 0, 1};
+      return {ExecUnit::Load, 0, 1};
     case Op::Nop:
-      return {Unit::None, 0, 0};
+      return {ExecUnit::None, 0, 0};
   }
-  return {Unit::None, 1, 1};
+  return {ExecUnit::None, 1, 1};
 }
 
 void TimingModel::onInst(const InstEvent& ev) {
+  step(ev, instCost(*ev.inst, cfg_));
+}
+
+void TimingModel::step(const InstEvent& ev, InstCost cost) {
   const ir::Inst& inst = *ev.inst;
   const ir::OpInfo& info = ir::opInfo(inst.op);
   ++stats_.insts;
@@ -192,7 +199,6 @@ void TimingModel::onInst(const InstEvent& ev) {
   if (info.readsFlags) raiseDep(flags_ready_, StallCause::IntDep);
   uint64_t storeDataReady = isStore ? readyOf(inst.src1) : 0;
 
-  Cost cost = costOf(inst);
   uint64_t execStart = acquireUnit(cost.unit, deps, cost.occupancy);
   uint64_t complete = execStart + static_cast<uint64_t>(cost.latency);
 
@@ -203,10 +209,10 @@ void TimingModel::onInst(const InstEvent& ev) {
   StallCause midCause = StallCause::Issue;
   StallCause tailCause = StallCause::Issue;
   switch (cost.unit) {
-    case Unit::FpAdd: case Unit::FpMul: case Unit::FpAny:
+    case ExecUnit::FpAdd: case ExecUnit::FpMul: case ExecUnit::FpAny:
       tailCause = StallCause::FpDep;
       break;
-    case Unit::Int:
+    case ExecUnit::Int:
       tailCause = StallCause::IntDep;
       break;
     default:
@@ -227,7 +233,7 @@ void TimingModel::onInst(const InstEvent& ev) {
       break;
     case Op::FAddM: case Op::FMulM: case Op::VAddM: case Op::VMulM: {
       // Fused load + arithmetic: the load micro-op goes first.
-      uint64_t loadStart = acquireUnit(Unit::Load, deps, 1);
+      uint64_t loadStart = acquireUnit(ExecUnit::Load, deps, 1);
       uint64_t dataReady = mem_.load(ev.addr, ev.accessBytes, loadStart);
       uint64_t start = std::max(execStart, dataReady);
       complete = start + static_cast<uint64_t>(cost.latency);

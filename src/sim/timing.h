@@ -76,11 +76,33 @@ struct Attribution {
   friend bool operator==(const Attribution&, const Attribution&) = default;
 };
 
+/// Functional-unit class an instruction dispatches to.
+enum class ExecUnit : uint8_t { Int, FpAdd, FpMul, FpAny, Load, Store, None };
+
+/// Static dispatch cost of one instruction: unit class, result latency, and
+/// unit occupancy.  Depends only on the opcode and the machine config, so the
+/// decoder (sim/decode.h) precomputes it once per static instruction instead
+/// of re-deriving it on every dynamic dispatch.
+struct InstCost {
+  ExecUnit unit = ExecUnit::None;
+  int latency = 1;
+  int occupancy = 1;
+};
+
+/// The cost table itself (shared by TimingModel::onInst and the decoder).
+[[nodiscard]] InstCost instCost(const ir::Inst& inst,
+                                const arch::MachineConfig& cfg);
+
 class TimingModel : public InstObserver {
  public:
   TimingModel(const arch::MachineConfig& cfg, MemSystem& mem);
 
   void onInst(const InstEvent& ev) override;
+
+  /// Fast-path entry for pre-decoded execution: identical semantics to
+  /// onInst, but non-virtual and with the dispatch cost already computed.
+  /// Produces bit-identical cycles/attribution to the observer path.
+  void onDecodedInst(const InstEvent& ev, InstCost cost) { step(ev, cost); }
 
   /// Completion cycle of everything observed so far.
   [[nodiscard]] uint64_t cycles() const { return max_complete_; }
@@ -96,19 +118,14 @@ class TimingModel : public InstObserver {
   [[nodiscard]] const Attribution& attribution() const { return attr_; }
 
  private:
-  enum class Unit : uint8_t { Int, FpAdd, FpMul, FpAny, Load, Store, None };
-  struct Cost {
-    Unit unit = Unit::None;
-    int latency = 1;
-    int occupancy = 1;
-  };
-  [[nodiscard]] Cost costOf(const ir::Inst& inst) const;
+  /// The shared per-instruction scoreboard update behind both entry points.
+  void step(const InstEvent& ev, InstCost cost);
 
   uint64_t readyOf(ir::Reg r) const;
   void setReady(ir::Reg r, uint64_t t);
   uint64_t memOperandReady(const ir::Inst& inst) const;
   /// Earliest cycle a unit of this class is free; books the occupancy.
-  uint64_t acquireUnit(Unit u, uint64_t earliest, int occupancy);
+  uint64_t acquireUnit(ExecUnit u, uint64_t earliest, int occupancy);
 
   const arch::MachineConfig& cfg_;
   MemSystem& mem_;

@@ -145,8 +145,14 @@ TEST(ScopedEvalBudget, InterpreterChargesTheBudget) {
   cfg.n = 2'000'000;  // far more than 1 ms of simulated work
   cfg.evalTimeoutMs = 1;
   cfg.maxEvalAttempts = 1;
-  EvalOutcome o = guardedEvaluateCandidate(src, lowered, &spec, analysis,
-                                           machine, cfg, {});
+  EvalRequest req;
+  req.hilSource = &src;
+  req.lowered = &lowered;
+  req.spec = &spec;
+  req.analysis = &analysis;
+  req.machine = &machine;
+  req.config = &cfg;
+  EvalOutcome o = guardedEvaluateCandidate(req);
   EXPECT_EQ(o.status, EvalOutcome::Status::Timeout);
   EXPECT_EQ(o.cycles, 0u);
 }
@@ -161,24 +167,47 @@ struct GuardFixture : ::testing::Test {
   fko::LoweredKernel lowered = fko::lowerKernel(src);
   SearchConfig cfg = SearchConfig::smoke();
 
+  EvalRequest request(FaultInjector* injector = nullptr) {
+    EvalRequest req;
+    req.hilSource = &src;
+    req.lowered = &lowered;
+    req.spec = &spec;
+    req.analysis = &analysis;
+    req.machine = &machine;
+    req.config = &cfg;
+    req.injector = injector;
+    return req;
+  }
+
   EvalOutcome evalWithPlan(const std::string& planSpec) {
     std::string err;
     auto plan = FaultPlan::parse(planSpec, &err);
     EXPECT_TRUE(plan.has_value()) << err;
     FaultInjector injector(*plan);
-    return guardedEvaluateCandidate(src, lowered, &spec, analysis, machine,
-                                    cfg, opt::TuningParams{}, &injector);
+    return guardedEvaluateCandidate(request(&injector));
   }
 };
 
 TEST_F(GuardFixture, CleanEvaluationPassesThrough) {
-  EvalOutcome o = guardedEvaluateCandidate(src, lowered, &spec, analysis,
-                                           machine, cfg, {});
+  EvalOutcome o = guardedEvaluateCandidate(request());
   EXPECT_EQ(o.status, EvalOutcome::Status::Timed);
   EXPECT_GT(o.cycles, 0u);
   EXPECT_EQ(o.attempts, 1);
   EXPECT_TRUE(o.usable());
   EXPECT_FALSE(o.hardFailure());
+}
+
+TEST_F(GuardFixture, DeprecatedShimMatchesRequestForm) {
+  // The loose-parameter overload survives one release as a shim; it must be
+  // an exact repackaging of the EvalRequest form.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  EvalOutcome viaShim = guardedEvaluateCandidate(src, lowered, &spec, analysis,
+                                                 machine, cfg, {});
+#pragma GCC diagnostic pop
+  EvalOutcome viaReq = guardedEvaluateCandidate(request());
+  EXPECT_EQ(viaShim.status, viaReq.status);
+  EXPECT_EQ(viaShim.cycles, viaReq.cycles);
 }
 
 TEST_F(GuardFixture, PersistentCrashExhaustsRetries) {
