@@ -1,5 +1,9 @@
 // The ifko command-line driver.
 //
+// Every verb lives in the kVerbs table below — the usage text and the
+// dispatch in main() are both generated from it, so a new verb cannot be
+// runnable but undocumented (or documented but unrunnable).
+//
 //   ifko analyze <file.hil> [--arch=p4e|opteron]
 //       What FKO's analysis reports to the search: vectorizability, arrays,
 //       accumulator candidates, machine cache facts.
@@ -17,16 +21,20 @@
 //
 //   ifko tune <file.hil> [--arch=...] [--n=N] [--context=ooc|inl2]
 //             [--extensions] [--fast] [--jobs=N] [--cache=FILE] [--trace=FILE]
-//             [--strategy=line|random|hillclimb|evolve] [--budget=N]
-//             [--budget-cycles=N] [--search-seed=S] [--eval-timeout-ms=N]
-//             [--eval-retries=N] [--quarantine=N] [--fault-plan=SPEC]
-//             [--screen-n=N] [--screen-margin=X] [--no-predecode]
+//             [--wisdom=FILE] [--strategy=line|random|hillclimb|evolve]
+//             [--budget=N] [--budget-cycles=N] [--search-seed=S]
+//             [--eval-timeout-ms=N] [--eval-retries=N] [--quarantine=N]
+//             [--fault-plan=SPEC] [--screen-n=N] [--screen-margin=X]
+//             [--no-predecode]
 //       The empirical search, with the per-dimension ledger.  --strategy
 //       picks the search policy (default: the paper's line search);
 //       --budget caps observed candidates, --budget-cycles caps simulated
 //       cycles spent, and --search-seed seeds the stochastic strategies
 //       (same seed + budget => same proposals at any --jobs).  A stochastic
 //       strategy with no budget gets a default of 128 evaluations.
+//       --wisdom warm-starts the search from the store's best known config
+//       for this (kernel, arch, context, N-class) and writes the winner
+//       back keep-best (docs/SERVING.md).
 //       Fault isolation: --eval-timeout-ms deadlines each candidate in
 //       deterministic simulated work (0 = off), --eval-retries bounds extra
 //       attempts after a timeout/crash (default 1), --quarantine abandons a
@@ -40,11 +48,12 @@
 //
 //   ifko tune-all <dir> [--arch=...] [--n=N] [--context=ooc|inl2] [--fast]
 //                 [--extensions] [--jobs=N] [--cache=FILE] [--trace=FILE]
-//                 [--strategy=...] [--budget=N] [--budget-cycles=N]
-//                 [--search-seed=S] [--eval-timeout-ms=N] [--eval-retries=N]
-//                 [--quarantine=N] [--fault-plan=SPEC]
+//                 [--wisdom=FILE] [--strategy=...] [--budget=N]
+//                 [--budget-cycles=N] [--search-seed=S] [--eval-timeout-ms=N]
+//                 [--eval-retries=N] [--quarantine=N] [--fault-plan=SPEC]
 //       Batch-tunes every *.hil kernel in <dir> through the orchestrator and
 //       prints a Table-3-style summary with turnaround and cache statistics.
+//       --wisdom warm-starts every kernel and writes the winners back.
 //
 //   ifko explain <file.hil> (same options as tune)
 //       Tunes the kernel (cheap when a --cache is warm), then diffs the
@@ -56,6 +65,23 @@
 //   ifko sim <file.ir> [--arch=...] [--n=N] [--context=ooc|inl2]
 //       Parse a textual IR dump (the --dump-ir format) and time it on the
 //       simulated machine — the path for hand-edited or hand-written code.
+//
+//   ifko serve --socket=PATH | --port=N [--wisdom=FILE] [--kernels=DIR]
+//              (+ tune options for the tune-on-miss path)
+//       Tuning-as-a-service (docs/SERVING.md): a long-lived daemon that
+//       answers QUERY/TUNE/EXPLAIN/EXPORT/STATS/SHUTDOWN over a Unix or
+//       loopback TCP socket.  Already-tuned queries are served from the
+//       wisdom store with zero candidate evaluations; misses tune through
+//       the fault-isolated orchestrator and write back.  --port=0 picks an
+//       ephemeral port (printed as "PORT <n>" on stdout).
+//
+//   ifko query [<kernel>] --socket=PATH | --port=N [--arch=...]
+//              [--context=...] [--n=N] [--tune] [--explain-verb]
+//              [--stats] [--export[=PATH]] [--shutdown]
+//       Client for a running serve daemon: sends one request, prints the
+//       JSON response line, exits 0 iff the daemon answered ok.  With a
+//       kernel name it sends QUERY (or TUNE with --tune, EXPLAIN with
+//       --explain-verb); --stats/--export/--shutdown need no kernel.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -72,20 +98,18 @@
 #include "ir/verifier.h"
 #include "search/evalpipeline.h"
 #include "search/orchestrator.h"
+#include "serve/client.h"
+#include "serve/daemon.h"
+#include "support/hash.h"
+#include "support/json.h"
 #include "support/str.h"
 #include "support/table.h"
+#include "wisdom/harvest.h"
+#include "wisdom/wisdom.h"
 
 namespace {
 
 using namespace ifko;
-
-int usage() {
-  std::fprintf(stderr,
-               "usage: ifko <analyze|compile|run|tune|tune-all|explain|sim> "
-               "<file|dir> [options]\n"
-               "see the header of src/driver/main.cpp or docs/TUNING.md\n");
-  return 2;
-}
 
 std::optional<std::string> readFile(const std::string& path) {
   std::ifstream in(path);
@@ -117,6 +141,18 @@ struct Options {
   double screenMargin = 0;    ///< survivor margin; 0 = SearchConfig default
   bool predecode = true;      ///< run candidates through sim/decode.h
   search::FaultPlan faultPlan;
+  std::string wisdomPath;  ///< --wisdom: warm-start + write-back store
+  // serve/query plumbing
+  std::string socketPath;  ///< --socket: Unix-domain endpoint
+  int64_t tcpPort = -1;    ///< --port: loopback TCP; -1 unset, 0 ephemeral
+  std::string kernelsDir;  ///< serve --kernels: extra *.hil kernels
+  serve::Request::Verb queryVerb = serve::Request::Verb::Query;
+  std::string exportPath;  ///< query --export=PATH ("" = daemon default)
+  // Raw flag spellings, so `query` forwards only what the user actually
+  // said and the daemon's own defaults cover the rest.
+  std::string archFlag;     ///< "" unless --arch was given
+  std::string contextFlag;  ///< "" unless --context was given
+  bool nSet = false;        ///< --n was given
   bool ok = true;
 };
 
@@ -155,7 +191,8 @@ Options parseOptions(int argc, char** argv, int first) {
     if (auto v = value("--arch=")) {
       if (*v == "p4e") o.machine = arch::p4e();
       else if (*v == "opteron") o.machine = arch::opteron();
-      else { std::fprintf(stderr, "unknown arch '%s'\n", v->c_str()); o.ok = false; }
+      else { std::fprintf(stderr, "unknown arch '%s'\n", v->c_str()); o.ok = false; continue; }
+      o.archFlag = *v;
     } else if (auto v = value("--sv=")) {
       applySpec("sv=" + *v);
     } else if (auto v = value("--ur=")) {
@@ -186,6 +223,7 @@ Options parseOptions(int argc, char** argv, int first) {
       applySpec(*v);
     } else if (auto v = value("--n=")) {
       intFlag(*v, "--n", 1, &o.n);
+      o.nSet = true;
     } else if (auto v = value("--jobs=")) {
       int64_t jobs = 1;
       intFlag(*v, "--jobs", 1, &jobs);
@@ -194,6 +232,27 @@ Options parseOptions(int argc, char** argv, int first) {
       o.cachePath = *v;
     } else if (auto v = value("--trace=")) {
       o.tracePath = *v;
+    } else if (auto v = value("--wisdom=")) {
+      o.wisdomPath = *v;
+    } else if (auto v = value("--socket=")) {
+      o.socketPath = *v;
+    } else if (auto v = value("--port=")) {
+      intFlag(*v, "--port", 0, &o.tcpPort);
+    } else if (auto v = value("--kernels=")) {
+      o.kernelsDir = *v;
+    } else if (a == "--tune") {
+      o.queryVerb = serve::Request::Verb::Tune;
+    } else if (a == "--explain-verb") {
+      o.queryVerb = serve::Request::Verb::Explain;
+    } else if (a == "--stats") {
+      o.queryVerb = serve::Request::Verb::Stats;
+    } else if (a == "--shutdown") {
+      o.queryVerb = serve::Request::Verb::Shutdown;
+    } else if (a == "--export") {
+      o.queryVerb = serve::Request::Verb::Export;
+    } else if (auto v = value("--export=")) {
+      o.queryVerb = serve::Request::Verb::Export;
+      o.exportPath = *v;
     } else if (auto v = value("--strategy=")) {
       auto kind = search::parseStrategyKind(*v);
       if (!kind.has_value()) {
@@ -243,6 +302,7 @@ Options parseOptions(int argc, char** argv, int first) {
     } else if (auto v = value("--context=")) {
       o.context = *v == "inl2" ? sim::TimeContext::InL2
                                : sim::TimeContext::OutOfCache;
+      o.contextFlag = *v;
     } else if (a == "--dump-ir") {
       o.dumpIr = true;
     } else if (a == "--extensions") {
@@ -306,6 +366,33 @@ std::string faultSummary(const search::FailureCounts& f) {
   item(f.compileFails, "compile fail", "compile fails");
   item(f.retries, "retry", "retries");
   return s;
+}
+
+// --- wisdom plumbing for tune/tune-all --------------------------------------
+
+wisdom::WisdomKey wisdomKeyFor(const std::string& src, const Options& o) {
+  wisdom::WisdomKey key;
+  key.sourceHash = hashHex(src);
+  key.machine = o.machine.name;
+  key.context = std::string(sim::contextName(o.context));
+  key.nClass = wisdom::nClassFor(o.n);
+  return key;
+}
+
+void loadWisdomWarn(wisdom::WisdomStore& store, const std::string& path,
+                    const char* who) {
+  std::string err;
+  if (!store.load(path, &err))
+    std::fprintf(stderr, "%s: wisdom: %s\n", who, err.c_str());
+  if (store.damagedLines() > 0)
+    std::fprintf(stderr,
+                 "%s: warning: skipped %zu damaged wisdom line(s) in '%s'\n",
+                 who, store.damagedLines(), path.c_str());
+  if (store.schemaSkippedLines() > 0)
+    std::fprintf(stderr,
+                 "%s: warning: skipped %zu wisdom line(s) from another "
+                 "wisdom_schema in '%s'\n",
+                 who, store.schemaSkippedLines(), path.c_str());
 }
 
 int cmdAnalyze(const std::string& src, const Options& o) {
@@ -384,7 +471,25 @@ int cmdTune(const std::string& path, const std::string& src, const Options& o) {
     std::fprintf(stderr,
                  "tune: warning: skipped %zu damaged line(s) in cache '%s'\n",
                  orch.cache().damagedLines(), o.cachePath.c_str());
-  auto outcome = orch.tune({pathStem(path), src, nullptr});
+
+  search::KernelJob job{pathStem(path), src, nullptr};
+  wisdom::WisdomStore wis;
+  wisdom::WisdomKey wkey;
+  if (!o.wisdomPath.empty()) {
+    loadWisdomWarn(wis, o.wisdomPath, "tune");
+    wkey = wisdomKeyFor(src, o);
+    if (wisdom::WisdomMatch m = wis.find(wkey); m.hit()) {
+      const opt::TuningSpec seed = opt::parseTuningSpec(m.record->params);
+      if (seed.ok) {
+        job.warmStart = seed.params;
+        std::printf("wisdom: warm start (%s): %s\n",
+                    std::string(wisdom::matchKindName(m.kind)).c_str(),
+                    m.record->params.c_str());
+      }
+    }
+  }
+
+  auto outcome = orch.tune(job);
   const search::TuneResult& r = outcome.result;
   if (!r.ok) {
     std::fprintf(stderr, "tuning failed: %s\n", r.error.c_str());
@@ -427,6 +532,21 @@ int cmdTune(const std::string& path, const std::string& src, const Options& o) {
                 static_cast<unsigned long long>(outcome.cacheHits),
                 static_cast<unsigned long long>(outcome.cacheMisses),
                 orch.cache().size(), o.cachePath.c_str());
+
+  if (!o.wisdomPath.empty()) {
+    const bool adopted = wis.record(wisdom::harvestRecord(
+        wkey, job.name,
+        "tune/" + std::string(search::strategyName(oc.strategy)), r, oc.search,
+        &orch.cache()));
+    std::string werr;
+    if (!wis.save(o.wisdomPath, &werr)) {
+      std::fprintf(stderr, "tune: wisdom save failed: %s\n", werr.c_str());
+      return 1;
+    }
+    std::printf("wisdom: %s (%zu records in %s)\n",
+                adopted ? "best recorded" : "incumbent kept (not beaten)",
+                wis.size(), o.wisdomPath.c_str());
+  }
   return 0;
 }
 
@@ -584,6 +704,25 @@ int cmdTuneAll(const std::string& dir, const Options& o) {
                  "'%s'\n",
                  orch.cache().damagedLines(), o.cachePath.c_str());
 
+  wisdom::WisdomStore wis;
+  std::vector<wisdom::WisdomKey> wkeys(jobs.size());
+  if (!o.wisdomPath.empty()) {
+    loadWisdomWarn(wis, o.wisdomPath, "tune-all");
+    size_t warmStarts = 0;
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      wkeys[i] = wisdomKeyFor(jobs[i].hilSource, o);
+      if (wisdom::WisdomMatch m = wis.find(wkeys[i]); m.hit()) {
+        const opt::TuningSpec seed = opt::parseTuningSpec(m.record->params);
+        if (seed.ok) {
+          jobs[i].warmStart = seed.params;
+          ++warmStarts;
+        }
+      }
+    }
+    std::fprintf(stderr, "wisdom: warm-starting %zu of %zu kernels from %s\n",
+                 warmStarts, jobs.size(), o.wisdomPath.c_str());
+  }
+
   std::fprintf(stderr, "tuning %zu kernels on %s (jobs=%d)...\n", jobs.size(),
                o.machine.name.c_str(), std::max(1, o.jobs));
   auto batch = orch.tuneAll(jobs);
@@ -645,6 +784,26 @@ int cmdTuneAll(const std::string& dir, const Options& o) {
     if (!k.result.ok)
       std::fprintf(stderr, "FAILED %s: %s\n", k.name.c_str(),
                    k.result.error.c_str());
+
+  if (!o.wisdomPath.empty()) {
+    size_t adopted = 0;
+    for (size_t i = 0; i < batch.kernels.size(); ++i) {
+      const search::KernelOutcome& k = batch.kernels[i];
+      if (!k.result.ok) continue;
+      if (wis.record(wisdom::harvestRecord(
+              wkeys[i], k.name,
+              "tune-all/" + std::string(search::strategyName(oc.strategy)),
+              k.result, oc.search, &orch.cache())))
+        ++adopted;
+    }
+    std::string werr;
+    if (!wis.save(o.wisdomPath, &werr)) {
+      std::fprintf(stderr, "tune-all: wisdom save failed: %s\n", werr.c_str());
+      return 1;
+    }
+    std::printf("wisdom: %zu result(s) adopted (%zu records in %s)\n",
+                adopted, wis.size(), o.wisdomPath.c_str());
+  }
   return batch.failures() == 0 ? 0 : 1;
 }
 
@@ -671,26 +830,209 @@ int cmdSim(const std::string& src, const Options& o) {
   return 0;
 }
 
+int cmdServe(const Options& o) {
+  if (o.socketPath.empty() && o.tcpPort < 0) {
+    std::fprintf(stderr,
+                 "serve: need --socket=PATH or --port=N (0 = ephemeral)\n");
+    return 2;
+  }
+  serve::ServeConfig cfg;
+  cfg.orchestrator = orchestratorConfig(o);
+  cfg.defaultArch = o.machine.name == "Opteron" ? "opteron" : "p4e";
+  cfg.wisdomPath = o.wisdomPath;
+  cfg.kernelsDir = o.kernelsDir;
+  std::string warn;
+  serve::Daemon daemon(cfg, &warn);
+  if (!warn.empty()) std::fputs(warn.c_str(), stderr);  // one warning per line
+
+  std::string err;
+  const bool listening = o.socketPath.empty()
+                             ? daemon.listenTcp(static_cast<int>(o.tcpPort), &err)
+                             : daemon.listenUnix(o.socketPath, &err);
+  if (!listening) {
+    std::fprintf(stderr, "serve: %s\n", err.c_str());
+    return 1;
+  }
+  if (o.socketPath.empty()) {
+    std::fprintf(stderr,
+                 "ifko serve: listening on 127.0.0.1:%d (%zu kernels, %zu "
+                 "wisdom records)\n",
+                 daemon.boundPort(), daemon.kernelNames().size(),
+                 daemon.store().size());
+    // Machine-readable line for scripts that asked for an ephemeral port.
+    std::printf("PORT %d\n", daemon.boundPort());
+    std::fflush(stdout);
+  } else {
+    std::fprintf(stderr,
+                 "ifko serve: listening on %s (%zu kernels, %zu wisdom "
+                 "records)\n",
+                 o.socketPath.c_str(), daemon.kernelNames().size(),
+                 daemon.store().size());
+  }
+
+  const int rc = daemon.run(&err);
+  if (rc != 0) {
+    std::fprintf(stderr, "serve: %s\n", err.c_str());
+    return rc;
+  }
+  const serve::ServeStats& s = daemon.stats();
+  std::fprintf(stderr,
+               "ifko serve: shutdown after %llu requests (%llu wisdom hits, "
+               "%llu tuned, %llu evaluations, %llu errors)\n",
+               static_cast<unsigned long long>(s.requests),
+               static_cast<unsigned long long>(s.wisdomExact + s.wisdomNear),
+               static_cast<unsigned long long>(s.tuned),
+               static_cast<unsigned long long>(s.evaluations),
+               static_cast<unsigned long long>(s.errors));
+  return 0;
+}
+
+int cmdQuery(const std::string& kernel, const Options& o) {
+  if (o.socketPath.empty() && o.tcpPort < 0) {
+    std::fprintf(stderr, "query: need --socket=PATH or --port=N\n");
+    return 2;
+  }
+  serve::Request req;
+  req.verb = o.queryVerb;
+  const bool kernelVerb = req.verb == serve::Request::Verb::Query ||
+                          req.verb == serve::Request::Verb::Tune ||
+                          req.verb == serve::Request::Verb::Explain;
+  if (kernelVerb) {
+    if (kernel.empty()) {
+      std::fprintf(stderr,
+                   "query: need a kernel name (or --stats, --export, "
+                   "--shutdown)\n");
+      return 2;
+    }
+    req.target = kernel;
+    req.arch = o.archFlag;
+    req.context = o.contextFlag;
+    if (o.nSet) req.n = o.n;
+  } else if (req.verb == serve::Request::Verb::Export) {
+    req.target = o.exportPath;
+  }
+
+  serve::Endpoint ep;
+  ep.unixPath = o.socketPath;
+  ep.tcpPort = static_cast<int>(std::max<int64_t>(o.tcpPort, 0));
+  std::string err;
+  const std::optional<std::string> resp = serve::requestOnce(ep, req, &err);
+  if (!resp.has_value()) {
+    std::fprintf(stderr, "query: %s\n", err.c_str());
+    return 1;
+  }
+  std::printf("%s\n", resp->c_str());
+
+  std::map<std::string, JsonValue> obj;
+  if (!parseJsonObject(*resp, &obj)) {
+    std::fprintf(stderr, "query: daemon sent a malformed response\n");
+    return 1;
+  }
+  const auto it = obj.find("ok");
+  return it != obj.end() && it->second.kind == JsonValue::Kind::Bool &&
+                 it->second.boolean
+             ? 0
+             : 1;
+}
+
+// --- the verb table ---------------------------------------------------------
+
+/// One driver verb.  The usage text and main()'s dispatch are both generated
+/// from kVerbs, so the two can never drift apart.
+struct VerbSpec {
+  const char* name;
+  const char* argHelp;  ///< "" = no positional argument
+  const char* summary;  ///< one usage line
+  bool needsArg;        ///< the positional argument is required
+  bool readsFile;       ///< the argument is a file whose contents `run` gets
+  int (*run)(const std::string& arg, const std::string& src, const Options& o);
+};
+
+const VerbSpec kVerbs[] = {
+    {"analyze", "<file.hil>", "what FKO's analysis reports to the search",
+     true, true,
+     [](const std::string&, const std::string& src, const Options& o) {
+       return cmdAnalyze(src, o);
+     }},
+    {"compile", "<file.hil>", "one FKO compile with explicit parameters",
+     true, true,
+     [](const std::string&, const std::string& src, const Options& o) {
+       return cmdCompile(src, o, /*alsoRun=*/false);
+     }},
+    {"run", "<file.hil>", "compile, check, and time on the simulated machine",
+     true, true,
+     [](const std::string&, const std::string& src, const Options& o) {
+       return cmdCompile(src, o, /*alsoRun=*/true);
+     }},
+    {"tune", "<file.hil>",
+     "the empirical search (--wisdom warm-starts and records it)", true, true,
+     [](const std::string& arg, const std::string& src, const Options& o) {
+       return cmdTune(arg, src, o);
+     }},
+    {"tune-all", "<dir>", "batch-tune every *.hil kernel in <dir>", true,
+     false,
+     [](const std::string& arg, const std::string&, const Options& o) {
+       return cmdTuneAll(arg, o);
+     }},
+    {"explain", "<file.hil>", "attribute the winner's cycles cause by cause",
+     true, true,
+     [](const std::string& arg, const std::string& src, const Options& o) {
+       return cmdExplain(arg, src, o);
+     }},
+    {"sim", "<file.ir>", "time a textual IR dump on the simulated machine",
+     true, true,
+     [](const std::string&, const std::string& src, const Options& o) {
+       return cmdSim(src, o);
+     }},
+    {"serve", "",
+     "tuning daemon over --socket/--port (docs/SERVING.md)", false, false,
+     [](const std::string&, const std::string&, const Options& o) {
+       return cmdServe(o);
+     }},
+    {"query", "[<kernel>]", "client for a running serve daemon", false, false,
+     [](const std::string& arg, const std::string&, const Options& o) {
+       return cmdQuery(arg, o);
+     }},
+};
+
+int usage() {
+  std::string verbs;
+  for (const VerbSpec& v : kVerbs) {
+    if (!verbs.empty()) verbs += "|";
+    verbs += v.name;
+  }
+  std::fprintf(stderr, "usage: ifko <%s> [<arg>] [options]\n", verbs.c_str());
+  for (const VerbSpec& v : kVerbs)
+    std::fprintf(stderr, "  %-8s %-11s %s\n", v.name, v.argHelp, v.summary);
+  std::fprintf(stderr,
+               "see the header of src/driver/main.cpp, docs/TUNING.md, "
+               "docs/SERVING.md\n");
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) return usage();
-  std::string cmd = argv[1];
-  Options o = parseOptions(argc, argv, 3);
+  if (argc < 2) return usage();
+  const VerbSpec* verb = nullptr;
+  for (const VerbSpec& v : kVerbs)
+    if (std::strcmp(argv[1], v.name) == 0) verb = &v;
+  if (verb == nullptr) return usage();
+
+  const bool hasArg = argc > 2 && argv[2][0] != '-';
+  if (verb->needsArg && !hasArg) return usage();
+  Options o = parseOptions(argc, argv, hasArg ? 3 : 2);
   if (!o.ok) return 2;
 
-  if (cmd == "tune-all") return cmdTuneAll(argv[2], o);
-
-  auto src = readFile(argv[2]);
-  if (!src) {
-    std::fprintf(stderr, "cannot read '%s'\n", argv[2]);
-    return 1;
+  const std::string arg = hasArg ? argv[2] : "";
+  std::string src;
+  if (verb->readsFile) {
+    auto contents = readFile(arg);
+    if (!contents) {
+      std::fprintf(stderr, "cannot read '%s'\n", arg.c_str());
+      return 1;
+    }
+    src = std::move(*contents);
   }
-  if (cmd == "analyze") return cmdAnalyze(*src, o);
-  if (cmd == "compile") return cmdCompile(*src, o, /*alsoRun=*/false);
-  if (cmd == "run") return cmdCompile(*src, o, /*alsoRun=*/true);
-  if (cmd == "tune") return cmdTune(argv[2], *src, o);
-  if (cmd == "explain") return cmdExplain(argv[2], *src, o);
-  if (cmd == "sim") return cmdSim(*src, o);
-  return usage();
+  return verb->run(arg, src, o);
 }

@@ -32,9 +32,7 @@ struct QuarantineSignal {
 class OrchestratedEvaluator final : public Evaluator {
  public:
   OrchestratedEvaluator(Orchestrator& orch, const KernelJob& job)
-      : orch_(orch), job_(job),
-        pipeline_(job.hilSource, job.spec, orch.machine_,
-                  orch.config_.search),
+      : orch_(orch), job_(job), pipeline_(orch.pipelineFor(job)),
         baseKey_{hashHex(job.hilSource),
                  orch.machine_.name,
                  std::string(sim::contextName(orch.config_.search.context)),
@@ -86,7 +84,7 @@ class OrchestratedEvaluator final : public Evaluator {
     auto runOver = [&](const std::vector<size_t>& idx, int64_t timeN,
                        std::vector<EvalOutcome>& dst) {
       auto evalOne = [&](size_t k) {
-        EvalRequest req = pipeline_.request(batch[idx[k]]);
+        EvalRequest req = pipeline_->request(batch[idx[k]]);
         req.injector = injector;
         req.timeN = timeN;
         dst[k] = guardedEvaluateCandidate(req);
@@ -222,7 +220,7 @@ class OrchestratedEvaluator final : public Evaluator {
 
   Orchestrator& orch_;
   const KernelJob& job_;
-  EvalPipeline pipeline_;
+  std::shared_ptr<EvalPipeline> pipeline_;
   EvalKey baseKey_;
   std::string lastDim_;
   int evaluations_ = 0;
@@ -276,6 +274,24 @@ void Orchestrator::trace(const std::string& jsonLine) {
   std::fputs((jsonLine + "\n").c_str(), trace_);
 }
 
+std::shared_ptr<EvalPipeline> Orchestrator::pipelineFor(const KernelJob& job) {
+  if (!config_.keepPipelinesWarm)
+    return std::make_shared<EvalPipeline>(job.hilSource, job.spec, machine_,
+                                          config_.search);
+  // Warm map keyed on content: the same source re-tuned (the daemon's
+  // repeat-TUNE path) lands on hot compile/decode/tester memos.  machine_
+  // and config_.search outlive the map, which EvalPipeline requires.
+  const std::string key = hashHex(job.hilSource);
+  auto it = pipelines_.find(key);
+  if (it == pipelines_.end())
+    it = pipelines_
+             .emplace(key, std::make_shared<EvalPipeline>(
+                               job.hilSource, job.spec, machine_,
+                               config_.search))
+             .first;
+  return it->second;
+}
+
 KernelOutcome Orchestrator::tune(const KernelJob& job) {
   KernelOutcome outcome;
   outcome.name = job.name;
@@ -299,8 +315,9 @@ KernelOutcome Orchestrator::tune(const KernelJob& job) {
   std::unique_ptr<SearchStrategy> strategy =
       makeStrategy(config_.strategy, config_.budget);
   try {
-    outcome.result = runStrategySearch(job.hilSource, machine_, config_.search,
-                                       *strategy, config_.budget, eval);
+    outcome.result = runStrategySearch(
+        job.hilSource, machine_, config_.search, *strategy, config_.budget,
+        eval, job.warmStart.has_value() ? &*job.warmStart : nullptr);
   } catch (const QuarantineSignal& q) {
     outcome.result = {};
     outcome.result.ok = false;

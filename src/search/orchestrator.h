@@ -38,11 +38,14 @@
 
 #include <cstdio>
 #include <memory>
+#include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "arch/machine.h"
 #include "search/evalcache.h"
+#include "search/evalpipeline.h"
 #include "search/faultguard.h"
 #include "search/linesearch.h"
 #include "search/strategy/strategy.h"
@@ -67,6 +70,12 @@ struct OrchestratorConfig {
   int quarantineAfter = 3;
   /// Deterministic fault injection for tests/benchmarks; empty = none.
   FaultPlan faultPlan;
+  /// Keep each kernel's EvalPipeline (lowering, compile/decode/tester
+  /// memos, pristine operand templates) alive across tune() calls, keyed
+  /// by source hash.  One-shot CLI runs leave this off (a pipeline dies
+  /// with its search); the long-lived `ifko serve` daemon turns it on so a
+  /// repeat tune of the same kernel skips straight to hot memos.
+  bool keepPipelinesWarm = false;
 };
 
 /// One kernel to tune.  When `spec` names a surveyed BLAS kernel its
@@ -76,6 +85,12 @@ struct KernelJob {
   std::string name;
   std::string hilSource;
   const kernels::KernelSpec* spec = nullptr;
+  /// Warm start (e.g. from a wisdom record): evaluated right after the
+  /// DEFAULTS point as the "WISDOM" dimension, so a previously found
+  /// winner becomes the incumbent before the strategy proposes anything.
+  /// The strategy never observes it — proposal sequences stay identical
+  /// with or without a warm start; only the incumbent can differ.
+  std::optional<opt::TuningParams> warmStart;
 };
 
 struct KernelOutcome {
@@ -154,6 +169,13 @@ class Orchestrator {
     return quarantined_;
   }
 
+  /// The kernel's evaluation pipeline: a fresh one per call normally, the
+  /// warm one (created on first use) under config.keepPipelinesWarm.
+  [[nodiscard]] std::shared_ptr<EvalPipeline> pipelineFor(
+      const KernelJob& job);
+  /// Pipelines currently kept warm (0 unless keepPipelinesWarm).
+  [[nodiscard]] size_t warmPipelines() const { return pipelines_.size(); }
+
  private:
   void trace(const std::string& jsonLine);
 
@@ -164,6 +186,8 @@ class Orchestrator {
   std::FILE* trace_ = nullptr;
   FaultInjector injector_;
   std::vector<QuarantineRecord> quarantined_;
+  /// source hash -> warm pipeline (only filled when keepPipelinesWarm).
+  std::unordered_map<std::string, std::shared_ptr<EvalPipeline>> pipelines_;
 
   friend class OrchestratedEvaluator;
 };

@@ -79,7 +79,8 @@ TuneResult runStrategySearch(const std::string& hilSource,
                              const arch::MachineConfig& machine,
                              const SearchConfig& config,
                              SearchStrategy& strategy, const Budget& budget,
-                             Evaluator& eval) {
+                             Evaluator& eval,
+                             const opt::TuningParams* warmStart) {
   TuneResult result;
   result.analysis = fko::analyzeKernel(hilSource, machine);
   if (!result.analysis.ok) {
@@ -108,6 +109,20 @@ TuneResult runStrategySearch(const std::string& hilSource,
   int proposals = 1;
   uint64_t cyclesSpent = def.cycles;
   result.frontier.push_back({proposals, bestCycles});
+
+  // Warm start: time the remembered winner once, up front.  A failing or
+  // slower-than-defaults warm point simply never becomes the incumbent —
+  // stale wisdom can cost one evaluation, never the result.
+  if (warmStart != nullptr && !(*warmStart == defaults)) {
+    const EvalOutcome warm = eval.evaluateBatch({*warmStart}, "WISDOM")[0];
+    ++proposals;
+    cyclesSpent += warm.cycles;
+    if (warm.usable() && warm.cycles < bestCycles) {
+      bestCycles = warm.cycles;
+      best = *warmStart;
+      result.frontier.push_back({proposals, bestCycles});
+    }
+  }
 
   // Relays new dimension-ledger entries to the evaluator as dimension_end
   // events, preserving the evaluate -> dimension_end -> next-dimension

@@ -108,12 +108,16 @@ enum class StrategyKind : uint8_t { Line, Random, HillClimb, Evolve };
 /// `evaluator` (serial, or the orchestrator's parallel cached one) until
 /// the strategy finishes or the budget is spent.  With StrategyKind::Line
 /// and an unlimited budget this reproduces runLineSearch bit for bit.
-[[nodiscard]] TuneResult runStrategySearch(const std::string& hilSource,
-                                           const arch::MachineConfig& machine,
-                                           const SearchConfig& config,
-                                           SearchStrategy& strategy,
-                                           const Budget& budget,
-                                           Evaluator& evaluator);
+///
+/// `warmStart` (optional) is a previously known winner — a wisdom record's
+/// parameters — evaluated immediately after DEFAULTS as the "WISDOM"
+/// dimension so it becomes the incumbent the search must beat.  It counts
+/// against the budget like any observed candidate but is never reported to
+/// the strategy: proposal sequences are identical with or without it.
+[[nodiscard]] TuneResult runStrategySearch(
+    const std::string& hilSource, const arch::MachineConfig& machine,
+    const SearchConfig& config, SearchStrategy& strategy, const Budget& budget,
+    Evaluator& evaluator, const opt::TuningParams* warmStart = nullptr);
 
 /// Convenience wrappers over the built-in serial evaluator, mirroring
 /// tuneKernel / tuneSource.

@@ -1,0 +1,151 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace ifko::serve {
+
+namespace {
+
+void setError(std::string* error, const std::string& what) {
+  if (error != nullptr) *error = what + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+Connection::~Connection() { close(); }
+
+Connection::Connection(Connection&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), buffer_(std::move(other.buffer_)) {}
+
+Connection& Connection::operator=(Connection&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    buffer_ = std::move(other.buffer_);
+  }
+  return *this;
+}
+
+void Connection::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  buffer_.clear();
+}
+
+bool Connection::connect(const Endpoint& endpoint, std::string* error) {
+  close();
+  if (!endpoint.unixPath.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (endpoint.unixPath.size() >= sizeof(addr.sun_path)) {
+      if (error != nullptr)
+        *error = "socket path too long: " + endpoint.unixPath;
+      return false;
+    }
+    std::memcpy(addr.sun_path, endpoint.unixPath.c_str(),
+                endpoint.unixPath.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      setError(error, "socket");
+      return false;
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) < 0) {
+      setError(error, "connect " + endpoint.unixPath);
+      ::close(fd);
+      return false;
+    }
+    fd_ = fd;
+    return true;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(endpoint.tcpPort));
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    setError(error, "socket");
+    return false;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    setError(error,
+             "connect 127.0.0.1:" + std::to_string(endpoint.tcpPort));
+    ::close(fd);
+    return false;
+  }
+  fd_ = fd;
+  return true;
+}
+
+bool Connection::sendLine(const std::string& line, std::string* error) {
+  if (fd_ < 0) {
+    if (error != nullptr) *error = "not connected";
+    return false;
+  }
+  const std::string data = line + "\n";
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd_, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      setError(error, "send");
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+std::optional<std::string> Connection::recvLine(std::string* error) {
+  if (fd_ < 0) {
+    if (error != nullptr) *error = "not connected";
+    return std::nullopt;
+  }
+  for (;;) {
+    const size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) {
+      setError(error, "recv");
+      return std::nullopt;
+    }
+    if (n == 0) {
+      if (error != nullptr) *error = "connection closed by daemon";
+      return std::nullopt;
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+std::optional<std::string> Connection::roundTrip(const std::string& line,
+                                                 std::string* error) {
+  if (!sendLine(line, error)) return std::nullopt;
+  return recvLine(error);
+}
+
+std::optional<std::string> requestOnce(const Endpoint& endpoint,
+                                       const Request& req,
+                                       std::string* error) {
+  Connection conn;
+  if (!conn.connect(endpoint, error)) return std::nullopt;
+  return conn.roundTrip(formatRequest(req), error);
+}
+
+}  // namespace ifko::serve

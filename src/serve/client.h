@@ -1,0 +1,53 @@
+// Client side of the serve protocol: connect, send request lines, read
+// response lines.  Shared by the `ifko query` CLI verb and the
+// tools/serve_probe load generator, so the wire handling lives once.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "serve/protocol.h"
+
+namespace ifko::serve {
+
+/// Where the daemon listens: exactly one of the two is set.
+struct Endpoint {
+  std::string unixPath;  ///< Unix-domain socket path ("" = use TCP)
+  int tcpPort = 0;       ///< loopback TCP port (used when unixPath empty)
+};
+
+/// One connection to a serve daemon.  Move-only RAII around the socket fd;
+/// requests pipeline fine (the daemon answers lines in order).
+class Connection {
+ public:
+  Connection() = default;
+  ~Connection();
+  Connection(Connection&& other) noexcept;
+  Connection& operator=(Connection&& other) noexcept;
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  /// Connects to `endpoint`.  Returns false with *error on failure.
+  bool connect(const Endpoint& endpoint, std::string* error = nullptr);
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// Sends one request line (newline appended).
+  bool sendLine(const std::string& line, std::string* error = nullptr);
+  /// Reads one response line (newline stripped).  nullopt on EOF/error.
+  [[nodiscard]] std::optional<std::string> recvLine(
+      std::string* error = nullptr);
+  /// sendLine + recvLine.
+  [[nodiscard]] std::optional<std::string> roundTrip(
+      const std::string& line, std::string* error = nullptr);
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes received past the last returned line
+};
+
+/// One-shot convenience: connect, send `req`, return the response line.
+[[nodiscard]] std::optional<std::string> requestOnce(
+    const Endpoint& endpoint, const Request& req, std::string* error = nullptr);
+
+}  // namespace ifko::serve

@@ -1,0 +1,49 @@
+// The `ifko serve` wire protocol: one request line in, one JSON line out.
+//
+// Requests are a single line of space-separated tokens (full grammar in
+// docs/SERVING.md):
+//
+//   QUERY <kernel> [arch=p4e|opteron] [context=ooc|inl2] [n=N]
+//   TUNE <kernel> [arch=...] [context=...] [n=...]
+//   EXPLAIN <kernel> [arch=...] [context=...] [n=...]
+//   EXPORT [<path>]
+//   STATS
+//   SHUTDOWN
+//
+// Responses are exactly one JSON object per line (support/json.h writer):
+// `{"ok":true,...}` on success, `{"ok":false,"code":"...","error":"..."}`
+// on failure — structured either way, so a client never parses prose.
+// Line-oriented on both sides, so the protocol composes with netcat, the
+// `ifko query` client, and tools/serve_probe alike.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace ifko::serve {
+
+struct Request {
+  enum class Verb : uint8_t { Query, Tune, Explain, Export, Stats, Shutdown };
+  Verb verb = Verb::Stats;
+  /// QUERY/TUNE/EXPLAIN: the kernel name.  EXPORT: the target path
+  /// (optional — empty means the daemon's own wisdom file).
+  std::string target;
+  std::string arch;     ///< "p4e" | "opteron"; "" = daemon default
+  std::string context;  ///< "ooc" | "inl2"; "" = daemon default
+  int64_t n = 0;        ///< problem size; 0 = daemon default
+};
+
+[[nodiscard]] std::string_view verbName(Request::Verb verb);
+
+/// Parses one request line.  nullopt with *error on an unknown verb, a
+/// missing kernel, a malformed key=value token, or a bad value.
+[[nodiscard]] std::optional<Request> parseRequest(const std::string& line,
+                                                  std::string* error);
+
+/// Renders `req` in the wire grammar (what the client sends).  Only
+/// non-default fields are emitted, so round-tripping is stable.
+[[nodiscard]] std::string formatRequest(const Request& req);
+
+}  // namespace ifko::serve

@@ -1,0 +1,38 @@
+#include "wisdom/harvest.h"
+
+#include <optional>
+
+#include "opt/params.h"
+
+namespace ifko::wisdom {
+
+WisdomRecord harvestRecord(const WisdomKey& key, const std::string& kernel,
+                           const std::string& runId,
+                           const search::TuneResult& result,
+                           const search::SearchConfig& config,
+                           search::EvalCache* cache) {
+  WisdomRecord rec;
+  rec.key = key;
+  rec.kernel = kernel;
+  rec.params = opt::formatTuningSpec(result.best);
+  rec.bestCycles = result.bestCycles;
+  rec.defaultCycles = result.defaultCycles;
+  rec.evaluations = result.evaluations;
+  rec.runId = runId;
+  if (cache != nullptr) {
+    search::EvalKey winner;
+    winner.sourceHash = key.sourceHash;
+    winner.machine = key.machine;
+    winner.context = key.context;
+    winner.n = config.n;
+    winner.seed = config.seed;
+    winner.testerN = config.testerN;
+    winner.params = rec.params;
+    if (const std::optional<search::EvalRecord> cached = cache->lookup(winner);
+        cached.has_value() && cached->counters.has_value())
+      applyCounters(rec, *cached->counters);
+  }
+  return rec;
+}
+
+}  // namespace ifko::wisdom

@@ -1,0 +1,30 @@
+// Bridge from a finished tune to a wisdom record.
+//
+// Every write-back site — `ifko tune --wisdom`, `ifko tune-all --wisdom`,
+// and the serve daemon's tune-on-miss path — turns a search::TuneResult
+// into the same WisdomRecord: winning spec, both cycle counts, evaluation
+// count, provenance, and the winner's attribution summary fished out of the
+// evaluation cache (the winner was just timed, so its counters are already
+// memoized — no re-simulation).
+#pragma once
+
+#include <string>
+
+#include "search/evalcache.h"
+#include "search/linesearch.h"
+#include "wisdom/wisdom.h"
+
+namespace ifko::wisdom {
+
+/// Builds the record for a successful tune (`result.ok` assumed).  `config`
+/// must be the SearchConfig the tune actually ran with (its n/seed/testerN
+/// form the winner's cache key); `cache` may be null — the record then just
+/// carries no attribution summary.
+[[nodiscard]] WisdomRecord harvestRecord(const WisdomKey& key,
+                                         const std::string& kernel,
+                                         const std::string& runId,
+                                         const search::TuneResult& result,
+                                         const search::SearchConfig& config,
+                                         search::EvalCache* cache);
+
+}  // namespace ifko::wisdom

@@ -1,0 +1,244 @@
+#include "wisdom/wisdom.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "search/counters.h"
+#include "sim/timing.h"
+#include "support/json.h"
+#include "support/str.h"
+
+namespace ifko::wisdom {
+
+std::string nClassFor(int64_t n) {
+  int exp = 0;
+  int64_t bucket = 1;
+  while (bucket < n && exp < 62) {
+    bucket <<= 1;
+    ++exp;
+  }
+  return "2^" + std::to_string(exp);
+}
+
+int nClassExponent(const std::string& nClass) {
+  if (!startsWith(nClass, "2^")) return -1;
+  int64_t exp = 0;
+  if (!parseInt64(nClass.substr(2), &exp) || exp < 0 || exp > 62) return -1;
+  return static_cast<int>(exp);
+}
+
+std::string WisdomKey::str() const {
+  return sourceHash + "|" + machine + "|" + context + "|" + nClass;
+}
+
+void applyCounters(WisdomRecord& rec, const search::EvalCounters& counters) {
+  const uint64_t total = counters.attr.total();
+  if (total == 0) return;
+  size_t top = 0;
+  for (size_t i = 1; i < sim::kNumStallCauses; ++i)
+    if (counters.attr.cycles[i] > counters.attr.cycles[top]) top = i;
+  rec.topCause =
+      std::string(sim::stallCauseName(static_cast<sim::StallCause>(top)));
+  rec.topCauseShare = static_cast<double>(counters.attr.cycles[top]) /
+                      static_cast<double>(total);
+  rec.memStallShare = static_cast<double>(counters.attr.memoryStalls()) /
+                      static_cast<double>(total);
+}
+
+std::string_view matchKindName(MatchKind kind) {
+  switch (kind) {
+    case MatchKind::Exact: return "exact";
+    case MatchKind::NearNClass: return "near-n";
+    case MatchKind::NearContext: return "near-context";
+  }
+  return "?";
+}
+
+std::string WisdomStore::formatRecord(const WisdomRecord& rec) {
+  JsonWriter w;
+  w.field("wisdom_schema", kWisdomSchema)
+      .field("kernel", rec.kernel)
+      .field("source", rec.key.sourceHash)
+      .field("machine", rec.key.machine)
+      .field("context", rec.key.context)
+      .field("n_class", rec.key.nClass)
+      .field("params", rec.params)
+      .field("best_cycles", rec.bestCycles)
+      .field("default_cycles", rec.defaultCycles)
+      .field("evaluations", rec.evaluations)
+      .field("run", rec.runId);
+  if (!rec.topCause.empty()) {
+    w.field("top_cause", rec.topCause)
+        .field("top_cause_share", rec.topCauseShare)
+        .field("mem_share", rec.memStallShare);
+  }
+  return w.str();
+}
+
+std::optional<WisdomRecord> WisdomStore::parseRecord(const std::string& line,
+                                                     bool* schemaDrift) {
+  if (schemaDrift != nullptr) *schemaDrift = false;
+  std::map<std::string, JsonValue> obj;
+  if (!parseJsonObject(line, &obj)) return std::nullopt;
+  auto str = [&](const char* k) -> const std::string* {
+    auto it = obj.find(k);
+    if (it == obj.end() || it->second.kind != JsonValue::Kind::String)
+      return nullptr;
+    return &it->second.string;
+  };
+  auto num = [&](const char* k, double* out) {
+    auto it = obj.find(k);
+    if (it == obj.end() || it->second.kind != JsonValue::Kind::Number)
+      return false;
+    *out = it->second.number;
+    return true;
+  };
+
+  double schema = 0;
+  if (!num("wisdom_schema", &schema)) return std::nullopt;
+  if (static_cast<int64_t>(schema) != kWisdomSchema) {
+    // A well-formed record from another schema: drift, not damage.  Never
+    // reinterpreted — a future version's fields may not mean what v1's do.
+    if (schemaDrift != nullptr) *schemaDrift = true;
+    return std::nullopt;
+  }
+
+  const std::string* source = str("source");
+  const std::string* machine = str("machine");
+  const std::string* context = str("context");
+  const std::string* nClass = str("n_class");
+  const std::string* params = str("params");
+  double best = 0, def = 0, evals = 0;
+  if (source == nullptr || machine == nullptr || context == nullptr ||
+      nClass == nullptr || params == nullptr || !num("best_cycles", &best) ||
+      !num("default_cycles", &def) || nClassExponent(*nClass) < 0)
+    return std::nullopt;
+
+  WisdomRecord rec;
+  rec.key = {*source, *machine, *context, *nClass};
+  rec.params = *params;
+  rec.bestCycles = static_cast<uint64_t>(best);
+  rec.defaultCycles = static_cast<uint64_t>(def);
+  if (num("evaluations", &evals)) rec.evaluations = static_cast<int64_t>(evals);
+  if (const std::string* kernel = str("kernel")) rec.kernel = *kernel;
+  if (const std::string* run = str("run")) rec.runId = *run;
+  if (const std::string* cause = str("top_cause")) {
+    rec.topCause = *cause;
+    num("top_cause_share", &rec.topCauseShare);
+    num("mem_share", &rec.memStallShare);
+  }
+  return rec;
+}
+
+bool WisdomStore::load(const std::string& path, std::string* error) {
+  std::ifstream in(path);
+  if (!in) return true;  // a store that does not exist yet is just empty
+  damagedLines_ = 0;
+  schemaSkipped_ = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    bool drift = false;
+    std::optional<WisdomRecord> rec = parseRecord(line, &drift);
+    if (!rec.has_value()) {
+      if (drift) ++schemaSkipped_;
+      else ++damagedLines_;
+      continue;
+    }
+    record(*rec);
+  }
+  if (in.bad()) {
+    if (error != nullptr) *error = "error reading wisdom file '" + path + "'";
+    return false;
+  }
+  return true;
+}
+
+bool WisdomStore::save(const std::string& path, std::string* error) const {
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+  // Atomic: readers (and a crash mid-save) see either the old complete
+  // file or the new complete file, never a torn one.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return fail("cannot write wisdom file '" + tmp + "'");
+    for (const auto& [key, rec] : records_) out << formatRecord(rec) << "\n";
+    out.flush();
+    if (!out) return fail("error writing wisdom file '" + tmp + "'");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return fail("cannot rename '" + tmp + "' over '" + path + "'");
+  }
+  return true;
+}
+
+bool WisdomStore::record(const WisdomRecord& rec) {
+  auto [it, inserted] = records_.emplace(rec.key.str(), rec);
+  if (inserted) return true;
+  // Keep-best: ties keep the incumbent, so merge order cannot flip between
+  // two equally fast configs.
+  if (rec.bestCycles == 0 || (it->second.bestCycles != 0 &&
+                              rec.bestCycles >= it->second.bestCycles))
+    return false;
+  it->second = rec;
+  return true;
+}
+
+size_t WisdomStore::merge(const WisdomStore& other) {
+  size_t adopted = 0;
+  for (const auto& [key, rec] : other.records_)
+    if (record(rec)) ++adopted;
+  return adopted;
+}
+
+const WisdomRecord* WisdomStore::lookup(const WisdomKey& key) const {
+  auto it = records_.find(key.str());
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+WisdomMatch WisdomStore::find(const WisdomKey& key) const {
+  if (const WisdomRecord* exact = lookup(key))
+    return {exact, MatchKind::Exact};
+
+  // Fallback never crosses kernel or machine — a config tuned for another
+  // source or another pipeline model is not a near answer, it is a wrong
+  // one.  Among same-context candidates prefer the nearest N-class
+  // (smallest |exponent delta|, ties toward the smaller class).
+  const int wantExp = nClassExponent(key.nClass);
+  const WisdomRecord* bestSameCtx = nullptr;
+  const WisdomRecord* bestOtherCtx = nullptr;
+  int bestSameDist = 0, bestOtherDist = 0;
+  for (const auto& [k, rec] : records_) {
+    if (rec.key.sourceHash != key.sourceHash ||
+        rec.key.machine != key.machine)
+      continue;
+    const int exp = nClassExponent(rec.key.nClass);
+    const int dist = wantExp < 0 || exp < 0 ? 1 << 20 : std::abs(exp - wantExp);
+    if (rec.key.context == key.context) {
+      if (bestSameCtx == nullptr || dist < bestSameDist) {
+        bestSameCtx = &rec;
+        bestSameDist = dist;
+      }
+    } else if (bestOtherCtx == nullptr || dist < bestOtherDist) {
+      bestOtherCtx = &rec;
+      bestOtherDist = dist;
+    }
+  }
+  if (bestSameCtx != nullptr) return {bestSameCtx, MatchKind::NearNClass};
+  if (bestOtherCtx != nullptr) return {bestOtherCtx, MatchKind::NearContext};
+  return {nullptr, MatchKind::Exact};
+}
+
+std::vector<const WisdomRecord*> WisdomStore::records() const {
+  std::vector<const WisdomRecord*> out;
+  out.reserve(records_.size());
+  for (const auto& [key, rec] : records_) out.push_back(&rec);
+  return out;
+}
+
+}  // namespace ifko::wisdom

@@ -1,0 +1,164 @@
+// The wisdom store: tuned configurations as a served, versioned artifact.
+//
+// Every empirical tune ends with one small fact worth keeping — "for this
+// kernel source, on this machine model, in this timing context, at this
+// problem-size class, these parameters won, at this cost" — and the paper's
+// harness throws that fact away when the process exits.  A WisdomStore
+// keeps it: best-config-per-(kernel content hash, arch, context, N-class)
+// records with full provenance (winning TuningSpec, cycles, evaluation
+// count, run id, attribution summary), exported/imported as a versioned
+// JSONL file so batch tuning (`ifko tune --wisdom`), fleets of tuners, and
+// the long-lived `ifko serve` daemon all populate and serve one artifact.
+//
+// File format (docs/SERVING.md): one flat JSON object per line, every line
+// carrying `"wisdom_schema":1`.  Lines from a *newer* schema are skipped
+// and counted (schemaSkippedLines) — never reinterpreted — so a store
+// written by a future version degrades loudly, not wrongly; unparseable
+// lines are skipped and counted like EvalCache::damagedLines().  Loading
+// merges keep-best: when two lines share a key the lower best_cycles wins,
+// which makes concatenating two wisdom files a correct merge.  save() is
+// atomic (temp file + rename) and deterministic (records sorted by key),
+// so export → import → export is byte-identical.
+//
+// Lookup falls back from exact to nearest: an exact (hash, machine,
+// context, N-class) hit first, then the nearest N-class in the same
+// context, then the other timing context — a near answer is still a far
+// better search seed (and often a better config) than FKO's static
+// defaults.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ifko::search {
+struct EvalCounters;  // search/counters.h
+}
+
+namespace ifko::wisdom {
+
+/// Schema version written to (and required of) every wisdom line.
+inline constexpr int64_t kWisdomSchema = 1;
+
+/// Problem-size class: sizes within the same power-of-two bucket share one
+/// record ("2^13" covers 4097..8192).  Tuned parameters drift with scale
+/// regime (in-cache vs out-of-cache), not with every individual N, so the
+/// store keys on the class and the daemon serves any N inside it.
+[[nodiscard]] std::string nClassFor(int64_t n);
+/// The bucket exponent back out of an nClassFor string; -1 if not one.
+[[nodiscard]] int nClassExponent(const std::string& nClass);
+
+/// Identity of one wisdom record.
+struct WisdomKey {
+  std::string sourceHash;  ///< ifko::hashHex of the HIL source text
+  std::string machine;     ///< arch::MachineConfig::name ("P4E", "Opteron")
+  std::string context;     ///< sim::contextName ("out-of-cache" | "in-L2")
+  std::string nClass;      ///< nClassFor(n)
+
+  /// Canonical joined form, the in-memory map key ('|' occurs in none of
+  /// the fields).
+  [[nodiscard]] std::string str() const;
+  friend bool operator==(const WisdomKey&, const WisdomKey&) = default;
+};
+
+/// One best-known configuration, with provenance.
+struct WisdomRecord {
+  WisdomKey key;
+  std::string kernel;  ///< human name ("ddot") — reporting only, not keyed
+  std::string params;  ///< canonical opt::formatTuningSpec of the winner
+  uint64_t bestCycles = 0;
+  uint64_t defaultCycles = 0;  ///< FKO's static choice, for the speedup
+  int64_t evaluations = 0;     ///< candidate evaluations the tune spent
+  std::string runId;           ///< provenance: who found it ("tune/line", ...)
+  /// Attribution summary of the winner (empty/0 when the tune had no
+  /// counters): the dominant stall cause, its share of the winner's
+  /// cycles, and the memory-stall share.
+  std::string topCause;
+  double topCauseShare = 0.0;
+  double memStallShare = 0.0;
+
+  [[nodiscard]] double speedup() const {
+    return bestCycles == 0 ? 0.0
+                           : static_cast<double>(defaultCycles) /
+                                 static_cast<double>(bestCycles);
+  }
+  friend bool operator==(const WisdomRecord&, const WisdomRecord&) = default;
+};
+
+/// Fills the record's attribution summary from a winner's counters.
+void applyCounters(WisdomRecord& rec, const search::EvalCounters& counters);
+
+/// How a lookup was satisfied.
+enum class MatchKind : uint8_t {
+  Exact,        ///< same (hash, machine, context, N-class)
+  NearNClass,   ///< same context, nearest other N-class
+  NearContext,  ///< other timing context (nearest N-class there)
+};
+[[nodiscard]] std::string_view matchKindName(MatchKind kind);
+
+struct WisdomMatch {
+  const WisdomRecord* record = nullptr;  ///< null = miss
+  MatchKind kind = MatchKind::Exact;
+
+  [[nodiscard]] bool hit() const { return record != nullptr; }
+};
+
+/// The in-memory store.  Not thread-safe: the daemon serializes requests
+/// and the CLI is single-threaded; callers that share one across threads
+/// must lock.
+class WisdomStore {
+ public:
+  /// Merges every well-formed line of `path` into the store (keep-best on
+  /// key conflicts).  A missing file is not an error (the store starts
+  /// empty — first run of a fresh deployment).  Returns false with *error
+  /// only when the file exists but cannot be read.
+  bool load(const std::string& path, std::string* error = nullptr);
+
+  /// Writes the store to `path` atomically: records render sorted by key
+  /// into `path`.tmp, which is then renamed over `path`.  Returns false
+  /// with *error when the temp file cannot be written or renamed.
+  bool save(const std::string& path, std::string* error = nullptr) const;
+
+  /// Keep-best insert: adopts `rec` when its key is new or its bestCycles
+  /// beat the incumbent's.  Returns true when the store changed.
+  bool record(const WisdomRecord& rec);
+
+  /// Keep-best merge of every record of `other` into this store.  Returns
+  /// the number of records adopted.
+  size_t merge(const WisdomStore& other);
+
+  /// Exact-key lookup.
+  [[nodiscard]] const WisdomRecord* lookup(const WisdomKey& key) const;
+
+  /// Exact lookup, then fallback (same kernel + machine only): nearest
+  /// other N-class in the same context, then the other context.
+  [[nodiscard]] WisdomMatch find(const WisdomKey& key) const;
+
+  [[nodiscard]] size_t size() const { return records_.size(); }
+  /// Records in key order (the save order).
+  [[nodiscard]] std::vector<const WisdomRecord*> records() const;
+
+  /// Lines the last load() skipped as unparseable or missing required
+  /// fields — the analogue of EvalCache::damagedLines().
+  [[nodiscard]] size_t damagedLines() const { return damagedLines_; }
+  /// Lines the last load() skipped because they carry a different (newer)
+  /// wisdom_schema — schema drift worth a warning, never a reinterpret.
+  [[nodiscard]] size_t schemaSkippedLines() const { return schemaSkipped_; }
+
+  /// One well-formed JSONL line for `rec` (schema field included) — the
+  /// save() format, exposed for tests and tools.
+  [[nodiscard]] static std::string formatRecord(const WisdomRecord& rec);
+  /// Parses one line; nullopt for damaged lines.  *schemaDrift (when
+  /// given) is set when the line is well-formed but from another schema.
+  [[nodiscard]] static std::optional<WisdomRecord> parseRecord(
+      const std::string& line, bool* schemaDrift = nullptr);
+
+ private:
+  std::map<std::string, WisdomRecord> records_;  ///< ordered => stable save
+  size_t damagedLines_ = 0;
+  size_t schemaSkipped_ = 0;
+};
+
+}  // namespace ifko::wisdom

@@ -1,0 +1,256 @@
+// The wisdom store: the versioned best-config artifact must round-trip
+// bit-identically, merge keep-best, tolerate damaged lines loudly, refuse
+// other schema versions, and fall back exact -> near-N -> near-context.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "wisdom/wisdom.h"
+
+namespace ifko::wisdom {
+namespace {
+
+std::string tmpFile(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+WisdomRecord makeRecord(const std::string& hash, const std::string& machine,
+                        const std::string& context, const std::string& nClass,
+                        uint64_t best) {
+  WisdomRecord rec;
+  rec.key = {hash, machine, context, nClass};
+  rec.kernel = "ddot";
+  rec.params = "sv=Y ur=8";
+  rec.bestCycles = best;
+  rec.defaultCycles = 2 * best;
+  rec.evaluations = 15;
+  rec.runId = "test/line";
+  return rec;
+}
+
+TEST(NClass, PowerOfTwoBuckets) {
+  EXPECT_EQ(nClassFor(1), "2^0");
+  EXPECT_EQ(nClassFor(2), "2^1");
+  EXPECT_EQ(nClassFor(3), "2^2");
+  EXPECT_EQ(nClassFor(4096), "2^12");
+  EXPECT_EQ(nClassFor(4097), "2^13");
+  EXPECT_EQ(nClassFor(8192), "2^13");
+  EXPECT_EQ(nClassFor(80000), "2^17");
+}
+
+TEST(NClass, ExponentRoundTrip) {
+  EXPECT_EQ(nClassExponent(nClassFor(4096)), 12);
+  EXPECT_EQ(nClassExponent("2^0"), 0);
+  EXPECT_EQ(nClassExponent("2^62"), 62);
+  EXPECT_EQ(nClassExponent("2^63"), -1);
+  EXPECT_EQ(nClassExponent("4096"), -1);
+  EXPECT_EQ(nClassExponent("2^-1"), -1);
+  EXPECT_EQ(nClassExponent(""), -1);
+}
+
+TEST(WisdomRecordFormat, ParseInvertsFormat) {
+  WisdomRecord rec = makeRecord("abc123", "P4E", "out-of-cache", "2^12", 1000);
+  rec.topCause = "mem_main";
+  rec.topCauseShare = 0.5;
+  rec.memStallShare = 0.75;
+  const std::string line = WisdomStore::formatRecord(rec);
+  bool drift = true;
+  std::optional<WisdomRecord> back = WisdomStore::parseRecord(line, &drift);
+  ASSERT_TRUE(back.has_value()) << line;
+  EXPECT_FALSE(drift);
+  EXPECT_EQ(*back, rec);
+}
+
+TEST(WisdomRecordFormat, DamagedAndDriftedLines) {
+  bool drift = false;
+  EXPECT_FALSE(WisdomStore::parseRecord("not json", &drift).has_value());
+  EXPECT_FALSE(drift);
+  // Well-formed JSON that is not a wisdom record is damage, not drift.
+  EXPECT_FALSE(WisdomStore::parseRecord("{\"a\":1}", &drift).has_value());
+  EXPECT_FALSE(drift);
+  // Missing required field (params).
+  EXPECT_FALSE(
+      WisdomStore::parseRecord(
+          "{\"wisdom_schema\":1,\"source\":\"x\",\"machine\":\"P4E\","
+          "\"context\":\"out-of-cache\",\"n_class\":\"2^12\","
+          "\"best_cycles\":1,\"default_cycles\":2}",
+          &drift)
+          .has_value());
+  EXPECT_FALSE(drift);
+  // A record from a future schema is drift: never reinterpreted.
+  WisdomRecord rec = makeRecord("abc", "P4E", "out-of-cache", "2^12", 10);
+  std::string future = WisdomStore::formatRecord(rec);
+  const std::string tag = "\"wisdom_schema\":1";
+  future.replace(future.find(tag), tag.size(), "\"wisdom_schema\":2");
+  EXPECT_FALSE(WisdomStore::parseRecord(future, &drift).has_value());
+  EXPECT_TRUE(drift);
+}
+
+TEST(WisdomStore, KeepBestRecord) {
+  WisdomStore store;
+  EXPECT_TRUE(store.record(makeRecord("h", "P4E", "out-of-cache", "2^12", 100)));
+  // Slower config for the same key: rejected.
+  EXPECT_FALSE(
+      store.record(makeRecord("h", "P4E", "out-of-cache", "2^12", 150)));
+  // A tie keeps the incumbent, so merge order cannot flip the winner.
+  EXPECT_FALSE(
+      store.record(makeRecord("h", "P4E", "out-of-cache", "2^12", 100)));
+  // Zero cycles is "no measurement", never a winner.
+  EXPECT_FALSE(store.record(makeRecord("h", "P4E", "out-of-cache", "2^12", 0)));
+  // Faster config: adopted.
+  EXPECT_TRUE(store.record(makeRecord("h", "P4E", "out-of-cache", "2^12", 90)));
+  ASSERT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.records()[0]->bestCycles, 90u);
+}
+
+TEST(WisdomStore, MergeKeepsBestAcrossStores) {
+  WisdomStore a;
+  a.record(makeRecord("h", "P4E", "out-of-cache", "2^12", 100));
+  a.record(makeRecord("h", "P4E", "in-L2", "2^12", 50));
+  WisdomStore b;
+  b.record(makeRecord("h", "P4E", "out-of-cache", "2^12", 80));  // beats a's
+  b.record(makeRecord("h", "P4E", "in-L2", "2^12", 60));         // loses
+  b.record(makeRecord("h", "Opteron", "in-L2", "2^12", 70));     // new key
+  EXPECT_EQ(a.merge(b), 2u);
+  ASSERT_EQ(a.size(), 3u);
+  WisdomKey ooc{"h", "P4E", "out-of-cache", "2^12"};
+  ASSERT_NE(a.lookup(ooc), nullptr);
+  EXPECT_EQ(a.lookup(ooc)->bestCycles, 80u);
+  WisdomKey inl2{"h", "P4E", "in-L2", "2^12"};
+  ASSERT_NE(a.lookup(inl2), nullptr);
+  EXPECT_EQ(a.lookup(inl2)->bestCycles, 50u);
+}
+
+TEST(WisdomStore, SaveLoadSaveIsByteIdentical) {
+  WisdomStore store;
+  WisdomRecord withAttr = makeRecord("h2", "P4E", "in-L2", "2^10", 321);
+  withAttr.topCause = "mem_main";
+  withAttr.topCauseShare = 0.474951;
+  withAttr.memStallShare = 0.850952;
+  store.record(makeRecord("h1", "Opteron", "out-of-cache", "2^17", 12345));
+  store.record(withAttr);
+  store.record(makeRecord("h1", "P4E", "out-of-cache", "2^12", 999));
+
+  const std::string first = tmpFile("wisdom_roundtrip_a.jsonl");
+  const std::string second = tmpFile("wisdom_roundtrip_b.jsonl");
+  ASSERT_TRUE(store.save(first));
+  WisdomStore loaded;
+  ASSERT_TRUE(loaded.load(first));
+  EXPECT_EQ(loaded.damagedLines(), 0u);
+  EXPECT_EQ(loaded.schemaSkippedLines(), 0u);
+  ASSERT_EQ(loaded.size(), store.size());
+  ASSERT_TRUE(loaded.save(second));
+  EXPECT_EQ(slurp(first), slurp(second));
+  std::remove(first.c_str());
+  std::remove(second.c_str());
+}
+
+TEST(WisdomStore, LoadCountsDamageAndSchemaDriftSeparately) {
+  const std::string path = tmpFile("wisdom_damaged.jsonl");
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << WisdomStore::formatRecord(
+               makeRecord("h", "P4E", "out-of-cache", "2^12", 100))
+        << "\n";
+    out << "this line is not json\n";
+    out << "{\"also\":\"not a wisdom record\"}\n";
+    out << "\n";  // blank lines are fine, not damage
+    WisdomRecord future = makeRecord("h9", "P4E", "in-L2", "2^9", 5);
+    std::string line = WisdomStore::formatRecord(future);
+    const std::string tag = "\"wisdom_schema\":1";
+    line.replace(line.find(tag), tag.size(), "\"wisdom_schema\":99");
+    out << line << "\n";
+  }
+  WisdomStore store;
+  ASSERT_TRUE(store.load(path));
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.damagedLines(), 2u);
+  EXPECT_EQ(store.schemaSkippedLines(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(WisdomStore, LoadMergesKeepBest) {
+  // Concatenating two wisdom files must be a correct merge: the same key
+  // twice in one file keeps the lower best_cycles whichever comes first.
+  const std::string path = tmpFile("wisdom_concat.jsonl");
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << WisdomStore::formatRecord(
+               makeRecord("h", "P4E", "out-of-cache", "2^12", 200))
+        << "\n";
+    out << WisdomStore::formatRecord(
+               makeRecord("h", "P4E", "out-of-cache", "2^12", 100))
+        << "\n";
+    out << WisdomStore::formatRecord(
+               makeRecord("h", "P4E", "out-of-cache", "2^12", 150))
+        << "\n";
+  }
+  WisdomStore store;
+  ASSERT_TRUE(store.load(path));
+  ASSERT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.records()[0]->bestCycles, 100u);
+  std::remove(path.c_str());
+}
+
+TEST(WisdomStore, MissingFileIsEmptyNotError) {
+  WisdomStore store;
+  std::string err;
+  EXPECT_TRUE(store.load(tmpFile("wisdom_does_not_exist.jsonl"), &err));
+  EXPECT_TRUE(err.empty());
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(WisdomStore, FindFallsBackExactThenNearNThenNearContext) {
+  WisdomStore store;
+  store.record(makeRecord("h", "P4E", "out-of-cache", "2^12", 100));
+  store.record(makeRecord("h", "P4E", "out-of-cache", "2^17", 500));
+  store.record(makeRecord("h", "P4E", "in-L2", "2^13", 80));
+  store.record(makeRecord("other", "P4E", "out-of-cache", "2^14", 1));
+  store.record(makeRecord("h", "Opteron", "out-of-cache", "2^14", 1));
+
+  // Exact hit.
+  WisdomMatch m = store.find({"h", "P4E", "out-of-cache", "2^12"});
+  ASSERT_TRUE(m.hit());
+  EXPECT_EQ(m.kind, MatchKind::Exact);
+  EXPECT_EQ(m.record->bestCycles, 100u);
+
+  // Same context, nearest N-class: 2^14 is 2 from 2^12 and 3 from 2^17.
+  m = store.find({"h", "P4E", "out-of-cache", "2^14"});
+  ASSERT_TRUE(m.hit());
+  EXPECT_EQ(m.kind, MatchKind::NearNClass);
+  EXPECT_EQ(m.record->key.nClass, "2^12");
+  EXPECT_EQ(matchKindName(m.kind), "near-n");
+
+  // Same-context near-N beats the other context even at a larger distance.
+  m = store.find({"h", "P4E", "in-L2", "2^9"});
+  ASSERT_TRUE(m.hit());
+  EXPECT_EQ(m.kind, MatchKind::NearNClass);
+  EXPECT_EQ(m.record->key.context, "in-L2");
+
+  // Other context only.
+  store = WisdomStore();
+  store.record(makeRecord("h", "P4E", "out-of-cache", "2^12", 100));
+  m = store.find({"h", "P4E", "in-L2", "2^12"});
+  ASSERT_TRUE(m.hit());
+  EXPECT_EQ(m.kind, MatchKind::NearContext);
+  EXPECT_EQ(matchKindName(m.kind), "near-context");
+
+  // Fallback never crosses kernel hash or machine.
+  m = store.find({"zzz", "P4E", "out-of-cache", "2^12"});
+  EXPECT_FALSE(m.hit());
+  m = store.find({"h", "Opteron", "out-of-cache", "2^12"});
+  EXPECT_FALSE(m.hit());
+}
+
+}  // namespace
+}  // namespace ifko::wisdom

@@ -1,7 +1,8 @@
 // Renders a human-readable report from an orchestrator event trace
 // (ifko tune / tune-all --trace=FILE; schema in docs/TUNING.md).
 //
-//   tune_report <trace.jsonl> [--ledger] [--all-runs] [--attr]
+//   tune_report [<trace.jsonl>] [--wisdom=FILE] [--ledger] [--all-runs]
+//               [--attr]
 //
 // Summarizes, per kernel: candidates evaluated, cache hit rate, tester and
 // compile rejections, timeouts and crashes the search survived, the
@@ -12,6 +13,13 @@
 // append-mode across runs; each run opens with a run_start event.  By
 // default only the last run is reported — --all-runs aggregates every run
 // in the file.
+//
+// --wisdom=FILE adds a wisdom-store summary (docs/SERVING.md): one row per
+// record — kernel, machine, context, N-class, cycles, provenance — plus,
+// when a trace is also given, staleness against it: "stale" marks a record
+// whose kernel the trace has since tuned to strictly fewer cycles, i.e. the
+// store is behind what the most recent run found.  Works without a trace
+// (wisdom summary only).
 #include <array>
 #include <cstdio>
 #include <cstring>
@@ -23,6 +31,7 @@
 #include "support/json.h"
 #include "support/str.h"
 #include "support/table.h"
+#include "wisdom/wisdom.h"
 
 using namespace ifko;
 
@@ -117,28 +126,33 @@ AttrSample readAttr(const std::map<std::string, JsonValue>& obj) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: tune_report <trace.jsonl> [--ledger] [--all-runs] "
-                 "[--attr]\n");
-    return 2;
-  }
   bool showLedger = false;
   bool allRuns = false;
   bool showAttr = false;
-  for (int i = 2; i < argc; ++i) {
+  std::string tracePath;
+  std::string wisdomPath;
+  for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--ledger") == 0) showLedger = true;
     else if (std::strcmp(argv[i], "--all-runs") == 0) allRuns = true;
     else if (std::strcmp(argv[i], "--attr") == 0) showAttr = true;
+    else if (startsWith(argv[i], "--wisdom="))
+      wisdomPath = argv[i] + std::strlen("--wisdom=");
+    else if (argv[i][0] != '-' && tracePath.empty()) tracePath = argv[i];
     else {
       std::fprintf(stderr, "unknown option '%s'\n", argv[i]);
       return 2;
     }
   }
+  if (tracePath.empty() && wisdomPath.empty()) {
+    std::fprintf(stderr,
+                 "usage: tune_report [<trace.jsonl>] [--wisdom=FILE] "
+                 "[--ledger] [--all-runs] [--attr]\n");
+    return 2;
+  }
 
-  std::ifstream in(argv[1]);
-  if (!in) {
-    std::fprintf(stderr, "cannot read '%s'\n", argv[1]);
+  std::ifstream in(tracePath);
+  if (!tracePath.empty() && !in) {
+    std::fprintf(stderr, "cannot read '%s'\n", tracePath.c_str());
     return 1;
   }
 
@@ -221,66 +235,69 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (order.empty()) {
-    std::fprintf(stderr, "no trace events in '%s'\n", argv[1]);
+  if (order.empty() && !tracePath.empty()) {
+    std::fprintf(stderr, "no trace events in '%s'\n", tracePath.c_str());
     return 1;
   }
 
-  TextTable t;
-  t.setHeader({"kernel", "cands", "hit%", "tester-", "compile-", "t/o",
-               "crash", "FKO cyc", "ifko cyc", "speedup", "sec"});
-  int totalCands = 0, totalHits = 0, totalTimeouts = 0, totalCrashes = 0;
-  int totalRetries = 0, quarantinedKernels = 0;
-  for (const auto& name : order) {
-    const KernelStats& k = kernels.at(name);
-    totalCands += k.candidates;
-    totalHits += k.hits;
-    totalTimeouts += k.timeouts;
-    totalCrashes += k.crashes;
-    totalRetries += k.retries;
-    quarantinedKernels += k.quarantined ? 1 : 0;
-    double hitPct = k.candidates == 0 ? 0.0 : 100.0 * k.hits / k.candidates;
-    std::string label = k.name + (k.quarantined ? " (quarantined)" : "");
-    if (!k.ended || !k.ok) {
+  if (!order.empty()) {
+    TextTable t;
+    t.setHeader({"kernel", "cands", "hit%", "tester-", "compile-", "t/o",
+                 "crash", "FKO cyc", "ifko cyc", "speedup", "sec"});
+    int totalCands = 0, totalHits = 0, totalTimeouts = 0, totalCrashes = 0;
+    int totalRetries = 0, quarantinedKernels = 0;
+    for (const auto& name : order) {
+      const KernelStats& k = kernels.at(name);
+      totalCands += k.candidates;
+      totalHits += k.hits;
+      totalTimeouts += k.timeouts;
+      totalCrashes += k.crashes;
+      totalRetries += k.retries;
+      quarantinedKernels += k.quarantined ? 1 : 0;
+      double hitPct = k.candidates == 0 ? 0.0 : 100.0 * k.hits / k.candidates;
+      std::string label = k.name + (k.quarantined ? " (quarantined)" : "");
+      if (!k.ended || !k.ok) {
+        t.addRow({label, std::to_string(k.candidates), fmtFixed(hitPct, 1),
+                  std::to_string(k.testerFails), std::to_string(k.compileFails),
+                  std::to_string(k.timeouts), std::to_string(k.crashes), "-",
+                  "-",
+                  !k.ended ? "(incomplete)"
+                           : (k.error.empty() ? "(failed)" : k.error),
+                  fmtFixed(k.seconds, 2)});
+        continue;
+      }
       t.addRow({label, std::to_string(k.candidates), fmtFixed(hitPct, 1),
                 std::to_string(k.testerFails), std::to_string(k.compileFails),
-                std::to_string(k.timeouts), std::to_string(k.crashes), "-",
-                "-",
-                !k.ended ? "(incomplete)"
-                         : (k.error.empty() ? "(failed)" : k.error),
-                fmtFixed(k.seconds, 2)});
-      continue;
+                std::to_string(k.timeouts), std::to_string(k.crashes),
+                std::to_string(k.defaultCycles), std::to_string(k.bestCycles),
+                fmtFixed(k.speedup, 2) + "x", fmtFixed(k.seconds, 2)});
     }
-    t.addRow({label, std::to_string(k.candidates), fmtFixed(hitPct, 1),
-              std::to_string(k.testerFails), std::to_string(k.compileFails),
-              std::to_string(k.timeouts), std::to_string(k.crashes),
-              std::to_string(k.defaultCycles), std::to_string(k.bestCycles),
-              fmtFixed(k.speedup, 2) + "x", fmtFixed(k.seconds, 2)});
-  }
-  std::fputs(t.str().c_str(), stdout);
+    std::fputs(t.str().c_str(), stdout);
 
-  std::printf("\n%zu kernels, %d candidate evaluations, %.1f%% served from "
-              "cache",
-              order.size(), totalCands,
-              totalCands == 0 ? 0.0 : 100.0 * totalHits / totalCands);
-  if (totalTimeouts + totalCrashes + totalRetries > 0)
-    std::printf(", %d timeouts / %d crashes / %d retries survived",
-                totalTimeouts, totalCrashes, totalRetries);
-  if (quarantinedKernels > 0)
-    std::printf(", %d kernel(s) quarantined", quarantinedKernels);
-  if (sawBatchEnd) std::printf(", %.2f s wall", batchSeconds);
-  if (badLines != 0) std::printf(" (%d malformed trace lines skipped)", badLines);
-  if (runs > 1)
-    std::printf("\n%s", allRuns
-                            ? ("aggregated over " + std::to_string(runs) +
-                               " runs (--all-runs)\n")
-                                  .c_str()
-                            : ("trace holds " + std::to_string(runs) +
-                               " runs; reporting the last (use --all-runs "
-                               "to aggregate)\n")
-                                  .c_str());
-  else
-    std::printf("\n");
+    std::printf("\n%zu kernels, %d candidate evaluations, %.1f%% served from "
+                "cache",
+                order.size(), totalCands,
+                totalCands == 0 ? 0.0 : 100.0 * totalHits / totalCands);
+    if (totalTimeouts + totalCrashes + totalRetries > 0)
+      std::printf(", %d timeouts / %d crashes / %d retries survived",
+                  totalTimeouts, totalCrashes, totalRetries);
+    if (quarantinedKernels > 0)
+      std::printf(", %d kernel(s) quarantined", quarantinedKernels);
+    if (sawBatchEnd) std::printf(", %.2f s wall", batchSeconds);
+    if (badLines != 0)
+      std::printf(" (%d malformed trace lines skipped)", badLines);
+    if (runs > 1)
+      std::printf("\n%s", allRuns
+                              ? ("aggregated over " + std::to_string(runs) +
+                                 " runs (--all-runs)\n")
+                                    .c_str()
+                              : ("trace holds " + std::to_string(runs) +
+                                 " runs; reporting the last (use --all-runs "
+                                 "to aggregate)\n")
+                                    .c_str());
+    else
+      std::printf("\n");
+  }
 
   if (showLedger) {
     for (const auto& name : order) {
@@ -336,6 +353,52 @@ int main(int argc, char** argv) {
       std::printf("\ncycle attribution (%% of each run's cycles):\n");
       std::fputs(a.str().c_str(), stdout);
     }
+  }
+
+  if (!wisdomPath.empty()) {
+    wisdom::WisdomStore store;
+    std::string werr;
+    if (!store.load(wisdomPath, &werr)) {
+      std::fprintf(stderr, "cannot read wisdom '%s': %s\n", wisdomPath.c_str(),
+                   werr.c_str());
+      return 1;
+    }
+    TextTable w;
+    w.setHeader({"kernel", "machine", "context", "N", "FKO cyc", "best cyc",
+                 "speedup", "evals", "run", "vs trace"});
+    size_t stale = 0;
+    for (const wisdom::WisdomRecord* rec : store.records()) {
+      // Staleness: the trace's most recent tune of this kernel found
+      // strictly fewer cycles than the record remembers — the store is
+      // behind and worth re-exporting.
+      std::string vsTrace = "-";
+      auto it = kernels.find(rec->kernel);
+      if (it != kernels.end() && it->second.ok && it->second.bestCycles > 0) {
+        if (it->second.bestCycles < rec->bestCycles) {
+          vsTrace = "stale (trace " + std::to_string(it->second.bestCycles) +
+                    " < " + std::to_string(rec->bestCycles) + ")";
+          ++stale;
+        } else {
+          vsTrace = "fresh";
+        }
+      }
+      w.addRow({rec->kernel, rec->key.machine, rec->key.context,
+                rec->key.nClass, std::to_string(rec->defaultCycles),
+                std::to_string(rec->bestCycles),
+                fmtFixed(rec->speedup(), 2) + "x",
+                std::to_string(rec->evaluations), rec->runId, vsTrace});
+    }
+    std::printf("\nwisdom store %s: %zu record(s)", wisdomPath.c_str(),
+                store.size());
+    if (store.damagedLines() > 0)
+      std::printf(", %zu damaged line(s) skipped", store.damagedLines());
+    if (store.schemaSkippedLines() > 0)
+      std::printf(", %zu line(s) from another wisdom_schema skipped",
+                  store.schemaSkippedLines());
+    if (!tracePath.empty())
+      std::printf(", %zu stale vs this trace", stale);
+    std::printf("\n");
+    std::fputs(w.str().c_str(), stdout);
   }
   return 0;
 }
