@@ -51,9 +51,21 @@
 //                 [--wisdom=FILE] [--strategy=...] [--budget=N]
 //                 [--budget-cycles=N] [--search-seed=S] [--eval-timeout-ms=N]
 //                 [--eval-retries=N] [--quarantine=N] [--fault-plan=SPEC]
+//                 [--cache-dir=DIR] [--shard=NAME]
+//                 [--workers=N --worker-id=K] [--resume]
 //       Batch-tunes every *.hil kernel in <dir> through the orchestrator and
 //       prints a Table-3-style summary with turnaround and cache statistics.
-//       --wisdom warm-starts every kernel and writes the winners back.
+//       --wisdom warm-starts every kernel and writes each winner back as it
+//       lands (atomic per-kernel saves, so a crash loses at most the
+//       in-flight kernel).
+//       Fleet mode (docs/DISTRIBUTED.md): --cache-dir gives every process
+//       its own append-only cache.<shard>.jsonl (all shards are loaded, only
+//       our own is written; --shard defaults to the pid); --workers=N
+//       --worker-id=K keeps the jobs at sorted indices i with i % N == K,
+//       so N uncoordinated workers cover the directory exactly once;
+//       --resume (needs --trace) replays the trace of an interrupted run
+//       and skips every kernel that already completed — with a warm cache
+//       the re-entered kernels replay as hits, so nothing is paid twice.
 //
 //   ifko explain <file.hil> (same options as tune)
 //       Tunes the kernel (cheap when a --cache is warm), then diffs the
@@ -67,10 +79,12 @@
 //       simulated machine — the path for hand-edited or hand-written code.
 //
 //   ifko serve --socket=PATH | --port=N [--wisdom=FILE] [--kernels=DIR]
-//              (+ tune options for the tune-on-miss path)
+//              [--recv-timeout-ms=N] (+ tune options for the tune-on-miss path)
 //       Tuning-as-a-service (docs/SERVING.md): a long-lived daemon that
-//       answers QUERY/TUNE/EXPLAIN/EXPORT/STATS/SHUTDOWN over a Unix or
-//       loopback TCP socket.  Already-tuned queries are served from the
+//       answers QUERY/TUNE/EXPLAIN/EXPORT/IMPORT/STATS/SHUTDOWN over a Unix
+//       or loopback TCP socket.  --recv-timeout-ms bounds how long a
+//       stalled connection may hold the serial accept loop (default 30000,
+//       0 = no deadline).  Already-tuned queries are served from the
 //       wisdom store with zero candidate evaluations; misses tune through
 //       the fault-isolated orchestrator and write back.  --port=0 picks an
 //       ephemeral port (printed as "PORT <n>" on stdout).
@@ -82,10 +96,30 @@
 //       JSON response line, exits 0 iff the daemon answered ok.  With a
 //       kernel name it sends QUERY (or TUNE with --tune, EXPLAIN with
 //       --explain-verb); --stats/--export/--shutdown need no kernel.
+//
+//   ifko cache-merge <out.jsonl> --from=FILE_OR_DIR [--from=...]
+//       Offline set union of eval-cache shards (a directory --from expands
+//       to its cache.*.jsonl files).  Identical keys dedup to one record;
+//       the output is sorted, so it is byte-identical regardless of input
+//       order (docs/DISTRIBUTED.md).
+//
+//   ifko wisdom-merge <out.jsonl> --from=FILE [--from=...]
+//       Keep-best merge of wisdom files: merging the per-worker stores of a
+//       partitioned tune-all reproduces the single-process wisdom file byte
+//       for byte.
+//
+//   ifko federate <peer> --socket=PATH | --port=N
+//       Two-way keep-best wisdom exchange between the local daemon
+//       (--socket/--port) and a peer daemon (<peer> = a port number or a
+//       Unix socket path), via EXPORT/IMPORT temp files.
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <map>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -98,6 +132,7 @@
 #include "ir/verifier.h"
 #include "search/evalpipeline.h"
 #include "search/orchestrator.h"
+#include "search/resume.h"
 #include "serve/client.h"
 #include "serve/daemon.h"
 #include "support/hash.h"
@@ -129,7 +164,15 @@ struct Options {
   bool fast = false;
   int jobs = 1;
   std::string cachePath;
+  std::string cacheDirPath;  ///< --cache-dir: sharded eval-cache directory
+  std::string cacheShard;    ///< --shard: shard name inside --cache-dir
   std::string tracePath;
+  int64_t workers = 0;   ///< tune-all --workers: fleet width; 0 = single
+  int64_t workerId = 0;  ///< tune-all --worker-id: this worker's slot
+  bool workerIdSet = false;
+  bool resume = false;            ///< tune-all --resume: replay the trace
+  int64_t recvTimeoutMs = 30000;  ///< serve --recv-timeout-ms (0 = off)
+  std::vector<std::string> fromPaths;  ///< --from= inputs (repeatable)
   search::StrategyKind strategy = search::StrategyKind::Line;
   int64_t budget = 0;        ///< max observed candidates; 0 = unlimited
   int64_t budgetCycles = 0;  ///< max simulated cycles spent; 0 = unlimited
@@ -230,6 +273,21 @@ Options parseOptions(int argc, char** argv, int first) {
       o.jobs = static_cast<int>(jobs);
     } else if (auto v = value("--cache=")) {
       o.cachePath = *v;
+    } else if (auto v = value("--cache-dir=")) {
+      o.cacheDirPath = *v;
+    } else if (auto v = value("--shard=")) {
+      o.cacheShard = *v;
+    } else if (auto v = value("--workers=")) {
+      intFlag(*v, "--workers", 1, &o.workers);
+    } else if (auto v = value("--worker-id=")) {
+      intFlag(*v, "--worker-id", 0, &o.workerId);
+      o.workerIdSet = true;
+    } else if (a == "--resume") {
+      o.resume = true;
+    } else if (auto v = value("--recv-timeout-ms=")) {
+      intFlag(*v, "--recv-timeout-ms", 0, &o.recvTimeoutMs);
+    } else if (auto v = value("--from=")) {
+      o.fromPaths.push_back(*v);
     } else if (auto v = value("--trace=")) {
       o.tracePath = *v;
     } else if (auto v = value("--wisdom=")) {
@@ -340,6 +398,8 @@ search::OrchestratorConfig orchestratorConfig(const Options& o) {
   search::OrchestratorConfig oc;
   oc.search = searchConfig(o);
   oc.cachePath = o.cachePath;
+  oc.cacheDir = o.cacheDirPath;
+  oc.cacheShard = o.cacheShard;
   oc.tracePath = o.tracePath;
   oc.strategy = o.strategy;
   oc.budget.maxEvaluations = static_cast<int>(o.budget);
@@ -350,6 +410,12 @@ search::OrchestratorConfig orchestratorConfig(const Options& o) {
   oc.quarantineAfter = static_cast<int>(o.quarantine);
   oc.faultPlan = o.faultPlan;
   return oc;
+}
+
+/// The user-facing name of whatever eval cache the options select (the
+/// shard directory wins over a single file, mirroring OrchestratorConfig).
+std::string cacheName(const Options& o) {
+  return o.cacheDirPath.empty() ? o.cachePath : o.cacheDirPath;
 }
 
 /// "2 timeouts, 1 crash, 3 retries" — only the nonzero categories.
@@ -470,7 +536,7 @@ int cmdTune(const std::string& path, const std::string& src, const Options& o) {
   if (orch.cache().damagedLines() > 0)
     std::fprintf(stderr,
                  "tune: warning: skipped %zu damaged line(s) in cache '%s'\n",
-                 orch.cache().damagedLines(), o.cachePath.c_str());
+                 orch.cache().damagedLines(), cacheName(o).c_str());
 
   search::KernelJob job{pathStem(path), src, nullptr};
   wisdom::WisdomStore wis;
@@ -527,11 +593,11 @@ int cmdTune(const std::string& path, const std::string& src, const Options& o) {
   if (outcome.faults.total() > 0 || outcome.faults.retries > 0)
     std::printf("evaluation failures survived: %s\n",
                 faultSummary(outcome.faults).c_str());
-  if (!o.cachePath.empty())
+  if (!cacheName(o).empty())
     std::printf("cache: %llu hits / %llu misses (%zu entries in %s)\n",
                 static_cast<unsigned long long>(outcome.cacheHits),
                 static_cast<unsigned long long>(outcome.cacheMisses),
-                orch.cache().size(), o.cachePath.c_str());
+                orch.cache().size(), cacheName(o).c_str());
 
   if (!o.wisdomPath.empty()) {
     const bool adopted = wis.record(wisdom::harvestRecord(
@@ -566,7 +632,7 @@ int cmdExplain(const std::string& path, const std::string& src,
     std::fprintf(stderr,
                  "explain: warning: skipped %zu damaged line(s) in cache "
                  "'%s'\n",
-                 orch.cache().damagedLines(), o.cachePath.c_str());
+                 orch.cache().damagedLines(), cacheName(o).c_str());
   auto outcome = orch.tune({pathStem(path), src, nullptr});
   const search::TuneResult& r = outcome.result;
   if (!r.ok) {
@@ -692,7 +758,71 @@ int cmdTuneAll(const std::string& dir, const Options& o) {
     std::fprintf(stderr, "tune-all: %s\n", err.c_str());
     return 1;
   }
+
+  // --workers=N --worker-id=K: deterministic partition of the sorted job
+  // list.  Each worker keeps jobs[i] with i % N == K, so an uncoordinated
+  // fleet covers the directory exactly once — and because every kernel's
+  // search is independent, the union of the workers' results is
+  // bit-identical to one process tuning the whole list.
+  if (o.workers > 0 || o.workerIdSet) {
+    if (o.workers < 1 || o.workerId >= o.workers) {
+      std::fprintf(stderr,
+                   "tune-all: need --workers=N with --worker-id=K in "
+                   "[0, N): got workers=%lld worker-id=%lld\n",
+                   static_cast<long long>(o.workers),
+                   static_cast<long long>(o.workerId));
+      return 2;
+    }
+    const size_t total = jobs.size();
+    jobs = search::workerSlice(std::move(jobs), static_cast<int>(o.workers),
+                               static_cast<int>(o.workerId));
+    std::fprintf(stderr, "tune-all: worker %lld of %lld: %zu of %zu kernels\n",
+                 static_cast<long long>(o.workerId),
+                 static_cast<long long>(o.workers), jobs.size(), total);
+  }
+
   search::OrchestratorConfig oc = orchestratorConfig(o);
+
+  // --resume: the trace is a write-ahead log of batch progress.  Replay it,
+  // skip every kernel whose ok kernel_end survived the crash, and re-enter
+  // the rest — with the eval cache warm their already-paid candidates
+  // replay as hits, so nothing is evaluated twice.
+  search::ResumePlan plan;
+  std::vector<search::KernelJob> doneJobs;
+  if (o.resume) {
+    if (o.tracePath.empty()) {
+      std::fprintf(stderr,
+                   "tune-all: --resume needs --trace=FILE (the interrupted "
+                   "run's trace is the log it resumes from)\n");
+      return 2;
+    }
+    std::string rerr;
+    plan = search::loadResumePlan(
+        o.tracePath, o.machine.name, std::string(sim::contextName(o.context)),
+        o.n, std::string(search::strategyName(oc.strategy)), &rerr);
+    if (!rerr.empty()) {
+      std::fprintf(stderr, "tune-all: %s\n", rerr.c_str());
+      return 1;
+    }
+    if (plan.damagedLines > 0)
+      std::fprintf(stderr,
+                   "tune-all: warning: skipped %zu damaged trace line(s) (a "
+                   "torn tail from the kill is normal)\n",
+                   plan.damagedLines);
+    std::vector<search::KernelJob> remaining;
+    for (auto& job : jobs) {
+      if (plan.completed.count(job.name) != 0)
+        doneJobs.push_back(std::move(job));
+      else
+        remaining.push_back(std::move(job));
+    }
+    jobs = std::move(remaining);
+    std::fprintf(stderr,
+                 "tune-all: resume: %zu kernel(s) already complete in %s, "
+                 "%zu to go\n",
+                 doneJobs.size(), o.tracePath.c_str(), jobs.size());
+  }
+
   search::Orchestrator orch(o.machine, oc, &err);
   if (!err.empty()) {
     std::fprintf(stderr, "tune-all: %s\n", err.c_str());
@@ -702,30 +832,62 @@ int cmdTuneAll(const std::string& dir, const Options& o) {
     std::fprintf(stderr,
                  "tune-all: warning: skipped %zu damaged line(s) in cache "
                  "'%s'\n",
-                 orch.cache().damagedLines(), o.cachePath.c_str());
+                 orch.cache().damagedLines(), cacheName(o).c_str());
 
   wisdom::WisdomStore wis;
-  std::vector<wisdom::WisdomKey> wkeys(jobs.size());
+  std::map<std::string, wisdom::WisdomKey> wkeyByName;
   if (!o.wisdomPath.empty()) {
     loadWisdomWarn(wis, o.wisdomPath, "tune-all");
     size_t warmStarts = 0;
-    for (size_t i = 0; i < jobs.size(); ++i) {
-      wkeys[i] = wisdomKeyFor(jobs[i].hilSource, o);
-      if (wisdom::WisdomMatch m = wis.find(wkeys[i]); m.hit()) {
+    for (auto& job : jobs) {
+      wisdom::WisdomKey key = wisdomKeyFor(job.hilSource, o);
+      if (wisdom::WisdomMatch m = wis.find(key); m.hit()) {
         const opt::TuningSpec seed = opt::parseTuningSpec(m.record->params);
         if (seed.ok) {
-          jobs[i].warmStart = seed.params;
+          job.warmStart = seed.params;
           ++warmStarts;
         }
       }
+      wkeyByName.emplace(job.name, std::move(key));
     }
+    for (const auto& job : doneJobs)
+      wkeyByName.emplace(job.name, wisdomKeyFor(job.hilSource, o));
     std::fprintf(stderr, "wisdom: warm-starting %zu of %zu kernels from %s\n",
                  warmStarts, jobs.size(), o.wisdomPath.c_str());
   }
 
+  // Write wisdom back after every kernel, not once at the end: save() is
+  // atomic (pid-unique temp + rename), so a kill -9 at any point loses at
+  // most the in-flight kernel's record — which --resume re-harvests anyway.
+  size_t adopted = 0;
+  auto recordWisdom = [&](const search::KernelOutcome& k) {
+    if (o.wisdomPath.empty() || !k.result.ok) return;
+    if (wis.record(wisdom::harvestRecord(
+            wkeyByName.at(k.name), k.name,
+            "tune-all/" + std::string(search::strategyName(oc.strategy)),
+            k.result, oc.search, &orch.cache())))
+      ++adopted;
+    std::string werr;
+    if (!wis.save(o.wisdomPath, &werr))
+      std::fprintf(stderr, "tune-all: wisdom save failed: %s\n", werr.c_str());
+  };
+
+  // Resumed kernels: re-emit their results straight from the trace.  Their
+  // wisdom records are re-harvested through the (warm) cache, so a run that
+  // died between a kernel's trace event and its wisdom write-back still
+  // ends with the record — byte-identical to the uninterrupted run's.
+  std::vector<search::KernelOutcome> resumed;
+  for (const auto& job : doneJobs) {
+    search::KernelOutcome ko;
+    ko.name = job.name;
+    ko.result = search::resumedTuneResult(plan.completed.at(job.name));
+    recordWisdom(ko);
+    resumed.push_back(std::move(ko));
+  }
+
   std::fprintf(stderr, "tuning %zu kernels on %s (jobs=%d)...\n", jobs.size(),
                o.machine.name.c_str(), std::max(1, o.jobs));
-  auto batch = orch.tuneAll(jobs);
+  auto batch = orch.tuneAll(jobs, recordWisdom);
 
   // Compact per-kernel fault cell: "2t 1c" = 2 timeouts, 1 crash; "-" = clean.
   auto faultCell = [](const search::FailureCounts& f) {
@@ -745,57 +907,64 @@ int cmdTuneAll(const std::string& dir, const Options& o) {
   TextTable t;
   t.setHeader({"kernel", "SV:WNT", "PF X", "PF Y", "UR:AE", "FKO cyc",
                "ifko cyc", "speedup", "evals", "faults", "hit%", "sec"});
-  for (const auto& k : batch.kernels) {
+  auto addRow = [&](const search::KernelOutcome& k, const char* tag,
+                    bool timed) {
     const search::TuneResult& r = k.result;
     if (!r.ok) {
-      t.addRow({k.name + (k.quarantined ? " (quarantined)" : ""), "-", "-",
+      t.addRow({k.name + (k.quarantined ? " (quarantined)" : tag), "-", "-",
                 "-", "-", "-", "-", "-", std::to_string(r.evaluations),
-                faultCell(k.faults), "-", fmtFixed(k.seconds, 2)});
-      continue;
+                faultCell(k.faults), "-",
+                timed ? fmtFixed(k.seconds, 2) : "-"});
+      return;
     }
     auto row = search::paramsRow(r.best, r.analysis);
     uint64_t lookups = k.cacheHits + k.cacheMisses;
     double hitPct = lookups == 0 ? 0.0
                                  : 100.0 * static_cast<double>(k.cacheHits) /
                                        static_cast<double>(lookups);
-    t.addRow({k.name, row[0], row[1], row[2], row[3],
+    t.addRow({k.name + tag, row[0], row[1], row[2], row[3],
               std::to_string(r.defaultCycles), std::to_string(r.bestCycles),
               fmtFixed(r.speedupOverDefaults(), 2) + "x",
               std::to_string(r.evaluations), faultCell(k.faults),
-              fmtFixed(hitPct, 1), fmtFixed(k.seconds, 2)});
-  }
+              timed ? fmtFixed(hitPct, 1) : "-",
+              timed ? fmtFixed(k.seconds, 2) : "-"});
+  };
+  for (const auto& k : resumed) addRow(k, " (resumed)", /*timed=*/false);
+  for (const auto& k : batch.kernels) addRow(k, "", /*timed=*/true);
   std::fputs(t.str().c_str(), stdout);
+
+  int resumedFailures = 0;
+  for (const auto& k : resumed) resumedFailures += k.result.ok ? 0 : 1;
 
   std::printf("\n%zu kernels (%d failed, %d quarantined) in %.2f s wall: "
               "%d evaluations, cache %.1f%% hits (%llu/%llu)",
-              batch.kernels.size(), batch.failures(), batch.quarantined(),
+              resumed.size() + batch.kernels.size(),
+              batch.failures() + resumedFailures, batch.quarantined(),
               batch.wallSeconds, batch.evaluations, 100.0 * batch.hitRate(),
               static_cast<unsigned long long>(batch.cacheHits),
               static_cast<unsigned long long>(batch.cacheHits +
                                               batch.cacheMisses));
-  if (!o.cachePath.empty())
+  if (!resumed.empty()) std::printf(", %zu resumed", resumed.size());
+  if (!cacheName(o).empty())
     std::printf(", %zu cached entries in %s", orch.cache().size(),
-                o.cachePath.c_str());
+                cacheName(o).c_str());
   std::printf("\n");
   if (batch.faults.total() > 0 || batch.faults.retries > 0)
     std::printf("evaluation failures survived: %s\n",
                 faultSummary(batch.faults).c_str());
+  for (const auto& k : resumed)
+    if (!k.result.ok)
+      std::fprintf(stderr, "FAILED %s: %s\n", k.name.c_str(),
+                   k.result.error.c_str());
   for (const auto& k : batch.kernels)
     if (!k.result.ok)
       std::fprintf(stderr, "FAILED %s: %s\n", k.name.c_str(),
                    k.result.error.c_str());
 
   if (!o.wisdomPath.empty()) {
-    size_t adopted = 0;
-    for (size_t i = 0; i < batch.kernels.size(); ++i) {
-      const search::KernelOutcome& k = batch.kernels[i];
-      if (!k.result.ok) continue;
-      if (wis.record(wisdom::harvestRecord(
-              wkeys[i], k.name,
-              "tune-all/" + std::string(search::strategyName(oc.strategy)),
-              k.result, oc.search, &orch.cache())))
-        ++adopted;
-    }
+    // Every record is already on disk (recordWisdom saves per kernel); this
+    // final save only matters when the batch adopted nothing, so the file
+    // still exists and reflects what was loaded.
     std::string werr;
     if (!wis.save(o.wisdomPath, &werr)) {
       std::fprintf(stderr, "tune-all: wisdom save failed: %s\n", werr.c_str());
@@ -804,7 +973,7 @@ int cmdTuneAll(const std::string& dir, const Options& o) {
     std::printf("wisdom: %zu result(s) adopted (%zu records in %s)\n",
                 adopted, wis.size(), o.wisdomPath.c_str());
   }
-  return batch.failures() == 0 ? 0 : 1;
+  return batch.failures() + resumedFailures == 0 ? 0 : 1;
 }
 
 int cmdSim(const std::string& src, const Options& o) {
@@ -841,6 +1010,7 @@ int cmdServe(const Options& o) {
   cfg.defaultArch = o.machine.name == "Opteron" ? "opteron" : "p4e";
   cfg.wisdomPath = o.wisdomPath;
   cfg.kernelsDir = o.kernelsDir;
+  cfg.recvTimeoutMs = static_cast<int>(o.recvTimeoutMs);
   std::string warn;
   serve::Daemon daemon(cfg, &warn);
   if (!warn.empty()) std::fputs(warn.c_str(), stderr);  // one warning per line
@@ -935,6 +1105,174 @@ int cmdQuery(const std::string& kernel, const Options& o) {
              : 1;
 }
 
+// --- fleet verbs: cache-merge, wisdom-merge, federate -----------------------
+
+/// `ifko cache-merge <out> --from=FILE_OR_DIR...`: offline set union of
+/// eval-cache shards.  A --from naming a directory expands to every
+/// cache.*.jsonl shard inside it; records are pure functions of their keys,
+/// so dedup keeps the first occurrence and the output is byte-identical
+/// regardless of input order.
+int cmdCacheMerge(const std::string& out, const Options& o) {
+  if (o.fromPaths.empty()) {
+    std::fprintf(stderr,
+                 "cache-merge: need at least one --from=FILE_OR_DIR\n");
+    return 2;
+  }
+  std::vector<std::string> inputs;
+  for (const std::string& from : o.fromPaths) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(from, ec)) {
+      std::string derr;
+      std::vector<std::string> shards =
+          search::EvalCache::shardFiles(from, &derr);
+      if (!derr.empty()) {
+        std::fprintf(stderr, "cache-merge: %s\n", derr.c_str());
+        return 1;
+      }
+      if (shards.empty())
+        std::fprintf(stderr,
+                     "cache-merge: warning: no cache.*.jsonl shards in %s\n",
+                     from.c_str());
+      inputs.insert(inputs.end(), shards.begin(), shards.end());
+    } else {
+      inputs.push_back(from);
+    }
+  }
+  std::string err;
+  search::CacheMergeStats stats;
+  if (!search::EvalCache::mergeFiles(inputs, out, &err, &stats)) {
+    std::fprintf(stderr, "cache-merge: %s\n", err.c_str());
+    return 1;
+  }
+  std::printf("merged %zu files: %zu unique records (%zu duplicates "
+              "dropped, %zu damaged skipped) -> %s\n",
+              stats.files, stats.unique, stats.duplicates, stats.damaged,
+              out.c_str());
+  return 0;
+}
+
+/// `ifko wisdom-merge <out> --from=FILE...`: keep-best union of wisdom
+/// files.  Lower best_cycles wins and ties keep the incumbent, so the merge
+/// is order-independent; the save is sorted, so merging the per-worker
+/// stores of a partitioned tune-all reproduces the single-process file
+/// byte for byte.
+int cmdWisdomMerge(const std::string& out, const Options& o) {
+  if (o.fromPaths.empty()) {
+    std::fprintf(stderr, "wisdom-merge: need at least one --from=FILE\n");
+    return 2;
+  }
+  wisdom::WisdomStore merged;
+  for (const std::string& from : o.fromPaths)
+    loadWisdomWarn(merged, from, "wisdom-merge");
+  std::string err;
+  if (!merged.save(out, &err)) {
+    std::fprintf(stderr, "wisdom-merge: %s\n", err.c_str());
+    return 1;
+  }
+  std::printf("merged %zu files: %zu records -> %s\n", o.fromPaths.size(),
+              merged.size(), out.c_str());
+  return 0;
+}
+
+/// `ifko federate <peer>`: two-way keep-best wisdom exchange between a
+/// local daemon (--socket/--port) and a peer daemon (<peer> = a port
+/// number or a Unix socket path).  Each side EXPORTs to a temp file the
+/// other side IMPORTs — both daemons are loopback-only by design, so
+/// federation assumes a shared filesystem.
+int cmdFederate(const std::string& peer, const Options& o) {
+  if (o.socketPath.empty() && o.tcpPort < 0) {
+    std::fprintf(stderr,
+                 "federate: need --socket=PATH or --port=N for the local "
+                 "daemon\n");
+    return 2;
+  }
+  if (peer.empty()) {
+    std::fprintf(stderr,
+                 "federate: need a peer (a port number or a socket path)\n");
+    return 2;
+  }
+  serve::Endpoint local;
+  local.unixPath = o.socketPath;
+  local.tcpPort = static_cast<int>(std::max<int64_t>(o.tcpPort, 0));
+  serve::Endpoint remote;
+  bool peerIsPort = true;
+  for (char c : peer) peerIsPort = peerIsPort && c >= '0' && c <= '9';
+  if (peerIsPort)
+    remote.tcpPort = std::atoi(peer.c_str());
+  else
+    remote.unixPath = peer;
+
+  auto call = [&](const serve::Endpoint& ep, serve::Request req,
+                  const char* what)
+      -> std::optional<std::map<std::string, JsonValue>> {
+    std::string err;
+    const std::optional<std::string> resp = serve::requestOnce(ep, req, &err);
+    if (!resp.has_value()) {
+      std::fprintf(stderr, "federate: %s: %s\n", what, err.c_str());
+      return std::nullopt;
+    }
+    std::map<std::string, JsonValue> obj;
+    if (!parseJsonObject(*resp, &obj)) {
+      std::fprintf(stderr, "federate: %s: malformed response: %s\n", what,
+                   resp->c_str());
+      return std::nullopt;
+    }
+    const auto ok = obj.find("ok");
+    if (ok == obj.end() || ok->second.kind != JsonValue::Kind::Bool ||
+        !ok->second.boolean) {
+      const auto msg = obj.find("error");
+      std::fprintf(stderr, "federate: %s: %s\n", what,
+                   msg != obj.end() ? msg->second.string.c_str()
+                                    : resp->c_str());
+      return std::nullopt;
+    }
+    return obj;
+  };
+  auto adoptedOf = [](const std::map<std::string, JsonValue>& obj) {
+    const auto it = obj.find("adopted");
+    return it != obj.end() ? it->second.asUint() : 0;
+  };
+
+  const std::string base =
+      "/tmp/ifko.federate." + std::to_string(static_cast<long>(::getpid()));
+  const std::string peerFile = base + ".peer.jsonl";
+  const std::string localFile = base + ".local.jsonl";
+  auto cleanup = [&] {
+    std::remove(peerFile.c_str());
+    std::remove(localFile.c_str());
+  };
+
+  serve::Request exp;
+  exp.verb = serve::Request::Verb::Export;
+  serve::Request imp;
+  imp.verb = serve::Request::Verb::Import;
+
+  exp.target = peerFile;
+  if (!call(remote, exp, "peer EXPORT")) return 1;
+  imp.target = peerFile;
+  const auto localImport = call(local, imp, "local IMPORT");
+  if (!localImport) {
+    cleanup();
+    return 1;
+  }
+  exp.target = localFile;
+  if (!call(local, exp, "local EXPORT")) {
+    cleanup();
+    return 1;
+  }
+  imp.target = localFile;
+  const auto peerImport = call(remote, imp, "peer IMPORT");
+  cleanup();
+  if (!peerImport) return 1;
+
+  std::printf("federated with %s: adopted %llu record(s) from the peer, "
+              "peer adopted %llu of ours\n",
+              peer.c_str(),
+              static_cast<unsigned long long>(adoptedOf(*localImport)),
+              static_cast<unsigned long long>(adoptedOf(*peerImport)));
+  return 0;
+}
+
 // --- the verb table ---------------------------------------------------------
 
 /// One driver verb.  The usage text and main()'s dispatch are both generated
@@ -992,6 +1330,21 @@ const VerbSpec kVerbs[] = {
     {"query", "[<kernel>]", "client for a running serve daemon", false, false,
      [](const std::string& arg, const std::string&, const Options& o) {
        return cmdQuery(arg, o);
+     }},
+    {"cache-merge", "<out>",
+     "set-union eval-cache shards (--from=FILE_OR_DIR...)", true, false,
+     [](const std::string& arg, const std::string&, const Options& o) {
+       return cmdCacheMerge(arg, o);
+     }},
+    {"wisdom-merge", "<out>", "keep-best merge wisdom files (--from=FILE...)",
+     true, false,
+     [](const std::string& arg, const std::string&, const Options& o) {
+       return cmdWisdomMerge(arg, o);
+     }},
+    {"federate", "<peer>",
+     "two-way wisdom exchange between serve daemons", true, false,
+     [](const std::string& arg, const std::string&, const Options& o) {
+       return cmdFederate(arg, o);
      }},
 };
 

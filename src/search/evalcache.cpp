@@ -1,6 +1,14 @@
 #include "search/evalcache.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <filesystem>
 #include <fstream>
+#include <map>
 
 #include "support/json.h"
 
@@ -14,8 +22,110 @@ std::string EvalKey::str() const {
 }
 
 EvalCache::~EvalCache() {
-  if (out_ != nullptr) std::fclose(out_);
+  if (outFd_ >= 0) ::close(outFd_);
 }
+
+std::string EvalCache::formatLine(const EvalKey& key, const EvalRecord& rec) {
+  JsonWriter w;
+  w.field("source", key.sourceHash)
+      .field("machine", key.machine)
+      .field("context", key.context)
+      .field("n", key.n)
+      .field("seed", key.seed)
+      .field("tester_n", key.testerN)
+      .field("params", key.params)
+      .field("cycles", rec.cycles)
+      .field("status", std::string(evalStatusName(rec.status)));
+  if (rec.counters.has_value()) w.field("counters", countersJson(*rec.counters));
+  return w.str();
+}
+
+bool EvalCache::parseLine(const std::string& line, EvalKey* key,
+                          EvalRecord* rec) {
+  std::map<std::string, JsonValue> obj;
+  if (!parseJsonObject(line, &obj)) return false;
+  auto str = [&](const char* k) -> const std::string* {
+    auto it = obj.find(k);
+    if (it == obj.end() || it->second.kind != JsonValue::Kind::String)
+      return nullptr;
+    return &it->second.string;
+  };
+  auto num = [&](const char* k, double* out) {
+    auto it = obj.find(k);
+    if (it == obj.end() || it->second.kind != JsonValue::Kind::Number)
+      return false;
+    *out = it->second.number;
+    return true;
+  };
+  const std::string* source = str("source");
+  const std::string* machine = str("machine");
+  const std::string* context = str("context");
+  const std::string* params = str("params");
+  double n = 0, seed = 0, testerN = 0, cycles = 0;
+  if (source == nullptr || machine == nullptr || context == nullptr ||
+      params == nullptr || !num("n", &n) || !num("seed", &seed) ||
+      !num("tester_n", &testerN) || !num("cycles", &cycles))
+    return false;
+  // v2 lines carry the failure status; a v1 line's cycles==0 is some
+  // failure whose flavour was never recorded.
+  *rec = EvalRecord{static_cast<uint64_t>(cycles),
+                    cycles != 0 ? EvalOutcome::Status::Timed
+                                : EvalOutcome::Status::FailUnknown};
+  if (const std::string* status = str("status")) {
+    auto parsed = parseEvalStatus(*status);
+    if (!parsed.has_value()) return false;
+    rec->status = *parsed;
+  }
+  // v3 lines nest the observability counters; v2/v1 replay without.
+  if (auto it = obj.find("counters");
+      it != obj.end() && it->second.kind == JsonValue::Kind::Object &&
+      it->second.object != nullptr)
+    rec->counters = parseCounters(*it->second.object);
+  *key = EvalKey{*source,
+                 *machine,
+                 *context,
+                 static_cast<int64_t>(n),
+                 static_cast<uint64_t>(seed),
+                 static_cast<int64_t>(testerN),
+                 *params};
+  return true;
+}
+
+bool EvalCache::loadFileLocked(const std::string& path, std::string* error) {
+  std::ifstream in(path);
+  if (!in) return true;  // a cache that does not exist yet is just empty
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    EvalKey key;
+    EvalRecord rec;
+    if (!parseLine(line, &key, &rec)) {  // skip damaged lines, counted
+      ++damagedLines_;
+      continue;
+    }
+    map_[key.str()] = rec;
+  }
+  if (in.bad()) {
+    if (error != nullptr) *error = "error reading cache file '" + path + "'";
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// O_APPEND so every write lands at the current end of file no matter how
+/// many processes share it — the atomicity the single-write(2) append in
+/// insert() relies on.
+int openAppendFd(const std::string& path) {
+  int fd;
+  do {
+    fd = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC, 0644);
+  } while (fd < 0 && errno == EINTR);
+  return fd;
+}
+
+}  // namespace
 
 bool EvalCache::open(const std::string& path, std::string* error) {
   auto fail = [&](const std::string& msg) {
@@ -23,78 +133,128 @@ bool EvalCache::open(const std::string& path, std::string* error) {
     return false;
   };
   {
-    std::ifstream in(path);
-    if (in) {
-      std::lock_guard<std::mutex> lock(mu_);
-      damagedLines_ = 0;
-      std::string line;
-      while (std::getline(in, line)) {
-        if (line.empty()) continue;
-        std::map<std::string, JsonValue> obj;
-        if (!parseJsonObject(line, &obj)) {  // skip damaged lines, counted
-          ++damagedLines_;
-          continue;
-        }
-        auto str = [&](const char* k) -> const std::string* {
-          auto it = obj.find(k);
-          if (it == obj.end() || it->second.kind != JsonValue::Kind::String)
-            return nullptr;
-          return &it->second.string;
-        };
-        auto num = [&](const char* k, double* out) {
-          auto it = obj.find(k);
-          if (it == obj.end() || it->second.kind != JsonValue::Kind::Number)
-            return false;
-          *out = it->second.number;
-          return true;
-        };
-        const std::string* source = str("source");
-        const std::string* machine = str("machine");
-        const std::string* context = str("context");
-        const std::string* params = str("params");
-        double n = 0, seed = 0, testerN = 0, cycles = 0;
-        if (source == nullptr || machine == nullptr || context == nullptr ||
-            params == nullptr || !num("n", &n) || !num("seed", &seed) ||
-            !num("tester_n", &testerN) || !num("cycles", &cycles)) {
-          ++damagedLines_;
-          continue;
-        }
-        // v2 lines carry the failure status; a v1 line's cycles==0 is some
-        // failure whose flavour was never recorded.
-        EvalRecord rec{static_cast<uint64_t>(cycles),
-                       cycles != 0 ? EvalOutcome::Status::Timed
-                                   : EvalOutcome::Status::FailUnknown};
-        if (const std::string* status = str("status")) {
-          auto parsed = parseEvalStatus(*status);
-          if (!parsed.has_value()) {
-            ++damagedLines_;
-            continue;
-          }
-          rec.status = *parsed;
-        }
-        // v3 lines nest the observability counters; v2/v1 replay without.
-        if (auto it = obj.find("counters");
-            it != obj.end() && it->second.kind == JsonValue::Kind::Object &&
-            it->second.object != nullptr)
-          rec.counters = parseCounters(*it->second.object);
-        EvalKey key{*source,
-                    *machine,
-                    *context,
-                    static_cast<int64_t>(n),
-                    static_cast<uint64_t>(seed),
-                    static_cast<int64_t>(testerN),
-                    *params};
-        map_[key.str()] = rec;
-      }
-      if (in.bad()) return fail("error reading cache file '" + path + "'");
-    }
+    std::lock_guard<std::mutex> lock(mu_);
+    damagedLines_ = 0;
+    std::string loadError;
+    if (!loadFileLocked(path, &loadError)) return fail(loadError);
   }
-  std::FILE* f = std::fopen(path.c_str(), "a");
-  if (f == nullptr)
+  const int fd = openAppendFd(path);
+  if (fd < 0)
     return fail("cannot open cache file '" + path + "' for appending");
   std::lock_guard<std::mutex> lock(mu_);
-  if (out_ != nullptr) std::fclose(out_);
-  out_ = f;
+  if (outFd_ >= 0) ::close(outFd_);
+  outFd_ = fd;
+  return true;
+}
+
+std::string EvalCache::shardFileName(const std::string& dir,
+                                     const std::string& shard) {
+  return dir + "/cache." + shard + ".jsonl";
+}
+
+std::vector<std::string> EvalCache::shardFiles(const std::string& dir,
+                                               std::string* error) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.size() > 12 && name.rfind("cache.", 0) == 0 &&
+        name.compare(name.size() - 6, 6, ".jsonl") == 0)
+      files.push_back(entry.path().string());
+  }
+  if (ec) {
+    if (error != nullptr)
+      *error = "cannot list shard directory '" + dir + "': " + ec.message();
+    return {};
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+bool EvalCache::openDir(const std::string& dir, const std::string& shard,
+                        std::string* error) {
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec)
+    return fail("cannot create shard directory '" + dir +
+                "': " + ec.message());
+  std::string listError;
+  std::vector<std::string> files = shardFiles(dir, &listError);
+  if (!listError.empty()) return fail(listError);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    damagedLines_ = 0;
+    for (const std::string& file : files) {
+      std::string loadError;
+      if (!loadFileLocked(file, &loadError)) return fail(loadError);
+    }
+  }
+  const std::string own = shardFileName(dir, shard);
+  const int fd = openAppendFd(own);
+  if (fd < 0)
+    return fail("cannot open shard file '" + own + "' for appending");
+  std::lock_guard<std::mutex> lock(mu_);
+  if (outFd_ >= 0) ::close(outFd_);
+  outFd_ = fd;
+  return true;
+}
+
+bool EvalCache::mergeFiles(const std::vector<std::string>& inputs,
+                           const std::string& outPath, std::string* error,
+                           CacheMergeStats* stats) {
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+  CacheMergeStats st;
+  // Ordered by key so the merged file is deterministic: any input order
+  // produces the same bytes.  First occurrence wins, which is harmless —
+  // records are pure functions of their keys, so duplicates are identical.
+  std::map<std::string, std::string> lines;
+  for (const std::string& input : inputs) {
+    std::ifstream in(input);
+    if (!in) return fail("cannot read cache file '" + input + "'");
+    ++st.files;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      EvalKey key;
+      EvalRecord rec;
+      if (!parseLine(line, &key, &rec)) {
+        ++st.damaged;
+        continue;
+      }
+      ++st.lines;
+      if (!lines.emplace(key.str(), formatLine(key, rec)).second)
+        ++st.duplicates;
+    }
+    if (in.bad()) return fail("error reading cache file '" + input + "'");
+  }
+  st.unique = lines.size();
+
+  // Atomic: a unique temp name keeps concurrent mergers from clobbering
+  // each other's half-written file (same discipline as WisdomStore::save).
+  const std::string tmp =
+      outPath + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return fail("cannot write '" + tmp + "'");
+    for (const auto& [key, line] : lines) out << line << "\n";
+    out.flush();
+    if (!out) return fail("error writing '" + tmp + "'");
+  }
+  if (std::rename(tmp.c_str(), outPath.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return fail("cannot rename '" + tmp + "' over '" + outPath + "'");
+  }
+  if (stats != nullptr) *stats = st;
   return true;
 }
 
@@ -116,22 +276,22 @@ void EvalCache::insert(const EvalKey& key, uint64_t cycles,
   auto [it, inserted] =
       map_.emplace(key.str(), EvalRecord{cycles, status, counters});
   if (!inserted) return;
-  if (out_ == nullptr) return;
-  JsonWriter w;
-  w.field("source", key.sourceHash)
-      .field("machine", key.machine)
-      .field("context", key.context)
-      .field("n", key.n)
-      .field("seed", key.seed)
-      .field("tester_n", key.testerN)
-      .field("params", key.params)
-      .field("cycles", cycles)
-      .field("status", std::string(evalStatusName(status)));
-  if (counters.has_value()) w.field("counters", countersJson(*counters));
-  // One whole line per fputs + flush: an interrupted run can only ever
-  // truncate the final line, which load() skips.
-  std::fputs((w.str() + "\n").c_str(), out_);
-  std::fflush(out_);
+  if (outFd_ < 0) return;
+  // One whole line per write(2) on an O_APPEND descriptor: the kernel
+  // serializes concurrent appends, so writers in other processes can never
+  // interleave mid-line.  A short write (signal/ENOSPC) is finished with
+  // the remainder — same torn-tail exposure a crash always had, and load()
+  // skips a torn line.
+  const std::string line = formatLine(key, it->second) + "\n";
+  size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t n = ::write(outFd_, line.data() + off, line.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // disk error: the memo stays correct, persistence degrades
+    }
+    off += static_cast<size_t>(n);
+  }
 }
 
 size_t EvalCache::size() const {

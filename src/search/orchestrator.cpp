@@ -1,5 +1,7 @@
 #include "search/orchestrator.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <filesystem>
@@ -235,7 +237,17 @@ Orchestrator::Orchestrator(const arch::MachineConfig& machine,
       injector_(config_.faultPlan) {
   config_.search.jobs = std::max(1, config_.search.jobs);
   std::string problems;
-  if (!config_.cachePath.empty()) {
+  if (!config_.cacheDir.empty()) {
+    // Shard mode: load every worker's shard, append to our own only.  A
+    // caller that names no shard gets a pid-unique one, so uncoordinated
+    // processes sharing the directory can never interleave in one file.
+    const std::string shard =
+        config_.cacheShard.empty()
+            ? std::to_string(static_cast<long>(::getpid()))
+            : config_.cacheShard;
+    std::string err;
+    if (!cache_.openDir(config_.cacheDir, shard, &err)) problems = err;
+  } else if (!config_.cachePath.empty()) {
     std::string err;
     if (!cache_.open(config_.cachePath, &err)) problems = err;
   }
@@ -366,7 +378,9 @@ KernelOutcome Orchestrator::tune(const KernelJob& job) {
   return outcome;
 }
 
-BatchOutcome Orchestrator::tuneAll(const std::vector<KernelJob>& jobs) {
+BatchOutcome Orchestrator::tuneAll(
+    const std::vector<KernelJob>& jobs,
+    const std::function<void(const KernelOutcome&)>& onKernel) {
   BatchOutcome batch;
   auto t0 = std::chrono::steady_clock::now();
   for (const KernelJob& job : jobs) {
@@ -376,6 +390,7 @@ BatchOutcome Orchestrator::tuneAll(const std::vector<KernelJob>& jobs) {
     batch.cacheMisses += o.cacheMisses;
     batch.evaluations += o.result.evaluations;
     batch.faults += o.faults;
+    if (onKernel) onKernel(o);
   }
   batch.wallSeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -425,6 +440,16 @@ std::vector<KernelJob> loadKernelDir(const std::string& dir,
     jobs.push_back({p.stem().string(), ss.str(), nullptr});
   }
   return jobs;
+}
+
+std::vector<KernelJob> workerSlice(std::vector<KernelJob> jobs, int workers,
+                                   int workerId) {
+  if (workers <= 1) return jobs;
+  std::vector<KernelJob> mine;
+  for (size_t i = 0; i < jobs.size(); ++i)
+    if (static_cast<int>(i % static_cast<size_t>(workers)) == workerId)
+      mine.push_back(std::move(jobs[i]));
+  return mine;
 }
 
 }  // namespace ifko::search

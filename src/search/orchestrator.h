@@ -37,6 +37,7 @@
 #pragma once
 
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -58,6 +59,14 @@ struct OrchestratorConfig {
   /// fault-isolation policy (search/faultguard.h).
   SearchConfig search;
   std::string cachePath;  ///< persistent JSONL evaluation cache ("" = memory only)
+  /// Sharded cache mode (takes precedence over cachePath): load every
+  /// cache.*.jsonl shard in this directory, append new results to our own
+  /// shard only (EvalCache::openDir) — the multi-process posture, where
+  /// each worker owns one append-only file and merge is a later set union.
+  std::string cacheDir;
+  /// Shard name inside cacheDir; "" defaults to the process id, so
+  /// uncoordinated workers never collide on a shard file.
+  std::string cacheShard;
   std::string tracePath;  ///< JSONL event trace ("" = off); appended per run
   /// Search policy.  Every kind runs through the same strategy driver;
   /// Line with an unlimited budget reproduces the legacy serial
@@ -153,8 +162,14 @@ class Orchestrator {
   [[nodiscard]] KernelOutcome tune(const KernelJob& job);
 
   /// Tunes every job in order (candidate-level parallelism keeps the
-  /// per-kernel results independent of the batch composition).
-  [[nodiscard]] BatchOutcome tuneAll(const std::vector<KernelJob>& jobs);
+  /// per-kernel results independent of the batch composition).  `onKernel`
+  /// (when given) runs on the orchestrator thread right after each
+  /// kernel's outcome lands — the hook incremental consumers (per-kernel
+  /// wisdom write-back, so a kill -9 loses at most the in-flight kernel)
+  /// attach to.
+  [[nodiscard]] BatchOutcome tuneAll(
+      const std::vector<KernelJob>& jobs,
+      const std::function<void(const KernelOutcome&)>& onKernel = {});
 
   [[nodiscard]] EvalCache& cache() { return cache_; }
   /// Worker-pool width after normalization (always >= 1).
@@ -197,5 +212,15 @@ class Orchestrator {
 /// unreadable, or holds no .hil files.
 [[nodiscard]] std::vector<KernelJob> loadKernelDir(const std::string& dir,
                                                    std::string* error);
+
+/// Deterministic registry partition for `tune-all --workers=N
+/// --worker-id=K`: worker K keeps the jobs at indices i with
+/// i % workers == workerId.  Every worker slicing the same (sorted) job
+/// list covers it exactly once with no coordination — and because each
+/// kernel's search is independent and deterministic, the union of the
+/// workers' results is bit-identical to one process running the whole
+/// list.
+[[nodiscard]] std::vector<KernelJob> workerSlice(std::vector<KernelJob> jobs,
+                                                 int workers, int workerId);
 
 }  // namespace ifko::search

@@ -1,0 +1,108 @@
+#include "search/resume.h"
+
+#include <fstream>
+
+#include "opt/params.h"
+#include "support/json.h"
+
+namespace ifko::search {
+
+namespace {
+
+std::string getStr(const std::map<std::string, JsonValue>& obj,
+                   const char* key) {
+  auto it = obj.find(key);
+  return it != obj.end() && it->second.kind == JsonValue::Kind::String
+             ? it->second.string
+             : "";
+}
+
+double getNum(const std::map<std::string, JsonValue>& obj, const char* key) {
+  auto it = obj.find(key);
+  return it != obj.end() && it->second.kind == JsonValue::Kind::Number
+             ? it->second.number
+             : 0.0;
+}
+
+bool getBool(const std::map<std::string, JsonValue>& obj, const char* key) {
+  auto it = obj.find(key);
+  return it != obj.end() && it->second.kind == JsonValue::Kind::Bool &&
+         it->second.boolean;
+}
+
+}  // namespace
+
+ResumePlan loadResumePlan(const std::string& tracePath,
+                          const std::string& machine,
+                          const std::string& context, int64_t n,
+                          const std::string& strategy, std::string* error) {
+  ResumePlan plan;
+  std::ifstream in(tracePath);
+  if (!in) {
+    if (error != nullptr)
+      *error = "cannot read trace file '" + tracePath +
+               "' (resume needs the interrupted run's --trace)";
+    return plan;
+  }
+  // Kernels whose kernel_start matched this configuration and whose
+  // kernel_end has not arrived yet — in flight when the run died, or from
+  // another configuration (then never armed here at all).
+  std::map<std::string, bool> armed;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::map<std::string, JsonValue> obj;
+    if (!parseJsonObject(line, &obj)) {  // torn tail from the kill, usually
+      ++plan.damagedLines;
+      continue;
+    }
+    const std::string event = getStr(obj, "event");
+    if (event == "run_start") {
+      ++plan.runs;
+    } else if (event == "kernel_start") {
+      const std::string kernel = getStr(obj, "kernel");
+      // Only results from the same configuration are trustworthy: the
+      // trace file is append-mode and may hold runs at other settings.
+      armed[kernel] = getStr(obj, "machine") == machine &&
+                      getStr(obj, "context") == context &&
+                      static_cast<int64_t>(getNum(obj, "n")) == n &&
+                      getStr(obj, "strategy") == strategy;
+    } else if (event == "kernel_end") {
+      const std::string kernel = getStr(obj, "kernel");
+      auto it = armed.find(kernel);
+      if (it == armed.end() || !it->second) continue;
+      it->second = false;
+      if (!getBool(obj, "ok")) continue;  // failed kernels re-tune (warm)
+      CompletedKernel done;
+      done.kernel = kernel;
+      done.bestParams = getStr(obj, "best_params");
+      done.bestCycles = static_cast<uint64_t>(getNum(obj, "best_cycles"));
+      done.defaultCycles =
+          static_cast<uint64_t>(getNum(obj, "default_cycles"));
+      done.evaluations = static_cast<int>(getNum(obj, "evaluations"));
+      done.proposals = static_cast<int>(getNum(obj, "proposals"));
+      plan.completed[kernel] = done;
+    }
+  }
+  return plan;
+}
+
+TuneResult resumedTuneResult(const CompletedKernel& done) {
+  TuneResult result;
+  const opt::TuningSpec spec = opt::parseTuningSpec(done.bestParams);
+  if (!spec.ok) {
+    result.ok = false;
+    result.error = "resume: recorded winner '" + done.bestParams +
+                   "' no longer parses: " + spec.error;
+    return result;
+  }
+  result.ok = true;
+  result.best = spec.params;
+  result.bestCycles = done.bestCycles;
+  result.defaultCycles = done.defaultCycles;
+  result.evaluations = done.evaluations;
+  result.proposals = done.proposals;
+  return result;
+}
+
+}  // namespace ifko::search

@@ -1,0 +1,68 @@
+// Crash-safe batch resume: replay the event trace, skip what finished.
+//
+// `ifko tune-all --trace=FILE` streams one kernel_start event when a
+// kernel's search begins and one kernel_end event (ok, best_params,
+// best_cycles, default_cycles, evaluations, proposals) when it completes —
+// each flushed as it happens.  That makes the trace a write-ahead log of
+// batch progress: after a kill -9 mid-batch, pairing the surviving
+// kernel_start/kernel_end events reconstructs exactly which kernels
+// finished, with everything needed to re-emit their results (summary rows
+// and wisdom records) without re-running them.
+//
+// The plan only trusts events whose kernel_start matches the resumed run's
+// (machine, context, n, strategy) — a trace file shared across
+// configurations never smuggles a stale result in.  A kernel whose
+// kernel_end is missing (in flight when the run died) or not ok simply
+// re-enters the search; with the evaluation cache warm its already-paid
+// candidates replay as hits, so the re-run costs no duplicate real
+// evaluations.  The trace is append-mode across runs, so a resumed run
+// that is itself killed resumes again from the union of every run's
+// completions.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "search/linesearch.h"
+
+namespace ifko::search {
+
+/// One kernel a previous run finished successfully, as recorded by its
+/// kernel_end trace event — everything tune-all needs to skip it.
+struct CompletedKernel {
+  std::string kernel;
+  std::string bestParams;  ///< canonical TuningSpec of the winner
+  uint64_t bestCycles = 0;
+  uint64_t defaultCycles = 0;
+  int evaluations = 0;  ///< real evaluations the original search spent
+  int proposals = 0;
+};
+
+/// What a trace replay found.
+struct ResumePlan {
+  /// kernel name -> its completed result (last completion wins when the
+  /// trace holds several runs).
+  std::map<std::string, CompletedKernel> completed;
+  int runs = 0;           ///< run_start events seen (any configuration)
+  size_t damagedLines = 0;  ///< unparseable lines skipped (torn tail, etc.)
+};
+
+/// Replays `tracePath`, pairing kernel_start events that match (machine,
+/// context, n, strategy) with their ok kernel_end events.  A missing file
+/// yields an empty plan with *error set — resuming needs the previous
+/// run's trace to exist.
+[[nodiscard]] ResumePlan loadResumePlan(const std::string& tracePath,
+                                        const std::string& machine,
+                                        const std::string& context, int64_t n,
+                                        const std::string& strategy,
+                                        std::string* error = nullptr);
+
+/// Rebuilds the TuneResult a completed kernel's search returned, from its
+/// trace record — ok, winner (parsed back from the canonical spec), both
+/// cycle counts, and the evaluation/proposal tallies.  The ledger and
+/// analysis are not in the trace and stay empty; result.ok is false (with
+/// result.error) when the recorded spec no longer parses.
+[[nodiscard]] TuneResult resumedTuneResult(const CompletedKernel& done);
+
+}  // namespace ifko::search

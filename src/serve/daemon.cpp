@@ -3,12 +3,14 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <utility>
 
 #include "opt/params.h"
@@ -121,6 +123,7 @@ std::string Daemon::handleLine(const std::string& line) {
       case Request::Verb::Tune:
       case Request::Verb::Explain: return handleKernelVerb(*req);
       case Request::Verb::Export: return handleExport(*req);
+      case Request::Verb::Import: return handleImport(*req);
       case Request::Verb::Stats: return handleStats();
       case Request::Verb::Shutdown: return handleShutdown();
     }
@@ -262,6 +265,29 @@ std::string Daemon::handleExport(const Request& req) {
   return w.str();
 }
 
+std::string Daemon::handleImport(const Request& req) {
+  // The inbound half of federation: keep-best merge a peer's exported
+  // wisdom file into the live store.  Merge order never matters (lower
+  // best_cycles wins, ties keep the incumbent), so two daemons IMPORTing
+  // each other's EXPORTs converge on the same records.
+  std::error_code ec;
+  if (!std::filesystem::exists(req.target, ec))
+    return errorResponse("import_failed", "no such file: " + req.target);
+  wisdom::WisdomStore incoming;
+  std::string loadError;
+  if (!incoming.load(req.target, &loadError))
+    return errorResponse("import_failed", loadError);
+  const size_t adopted = store_.merge(incoming);
+  if (adopted > 0) saveWisdom();
+  JsonWriter w;
+  w.field("ok", true)
+      .field("path", req.target)
+      .field("loaded", static_cast<uint64_t>(incoming.size()))
+      .field("adopted", static_cast<uint64_t>(adopted))
+      .field("records", static_cast<uint64_t>(store_.size()));
+  return w.str();
+}
+
 std::string Daemon::handleStats() {
   size_t warmPipelines = 0;
   size_t cacheEntries = 0;
@@ -391,11 +417,30 @@ int Daemon::run(std::string* error) {
         *error = std::string("accept: ") + std::strerror(errno);
       return 1;
     }
+    // Satellite fix: a client that connects and never finishes a line used
+    // to park this serial loop forever (one stalled peer = denial of
+    // service for everyone behind it).  SO_RCVTIMEO turns the stall into a
+    // structured timeout response and a dropped connection.
+    if (config_.recvTimeoutMs > 0) {
+      timeval tv{};
+      tv.tv_sec = config_.recvTimeoutMs / 1000;
+      tv.tv_usec = (config_.recvTimeoutMs % 1000) * 1000;
+      ::setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    }
     std::string buffer;
     char chunk[4096];
     while (!shutdown_) {
       const ssize_t n = ::recv(conn, chunk, sizeof(chunk), 0);
       if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        sendAll(conn, errorResponse(
+                          "timeout",
+                          "no complete request line within " +
+                              std::to_string(config_.recvTimeoutMs) +
+                              " ms — connection closed") +
+                          "\n");
+        break;
+      }
       if (n <= 0) break;  // client hung up (or a read error: same treatment)
       buffer.append(chunk, static_cast<size_t>(n));
       size_t nl;

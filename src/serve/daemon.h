@@ -12,8 +12,8 @@
 // the daemon keeps serving.
 //
 // The request surface is serve/protocol.h (QUERY/TUNE/EXPLAIN/EXPORT/
-// STATS/SHUTDOWN), carried over a Unix-domain or loopback TCP socket, one
-// request line per response line.  Requests are handled serially on the
+// IMPORT/STATS/SHUTDOWN), carried over a Unix-domain or loopback TCP
+// socket, one request line per response line.  Requests are handled serially on the
 // accept loop — candidate-level parallelism inside a tune (--jobs) is
 // where the cores go, and serial request handling keeps every response
 // deterministic.  handleLine() is the whole state machine; the socket
@@ -46,6 +46,12 @@ struct ServeConfig {
   /// override registry kernels of the same name.  "" = registry only.
   std::string kernelsDir;
   std::string runId = "serve";  ///< provenance stamped into wisdom records
+  /// Per-connection receive deadline (SO_RCVTIMEO), in milliseconds.  A
+  /// client that connects and then stalls mid-line would otherwise park
+  /// the serial accept loop forever; after this long with no bytes the
+  /// daemon sends a structured `{"ok":false,"code":"timeout",...}` line
+  /// and drops the connection.  0 disables the deadline.
+  int recvTimeoutMs = 30000;
 };
 
 struct ServeStats {
@@ -104,6 +110,7 @@ class Daemon {
 
   [[nodiscard]] std::string handleKernelVerb(const Request& req);
   [[nodiscard]] std::string handleExport(const Request& req);
+  [[nodiscard]] std::string handleImport(const Request& req);
   [[nodiscard]] std::string handleStats();
   [[nodiscard]] std::string handleShutdown();
   [[nodiscard]] std::string errorResponse(const std::string& code,

@@ -21,6 +21,7 @@ constexpr VerbEntry kVerbs[] = {
     {Request::Verb::Tune, "TUNE", true, true},
     {Request::Verb::Explain, "EXPLAIN", true, true},
     {Request::Verb::Export, "EXPORT", true, false},
+    {Request::Verb::Import, "IMPORT", true, true},
     {Request::Verb::Stats, "STATS", false, false},
     {Request::Verb::Shutdown, "SHUTDOWN", false, false},
 };
@@ -51,7 +52,7 @@ std::optional<Request> parseRequest(const std::string& line,
     if (tokens[0] == e.name) entry = &e;
   if (entry == nullptr)
     return fail("unknown verb '" + tokens[0] +
-                "' (want QUERY|TUNE|EXPLAIN|EXPORT|STATS|SHUTDOWN)");
+                "' (want QUERY|TUNE|EXPLAIN|EXPORT|IMPORT|STATS|SHUTDOWN)");
 
   Request req;
   req.verb = entry->verb;

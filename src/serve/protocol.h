@@ -7,6 +7,7 @@
 //   TUNE <kernel> [arch=...] [context=...] [n=...]
 //   EXPLAIN <kernel> [arch=...] [context=...] [n=...]
 //   EXPORT [<path>]
+//   IMPORT <path>
 //   STATS
 //   SHUTDOWN
 //
@@ -25,10 +26,19 @@
 namespace ifko::serve {
 
 struct Request {
-  enum class Verb : uint8_t { Query, Tune, Explain, Export, Stats, Shutdown };
+  enum class Verb : uint8_t {
+    Query,
+    Tune,
+    Explain,
+    Export,
+    Import,
+    Stats,
+    Shutdown
+  };
   Verb verb = Verb::Stats;
   /// QUERY/TUNE/EXPLAIN: the kernel name.  EXPORT: the target path
-  /// (optional — empty means the daemon's own wisdom file).
+  /// (optional — empty means the daemon's own wisdom file).  IMPORT: the
+  /// wisdom file to keep-best merge into the store (required).
   std::string target;
   std::string arch;     ///< "p4e" | "opteron"; "" = daemon default
   std::string context;  ///< "ooc" | "inl2"; "" = daemon default

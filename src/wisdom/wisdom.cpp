@@ -1,5 +1,7 @@
 #include "wisdom/wisdom.h"
 
+#include <unistd.h>
+
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -161,8 +163,12 @@ bool WisdomStore::save(const std::string& path, std::string* error) const {
     return false;
   };
   // Atomic: readers (and a crash mid-save) see either the old complete
-  // file or the new complete file, never a torn one.
-  const std::string tmp = path + ".tmp";
+  // file or the new complete file, never a torn one.  The temp name is
+  // pid-unique so concurrent savers in different processes (fleet workers
+  // sharing one store) cannot clobber each other's half-written temp —
+  // last rename wins, and every rename installs a complete file.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
   {
     std::ofstream out(tmp, std::ios::trunc);
     if (!out) return fail("cannot write wisdom file '" + tmp + "'");

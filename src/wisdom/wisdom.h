@@ -117,8 +117,10 @@ class WisdomStore {
   bool load(const std::string& path, std::string* error = nullptr);
 
   /// Writes the store to `path` atomically: records render sorted by key
-  /// into `path`.tmp, which is then renamed over `path`.  Returns false
-  /// with *error when the temp file cannot be written or renamed.
+  /// into a pid-unique temp file, which is then renamed over `path` (so
+  /// concurrent savers in different processes cannot tear each other's
+  /// write — the last complete file wins).  Returns false with *error when
+  /// the temp file cannot be written or renamed.
   bool save(const std::string& path, std::string* error = nullptr) const;
 
   /// Keep-best insert: adopts `rec` when its key is new or its bestCycles

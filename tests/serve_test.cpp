@@ -5,6 +5,9 @@
 // round-trip lines over Unix and TCP.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <cstdio>
@@ -91,6 +94,13 @@ TEST(ServeProtocol, ParsesKernelVerbWithOptions) {
   ASSERT_TRUE(req.has_value()) << err;
   EXPECT_EQ(req->verb, Request::Verb::Export);
   EXPECT_EQ(req->target, "/tmp/out.jsonl");
+
+  req = parseRequest("IMPORT /tmp/peer.jsonl", &err);
+  ASSERT_TRUE(req.has_value()) << err;
+  EXPECT_EQ(req->verb, Request::Verb::Import);
+  EXPECT_EQ(req->target, "/tmp/peer.jsonl");
+  // IMPORT needs a path; EXPORT falls back to the daemon's wisdom file.
+  EXPECT_FALSE(parseRequest("IMPORT", &err).has_value());
 }
 
 TEST(ServeProtocol, RejectsMalformedRequests) {
@@ -292,6 +302,49 @@ TEST(Daemon, WisdomFileRoundTripAndExport) {
   std::remove(exportPath.c_str());
 }
 
+// IMPORT is the federation primitive: keep-best merge of a wisdom file
+// into the live store, answering with what it adopted.
+TEST(Daemon, ImportMergesKeepBestAndAnswersWarm) {
+  const std::string peerPath = tmpFile("serve_import_peer.jsonl");
+  std::remove(peerPath.c_str());
+  std::string tunedParams;
+  {
+    // A "peer" daemon tunes one kernel and exports its store.
+    Daemon peer(smokeServeConfig());
+    auto tuned = parseResponse(peer.handleLine("TUNE scopy"));
+    ASSERT_TRUE(okOf(tuned));
+    tunedParams = strOf(tuned, "params");
+    ASSERT_TRUE(okOf(parseResponse(peer.handleLine("EXPORT " + peerPath))));
+  }
+
+  Daemon d(smokeServeConfig());
+  // A typo'd path must fail loudly — WisdomStore::load treats a missing
+  // file as an empty store, which would silently adopt nothing.
+  auto missing =
+      parseResponse(d.handleLine("IMPORT " + tmpFile("serve_no_such.jsonl")));
+  EXPECT_FALSE(okOf(missing));
+  EXPECT_EQ(strOf(missing, "code"), "import_failed");
+
+  auto imported = parseResponse(d.handleLine("IMPORT " + peerPath));
+  ASSERT_TRUE(okOf(imported));
+  EXPECT_EQ(numOf(imported, "loaded"), 1);
+  EXPECT_EQ(numOf(imported, "adopted"), 1);
+  EXPECT_EQ(numOf(imported, "records"), 1);
+
+  // Importing the same file again adopts nothing (keep-best is idempotent).
+  auto again = parseResponse(d.handleLine("IMPORT " + peerPath));
+  ASSERT_TRUE(okOf(again));
+  EXPECT_EQ(numOf(again, "adopted"), 0);
+
+  // The adopted record answers queries without the evaluator.
+  auto warm = parseResponse(d.handleLine("QUERY scopy"));
+  ASSERT_TRUE(okOf(warm));
+  EXPECT_EQ(strOf(warm, "match"), "exact");
+  EXPECT_EQ(numOf(warm, "evaluations"), 0);
+  EXPECT_EQ(strOf(warm, "params"), tunedParams);
+  std::remove(peerPath.c_str());
+}
+
 // A quarantine-inducing kernel must cost a structured error, not the
 // daemon: later requests — including wisdom hits for the same kernel —
 // still answer.
@@ -383,6 +436,51 @@ TEST(DaemonSocket, TcpEphemeralPortRoundTrip) {
   ASSERT_TRUE(conn.connect({"", d.boundPort()}, &err)) << err;
   resp = conn.roundTrip("SHUTDOWN", &err);
   ASSERT_TRUE(resp.has_value()) << err;
+  server.join();
+}
+
+// A client that connects and stalls mid-line must not park the serial
+// accept loop: after the receive deadline it gets a structured timeout
+// response, its connection drops, and the next client is served.
+TEST(DaemonSocket, StalledClientTimesOutAndDaemonKeepsServing) {
+  ServeConfig cfg = smokeServeConfig();
+  cfg.recvTimeoutMs = 200;
+  Daemon d(cfg);
+  std::string err;
+  ASSERT_TRUE(d.listenTcp(0, &err)) << err;
+  std::thread server([&d] { EXPECT_EQ(d.run(), 0); });
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(d.boundPort()));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  ASSERT_EQ(::send(fd, "STA", 3, 0), 3);  // a line that never finishes
+
+  std::string resp;
+  char buf[512];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    resp.append(buf, static_cast<size_t>(n));
+    if (resp.find('\n') != std::string::npos) break;
+  }
+  ::close(fd);
+  auto timedOut = parseResponse(resp.substr(0, resp.find('\n')));
+  EXPECT_FALSE(okOf(timedOut));
+  EXPECT_EQ(strOf(timedOut, "code"), "timeout");
+
+  // The accept loop survived; a well-behaved client still gets answers.
+  Connection conn;
+  ASSERT_TRUE(conn.connect({"", d.boundPort()}, &err)) << err;
+  auto stats = conn.roundTrip("STATS", &err);
+  ASSERT_TRUE(stats.has_value()) << err;
+  EXPECT_TRUE(okOf(parseResponse(*stats)));
+  auto down = conn.roundTrip("SHUTDOWN", &err);
+  ASSERT_TRUE(down.has_value()) << err;
   server.join();
 }
 

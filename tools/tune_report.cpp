@@ -1,8 +1,13 @@
 // Renders a human-readable report from an orchestrator event trace
 // (ifko tune / tune-all --trace=FILE; schema in docs/TUNING.md).
 //
-//   tune_report [<trace.jsonl>] [--wisdom=FILE] [--ledger] [--all-runs]
+//   tune_report [<trace.jsonl>...] [--wisdom=FILE] [--ledger] [--all-runs]
 //               [--attr]
+//
+// Several trace files aggregate into one report (the fleet posture: each
+// tune-all worker writes its own trace; see docs/DISTRIBUTED.md).  More
+// than one trace implies --all-runs, since "the last run" of independent
+// files is meaningless.
 //
 // Summarizes, per kernel: candidates evaluated, cache hit rate, tester and
 // compile rejections, timeouts and crashes the search survived, the
@@ -129,7 +134,7 @@ int main(int argc, char** argv) {
   bool showLedger = false;
   bool allRuns = false;
   bool showAttr = false;
-  std::string tracePath;
+  std::vector<std::string> tracePaths;
   std::string wisdomPath;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--ledger") == 0) showLedger = true;
@@ -137,24 +142,21 @@ int main(int argc, char** argv) {
     else if (std::strcmp(argv[i], "--attr") == 0) showAttr = true;
     else if (startsWith(argv[i], "--wisdom="))
       wisdomPath = argv[i] + std::strlen("--wisdom=");
-    else if (argv[i][0] != '-' && tracePath.empty()) tracePath = argv[i];
+    else if (argv[i][0] != '-') tracePaths.push_back(argv[i]);
     else {
       std::fprintf(stderr, "unknown option '%s'\n", argv[i]);
       return 2;
     }
   }
-  if (tracePath.empty() && wisdomPath.empty()) {
+  if (tracePaths.empty() && wisdomPath.empty()) {
     std::fprintf(stderr,
-                 "usage: tune_report [<trace.jsonl>] [--wisdom=FILE] "
+                 "usage: tune_report [<trace.jsonl>...] [--wisdom=FILE] "
                  "[--ledger] [--all-runs] [--attr]\n");
     return 2;
   }
-
-  std::ifstream in(tracePath);
-  if (!tracePath.empty() && !in) {
-    std::fprintf(stderr, "cannot read '%s'\n", tracePath.c_str());
-    return 1;
-  }
+  // "The last run" of several independent files is meaningless; aggregate.
+  const bool multiTrace = tracePaths.size() > 1;
+  if (multiTrace) allRuns = true;
 
   std::vector<std::string> order;
   std::map<std::string, KernelStats> kernels;
@@ -171,72 +173,81 @@ int main(int argc, char** argv) {
   double batchSeconds = 0.0;
   int badLines = 0;
   int runs = 0;
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    std::map<std::string, JsonValue> obj;
-    if (!parseJsonObject(line, &obj)) {
-      ++badLines;
-      continue;
+  for (const std::string& tracePath : tracePaths) {
+    std::ifstream in(tracePath);
+    if (!in) {
+      std::fprintf(stderr, "cannot read '%s'\n", tracePath.c_str());
+      return 1;
     }
-    std::string event = getStr(obj, "event");
-    std::string kernel = getStr(obj, "kernel");
-    if (event == "run_start") {
-      ++runs;
-      if (!allRuns) {
-        // Only the last run matters: drop everything accumulated so far.
-        order.clear();
-        kernels.clear();
-        sawBatchEnd = false;
-        batchSeconds = 0.0;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      std::map<std::string, JsonValue> obj;
+      if (!parseJsonObject(line, &obj)) {
+        ++badLines;
+        continue;
       }
-    } else if (event == "candidate") {
-      KernelStats& k = statsFor(kernel);
-      ++k.candidates;
-      if (getStr(obj, "cache") == "hit") ++k.hits;
-      else ++k.misses;
-      std::string verdict = getStr(obj, "verdict");
-      if (verdict == "tester_fail") ++k.testerFails;
-      else if (verdict == "compile_fail") ++k.compileFails;
-      else if (verdict == "timeout") ++k.timeouts;
-      else if (verdict == "crash") ++k.crashes;
-      k.retries += static_cast<int>(getNum(obj, "attempts")) > 1
-                       ? static_cast<int>(getNum(obj, "attempts")) - 1
-                       : 0;
-      if (verdict == "pass") {
-        AttrSample attr = readAttr(obj);
-        if (attr.have) {
-          std::string dim = getStr(obj, "dim");
-          if (dim == "DEFAULTS" && !k.defAttr.have) k.defAttr = attr;
-          uint64_t cycles = static_cast<uint64_t>(getNum(obj, "cycles"));
-          if (!k.bestAttr.have || cycles < k.bestAttrCycles) {
-            k.bestAttr = attr;
-            k.bestAttrCycles = cycles;
+      std::string event = getStr(obj, "event");
+      std::string kernel = getStr(obj, "kernel");
+      if (event == "run_start") {
+        ++runs;
+        if (!allRuns) {
+          // Only the last run matters: drop everything accumulated so far.
+          order.clear();
+          kernels.clear();
+          sawBatchEnd = false;
+          batchSeconds = 0.0;
+        }
+      } else if (event == "candidate") {
+        KernelStats& k = statsFor(kernel);
+        ++k.candidates;
+        if (getStr(obj, "cache") == "hit") ++k.hits;
+        else ++k.misses;
+        std::string verdict = getStr(obj, "verdict");
+        if (verdict == "tester_fail") ++k.testerFails;
+        else if (verdict == "compile_fail") ++k.compileFails;
+        else if (verdict == "timeout") ++k.timeouts;
+        else if (verdict == "crash") ++k.crashes;
+        k.retries += static_cast<int>(getNum(obj, "attempts")) > 1
+                         ? static_cast<int>(getNum(obj, "attempts")) - 1
+                         : 0;
+        if (verdict == "pass") {
+          AttrSample attr = readAttr(obj);
+          if (attr.have) {
+            std::string dim = getStr(obj, "dim");
+            if (dim == "DEFAULTS" && !k.defAttr.have) k.defAttr = attr;
+            uint64_t cycles = static_cast<uint64_t>(getNum(obj, "cycles"));
+            if (!k.bestAttr.have || cycles < k.bestAttrCycles) {
+              k.bestAttr = attr;
+              k.bestAttrCycles = cycles;
+            }
           }
         }
+      } else if (event == "dimension_end") {
+        statsFor(kernel).ledger.push_back(
+            {getStr(obj, "dim"),
+             static_cast<uint64_t>(getNum(obj, "best_cycles"))});
+      } else if (event == "kernel_end") {
+        KernelStats& k = statsFor(kernel);
+        k.ended = true;
+        k.ok = getBool(obj, "ok");
+        k.quarantined = getBool(obj, "quarantined");
+        k.error = getStr(obj, "error");
+        k.defaultCycles = static_cast<uint64_t>(getNum(obj, "default_cycles"));
+        k.bestCycles = static_cast<uint64_t>(getNum(obj, "best_cycles"));
+        k.speedup = getNum(obj, "speedup");
+        k.seconds = getNum(obj, "seconds");
+      } else if (event == "batch_end") {
+        sawBatchEnd = true;
+        batchSeconds += getNum(obj, "seconds");
       }
-    } else if (event == "dimension_end") {
-      statsFor(kernel).ledger.push_back(
-          {getStr(obj, "dim"),
-           static_cast<uint64_t>(getNum(obj, "best_cycles"))});
-    } else if (event == "kernel_end") {
-      KernelStats& k = statsFor(kernel);
-      k.ended = true;
-      k.ok = getBool(obj, "ok");
-      k.quarantined = getBool(obj, "quarantined");
-      k.error = getStr(obj, "error");
-      k.defaultCycles = static_cast<uint64_t>(getNum(obj, "default_cycles"));
-      k.bestCycles = static_cast<uint64_t>(getNum(obj, "best_cycles"));
-      k.speedup = getNum(obj, "speedup");
-      k.seconds = getNum(obj, "seconds");
-    } else if (event == "batch_end") {
-      sawBatchEnd = true;
-      batchSeconds = getNum(obj, "seconds");
     }
   }
 
-  if (order.empty() && !tracePath.empty()) {
-    std::fprintf(stderr, "no trace events in '%s'\n", tracePath.c_str());
+  if (order.empty() && !tracePaths.empty()) {
+    std::fprintf(stderr, "no trace events in %s\n",
+                 tracePaths.size() == 1 ? ("'" + tracePaths[0] + "'").c_str()
+                                        : "the given trace files");
     return 1;
   }
 
@@ -287,14 +298,18 @@ int main(int argc, char** argv) {
     if (badLines != 0)
       std::printf(" (%d malformed trace lines skipped)", badLines);
     if (runs > 1)
-      std::printf("\n%s", allRuns
-                              ? ("aggregated over " + std::to_string(runs) +
-                                 " runs (--all-runs)\n")
-                                    .c_str()
-                              : ("trace holds " + std::to_string(runs) +
-                                 " runs; reporting the last (use --all-runs "
-                                 "to aggregate)\n")
-                                    .c_str());
+      std::printf(
+          "\n%s",
+          allRuns ? ("aggregated over " + std::to_string(runs) + " runs" +
+                     (multiTrace ? " in " + std::to_string(tracePaths.size()) +
+                                       " trace files"
+                                 : std::string(" (--all-runs)")) +
+                     "\n")
+                        .c_str()
+                  : ("trace holds " + std::to_string(runs) +
+                     " runs; reporting the last (use --all-runs "
+                     "to aggregate)\n")
+                        .c_str());
     else
       std::printf("\n");
   }
@@ -395,8 +410,10 @@ int main(int argc, char** argv) {
     if (store.schemaSkippedLines() > 0)
       std::printf(", %zu line(s) from another wisdom_schema skipped",
                   store.schemaSkippedLines());
-    if (!tracePath.empty())
-      std::printf(", %zu stale vs this trace", stale);
+    if (!tracePaths.empty())
+      std::printf(", %zu stale vs th%s trace%s", stale,
+                  tracePaths.size() == 1 ? "is" : "ese",
+                  tracePaths.size() == 1 ? "" : "s");
     std::printf("\n");
     std::fputs(w.str().c_str(), stdout);
   }
