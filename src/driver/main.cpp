@@ -21,7 +21,8 @@
 //
 //   ifko tune <file.hil> [--arch=...] [--n=N] [--context=ooc|inl2]
 //             [--extensions] [--fast] [--jobs=N] [--cache=FILE] [--trace=FILE]
-//             [--wisdom=FILE] [--strategy=line|random|hillclimb|evolve]
+//             [--wisdom=FILE]
+//             [--strategy=line|random|hillclimb|evolve|attribution|bandit]
 //             [--budget=N] [--budget-cycles=N] [--search-seed=S]
 //             [--eval-timeout-ms=N] [--eval-retries=N] [--quarantine=N]
 //             [--fault-plan=SPEC] [--screen-n=N] [--screen-margin=X]
@@ -316,7 +317,7 @@ Options parseOptions(int argc, char** argv, int first) {
       if (!kind.has_value()) {
         std::fprintf(stderr,
                      "unknown strategy '%s' (want line|random|hillclimb|"
-                     "evolve)\n",
+                     "evolve|attribution|bandit)\n",
                      v->c_str());
         o.ok = false;
       } else {
@@ -544,15 +545,24 @@ int cmdTune(const std::string& path, const std::string& src, const Options& o) {
   if (!o.wisdomPath.empty()) {
     loadWisdomWarn(wis, o.wisdomPath, "tune");
     wkey = wisdomKeyFor(src, o);
-    if (wisdom::WisdomMatch m = wis.find(wkey); m.hit()) {
+    // Deferred until the DEFAULTS point is timed, so the lookup can rank
+    // fallback candidates by similarity to this kernel's own attribution
+    // vector (the probe) instead of by raw N-class distance.
+    job.warmStartProvider = [&wis, wkey](const search::EvalOutcome& def)
+        -> std::optional<opt::TuningParams> {
+      std::optional<wisdom::AttrShares> probe;
+      if (def.counters.has_value())
+        probe = wisdom::attrSharesFrom(*def.counters);
+      const wisdom::WisdomMatch m =
+          wis.find(wkey, probe.has_value() ? &*probe : nullptr);
+      if (!m.hit()) return std::nullopt;
       const opt::TuningSpec seed = opt::parseTuningSpec(m.record->params);
-      if (seed.ok) {
-        job.warmStart = seed.params;
-        std::printf("wisdom: warm start (%s): %s\n",
-                    std::string(wisdom::matchKindName(m.kind)).c_str(),
-                    m.record->params.c_str());
-      }
-    }
+      if (!seed.ok) return std::nullopt;
+      std::printf("wisdom: warm start (%s): %s\n",
+                  std::string(wisdom::matchKindName(m.kind)).c_str(),
+                  m.record->params.c_str());
+      return seed.params;
+    };
   }
 
   auto outcome = orch.tune(job);
@@ -841,13 +851,22 @@ int cmdTuneAll(const std::string& dir, const Options& o) {
     size_t warmStarts = 0;
     for (auto& job : jobs) {
       wisdom::WisdomKey key = wisdomKeyFor(job.hilSource, o);
-      if (wisdom::WisdomMatch m = wis.find(key); m.hit()) {
+      if (wis.find(key).hit()) ++warmStarts;
+      // Deferred lookup: the kernel's DEFAULTS attribution becomes the
+      // similarity probe, and later kernels also see records written back
+      // by earlier ones in this same run.
+      job.warmStartProvider = [&wis, key](const search::EvalOutcome& def)
+          -> std::optional<opt::TuningParams> {
+        std::optional<wisdom::AttrShares> probe;
+        if (def.counters.has_value())
+          probe = wisdom::attrSharesFrom(*def.counters);
+        const wisdom::WisdomMatch m =
+            wis.find(key, probe.has_value() ? &*probe : nullptr);
+        if (!m.hit()) return std::nullopt;
         const opt::TuningSpec seed = opt::parseTuningSpec(m.record->params);
-        if (seed.ok) {
-          job.warmStart = seed.params;
-          ++warmStarts;
-        }
-      }
+        if (!seed.ok) return std::nullopt;
+        return seed.params;
+      };
       wkeyByName.emplace(job.name, std::move(key));
     }
     for (const auto& job : doneJobs)
@@ -1197,10 +1216,21 @@ int cmdFederate(const std::string& peer, const Options& o) {
   serve::Endpoint remote;
   bool peerIsPort = true;
   for (char c : peer) peerIsPort = peerIsPort && c >= '0' && c <= '9';
-  if (peerIsPort)
-    remote.tcpPort = std::atoi(peer.c_str());
-  else
+  if (peerIsPort) {
+    // Strict parse with a TCP range check: "99999999" must be an error,
+    // never a silently truncated (or zero) port.
+    int64_t port = 0;
+    if (!parseInt64(peer, &port) || port < 1 || port > 65535) {
+      std::fprintf(stderr,
+                   "federate: bad peer port '%s' (want an integer in "
+                   "1..65535, or a socket path)\n",
+                   peer.c_str());
+      return 2;
+    }
+    remote.tcpPort = static_cast<int>(port);
+  } else {
     remote.unixPath = peer;
+  }
 
   auto call = [&](const serve::Endpoint& ep, serve::Request req,
                   const char* what)

@@ -23,6 +23,13 @@ const std::map<std::string, Op>& opByName() {
   return kMap;
 }
 
+/// Strict decimal parse for the grammar's integer fields (block ids,
+/// scales, displacements, immediates, spill counts): the whole token must
+/// be a number — malformed IR fails loudly instead of atoi'ing to 0.
+bool parseIntField(std::string_view t, int64_t* out) {
+  return ifko::parseInt64(t, out);
+}
+
 class Parser {
  public:
   Parser(std::string_view text, std::string* error)
@@ -44,9 +51,11 @@ class Parser {
     for (; i < lines_.size(); ++i) {
       std::string_view line = trim(lines_[i]);
       if (startsWith(line, "bb") && line.back() == ':') {
-        int32_t id = std::atoi(std::string(line.substr(2, line.size() - 3)).c_str());
-        fn_.addBlockWithId(id);
-        curBlock = id;
+        int64_t id = 0;
+        if (!parseIntField(line.substr(2, line.size() - 3), &id) || id < 0)
+          return fail(i, "bad block label '" + std::string(line) + "'");
+        fn_.addBlockWithId(static_cast<int32_t>(id));
+        curBlock = static_cast<int32_t>(id);
         continue;
       }
       if (curBlock < 0) return fail(i, "instruction before any block label");
@@ -156,8 +165,17 @@ class Parser {
     if (startsWith(tail, "[regalloc")) {
       fn_.regAllocated = true;
       size_t eq = tail.find("spills=");
-      if (eq != std::string_view::npos)
-        fn_.numSpillSlots = std::atoi(std::string(tail.substr(eq + 7)).c_str());
+      if (eq != std::string_view::npos) {
+        std::string_view count = tail.substr(eq + 7);
+        if (size_t close = count.find(']'); close != std::string_view::npos)
+          count = count.substr(0, close);
+        int64_t spills = 0;
+        if (!parseIntField(count, &spills) || spills < 0) {
+          (void)fail(0, "bad spill count '" + std::string(count) + "'");
+          return false;
+        }
+        fn_.numSpillSlots = static_cast<int32_t>(spills);
+      }
     }
     return true;
   }
@@ -173,14 +191,23 @@ class Parser {
       size_t end = line.find(' ', start);
       return std::string(line.substr(start, end - start));
     };
-    auto bb = [&](const char* key) {
+    bool badBlock = false;
+    auto bb = [&](const char* key) -> int32_t {
       std::string v = field(key);
-      return startsWith(v, "bb") ? std::atoi(v.c_str() + 2) : -1;
+      if (!startsWith(v, "bb")) return -1;  // absent field: no loop block
+      int64_t id = 0;
+      if (!parseIntField(std::string_view(v).substr(2), &id) || id < 0) {
+        (void)fail(1, "bad loop-mark block '" + v + "'");
+        badBlock = true;
+        return -1;
+      }
+      return static_cast<int32_t>(id);
     };
     fn_.loop.preheader = bb("preheader");
     fn_.loop.header = bb("header");
     fn_.loop.latch = bb("latch");
     fn_.loop.exit = bb("exit");
+    if (badBlock) return false;
     if (auto r = parseReg(field("ivar"))) fn_.loop.ivar = *r;
     if (auto r = parseReg(field("N"))) fn_.loop.bound = *r;
     fn_.loop.dir = line.find(" down") != std::string_view::npos ? LoopDir::Down
@@ -215,9 +242,19 @@ class Parser {
         auto idx = parseReg(term.substr(0, star));
         if (!idx) return std::nullopt;
         m.index = *idx;
-        m.scale = std::atoi(term.c_str() + star + 1);
+        int64_t scale = 0;
+        if (!parseIntField(std::string_view(term).substr(star + 1), &scale)) {
+          (void)failInst(lineNo, "bad scale in '" + std::string(t) + "'");
+          return std::nullopt;
+        }
+        m.scale = static_cast<int32_t>(scale);
       } else {
-        int64_t v = std::atoll(term.c_str());
+        int64_t v = 0;
+        if (!parseIntField(term, &v)) {
+          (void)failInst(lineNo,
+                         "bad displacement in '" + std::string(t) + "'");
+          return std::nullopt;
+        }
         m.disp = sign == "-" ? -v : v;
       }
     }
@@ -293,7 +330,8 @@ class Parser {
     if (info.hasImm) {
       auto t = next();
       if (!t) return failInst(lineNo, "missing immediate");
-      in.imm = std::atoll(t->c_str());
+      if (!parseIntField(*t, &in.imm))
+        return failInst(lineNo, "bad immediate '" + *t + "'");
     }
     if (info.hasFImm) {
       auto t = next();
@@ -304,7 +342,10 @@ class Parser {
       auto t = next();
       if (!t || !startsWith(*t, "bb"))
         return failInst(lineNo, "missing branch target");
-      in.label = std::atoi(t->c_str() + 2);
+      int64_t label = 0;
+      if (!parseIntField(std::string_view(*t).substr(2), &label) || label < 0)
+        return failInst(lineNo, "bad branch target '" + *t + "'");
+      in.label = static_cast<int32_t>(label);
     }
     if (oi != operands.size())
       return failInst(lineNo, "trailing operands in '" + std::string(line) + "'");

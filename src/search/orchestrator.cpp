@@ -329,7 +329,8 @@ KernelOutcome Orchestrator::tune(const KernelJob& job) {
   try {
     outcome.result = runStrategySearch(
         job.hilSource, machine_, config_.search, *strategy, config_.budget,
-        eval, job.warmStart.has_value() ? &*job.warmStart : nullptr);
+        eval, job.warmStart.has_value() ? &*job.warmStart : nullptr,
+        job.warmStartProvider);
   } catch (const QuarantineSignal& q) {
     outcome.result = {};
     outcome.result.ok = false;

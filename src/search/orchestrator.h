@@ -100,6 +100,10 @@ struct KernelJob {
   /// The strategy never observes it — proposal sequences stay identical
   /// with or without a warm start; only the incumbent can differ.
   std::optional<opt::TuningParams> warmStart;
+  /// Deferred warm start: invoked once with the DEFAULTS outcome so a
+  /// wisdom lookup can use the kernel's own attribution vector as its
+  /// similarity probe.  Supersedes `warmStart` when set.
+  WarmStartFn warmStartProvider;
 };
 
 struct KernelOutcome {

@@ -17,5 +17,8 @@ namespace ifko::search {
     uint64_t seed);
 [[nodiscard]] std::unique_ptr<SearchStrategy> makeEvolutionaryStrategy(
     uint64_t seed);
+[[nodiscard]] std::unique_ptr<SearchStrategy> makeAttributionStrategy(
+    uint64_t seed);
+[[nodiscard]] std::unique_ptr<SearchStrategy> makeBanditStrategy(uint64_t seed);
 
 }  // namespace ifko::search

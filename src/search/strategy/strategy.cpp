@@ -18,6 +18,8 @@ std::string_view strategyName(StrategyKind kind) {
     case StrategyKind::Random: return "random";
     case StrategyKind::HillClimb: return "hillclimb";
     case StrategyKind::Evolve: return "evolve";
+    case StrategyKind::Attribution: return "attribution";
+    case StrategyKind::Bandit: return "bandit";
   }
   return "?";
 }
@@ -30,8 +32,9 @@ std::optional<StrategyKind> parseStrategyKind(std::string_view name) {
 
 const std::vector<StrategyKind>& allStrategies() {
   static const std::vector<StrategyKind> kAll = {
-      StrategyKind::Line, StrategyKind::Random, StrategyKind::HillClimb,
-      StrategyKind::Evolve};
+      StrategyKind::Line,   StrategyKind::Random,
+      StrategyKind::HillClimb, StrategyKind::Evolve,
+      StrategyKind::Attribution, StrategyKind::Bandit};
   return kAll;
 }
 
@@ -42,6 +45,9 @@ std::unique_ptr<SearchStrategy> makeStrategy(StrategyKind kind,
     case StrategyKind::Random: return makeRandomStrategy(budget.seed);
     case StrategyKind::HillClimb: return makeHillClimbStrategy(budget.seed);
     case StrategyKind::Evolve: return makeEvolutionaryStrategy(budget.seed);
+    case StrategyKind::Attribution:
+      return makeAttributionStrategy(budget.seed);
+    case StrategyKind::Bandit: return makeBanditStrategy(budget.seed);
   }
   return makeLineSearchStrategy();
 }
@@ -79,8 +85,8 @@ TuneResult runStrategySearch(const std::string& hilSource,
                              const arch::MachineConfig& machine,
                              const SearchConfig& config,
                              SearchStrategy& strategy, const Budget& budget,
-                             Evaluator& eval,
-                             const opt::TuningParams* warmStart) {
+                             Evaluator& eval, const opt::TuningParams* warmStart,
+                             const WarmStartFn& warmStartFn) {
   TuneResult result;
   result.analysis = fko::analyzeKernel(hilSource, machine);
   if (!result.analysis.ok) {
@@ -112,7 +118,14 @@ TuneResult runStrategySearch(const std::string& hilSource,
 
   // Warm start: time the remembered winner once, up front.  A failing or
   // slower-than-defaults warm point simply never becomes the incumbent —
-  // stale wisdom can cost one evaluation, never the result.
+  // stale wisdom can cost one evaluation, never the result.  The deferred
+  // form sees the DEFAULTS outcome first, so a wisdom lookup can rank its
+  // candidates by similarity to this kernel's own attribution.
+  std::optional<opt::TuningParams> deferredWarm;
+  if (warmStartFn) {
+    deferredWarm = warmStartFn(def);
+    warmStart = deferredWarm.has_value() ? &*deferredWarm : nullptr;
+  }
   if (warmStart != nullptr && !(*warmStart == defaults)) {
     const EvalOutcome warm = eval.evaluateBatch({*warmStart}, "WISDOM")[0];
     ++proposals;

@@ -32,6 +32,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -85,9 +86,17 @@ class SearchStrategy {
   }
 };
 
-enum class StrategyKind : uint8_t { Line, Random, HillClimb, Evolve };
+enum class StrategyKind : uint8_t {
+  Line,
+  Random,
+  HillClimb,
+  Evolve,
+  Attribution,
+  Bandit,
+};
 
-/// Flag spellings: "line", "random", "hillclimb", "evolve".
+/// Flag spellings: "line", "random", "hillclimb", "evolve", "attribution",
+/// "bandit".
 [[nodiscard]] std::string_view strategyName(StrategyKind kind);
 [[nodiscard]] std::optional<StrategyKind> parseStrategyKind(
     std::string_view name);
@@ -109,15 +118,26 @@ enum class StrategyKind : uint8_t { Line, Random, HillClimb, Evolve };
 /// the strategy finishes or the budget is spent.  With StrategyKind::Line
 /// and an unlimited budget this reproduces runLineSearch bit for bit.
 ///
+/// Deferred warm-start: called once, right after the DEFAULTS evaluation,
+/// with its outcome (counters included).  Returning a TuningParams makes it
+/// the "WISDOM" warm point — this is how wisdom lookups use the kernel's
+/// own attribution as the similarity probe for the performance-nearest
+/// record.  Must be deterministic (outcomes are); supersedes `warmStart`
+/// when both are given.
+using WarmStartFn =
+    std::function<std::optional<opt::TuningParams>(const EvalOutcome&)>;
+
 /// `warmStart` (optional) is a previously known winner — a wisdom record's
 /// parameters — evaluated immediately after DEFAULTS as the "WISDOM"
 /// dimension so it becomes the incumbent the search must beat.  It counts
 /// against the budget like any observed candidate but is never reported to
 /// the strategy: proposal sequences are identical with or without it.
+/// `warmStartFn` defers that choice until the DEFAULTS outcome is known.
 [[nodiscard]] TuneResult runStrategySearch(
     const std::string& hilSource, const arch::MachineConfig& machine,
     const SearchConfig& config, SearchStrategy& strategy, const Budget& budget,
-    Evaluator& evaluator, const opt::TuningParams* warmStart = nullptr);
+    Evaluator& evaluator, const opt::TuningParams* warmStart = nullptr,
+    const WarmStartFn& warmStartFn = {});
 
 /// Convenience wrappers over the built-in serial evaluator, mirroring
 /// tuneKernel / tuneSource.

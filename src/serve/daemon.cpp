@@ -219,16 +219,27 @@ std::string Daemon::handleKernelVerb(const Request& req) {
 
   // Tune-through path (QUERY miss, or an explicit TUNE): route through the
   // fault-isolated orchestrator for this (arch, context, n) combination,
-  // seeded by the nearest wisdom we do have.
+  // seeded by the nearest wisdom we do have.  The lookup is deferred so the
+  // kernel's DEFAULTS attribution ranks the fallback candidates — the store
+  // never crosses kernel or machine, so the probe only reorders this
+  // kernel's own records.
   search::Orchestrator& orch = orchestratorFor(machine, context, n);
   search::KernelJob job;
   job.name = req.target;
   job.hilSource = entry.source;
   job.spec = entry.spec;
-  if (match.hit()) {
-    const opt::TuningSpec seed = opt::parseTuningSpec(match.record->params);
-    if (seed.ok) job.warmStart = seed.params;
-  }
+  job.warmStartProvider = [this, key](const search::EvalOutcome& def)
+      -> std::optional<opt::TuningParams> {
+    std::optional<wisdom::AttrShares> probe;
+    if (def.counters.has_value())
+      probe = wisdom::attrSharesFrom(*def.counters);
+    const wisdom::WisdomMatch m =
+        store_.find(key, probe.has_value() ? &*probe : nullptr);
+    if (!m.hit()) return std::nullopt;
+    const opt::TuningSpec seed = opt::parseTuningSpec(m.record->params);
+    if (!seed.ok) return std::nullopt;
+    return seed.params;
+  };
   const search::KernelOutcome outcome = orch.tune(job);
   ++stats_.tuned;
   stats_.evaluations += static_cast<uint64_t>(outcome.result.evaluations);

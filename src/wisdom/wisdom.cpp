@@ -34,6 +34,32 @@ std::string WisdomKey::str() const {
   return sourceHash + "|" + machine + "|" + context + "|" + nClass;
 }
 
+// The wisdom format's vector length is the simulator's cause set — if one
+// grows, this fails to compile instead of silently truncating records.
+static_assert(kAttrCauses == sim::kNumStallCauses,
+              "wisdom attribution vector must cover every stall cause");
+
+std::optional<AttrShares> attrSharesFrom(const search::EvalCounters& counters) {
+  const uint64_t total = counters.attr.total();
+  if (total == 0) return std::nullopt;
+  AttrShares shares{};
+  for (size_t i = 0; i < kAttrCauses; ++i)
+    shares[i] = static_cast<double>(counters.attr.cycles[i]) /
+                static_cast<double>(total);
+  return shares;
+}
+
+double attrCosineDistance(const AttrShares& a, const AttrShares& b) {
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (size_t i = 0; i < kAttrCauses; ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  if (na == 0.0 || nb == 0.0) return 2.0;
+  return 1.0 - dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
 void applyCounters(WisdomRecord& rec, const search::EvalCounters& counters) {
   const uint64_t total = counters.attr.total();
   if (total == 0) return;
@@ -46,11 +72,14 @@ void applyCounters(WisdomRecord& rec, const search::EvalCounters& counters) {
                       static_cast<double>(total);
   rec.memStallShare = static_cast<double>(counters.attr.memoryStalls()) /
                       static_cast<double>(total);
+  if (std::optional<AttrShares> shares = attrSharesFrom(counters))
+    rec.attrShare = *shares;
 }
 
 std::string_view matchKindName(MatchKind kind) {
   switch (kind) {
     case MatchKind::Exact: return "exact";
+    case MatchKind::AttrSimilar: return "attr-similar";
     case MatchKind::NearNClass: return "near-n";
     case MatchKind::NearContext: return "near-context";
   }
@@ -74,6 +103,13 @@ std::string WisdomStore::formatRecord(const WisdomRecord& rec) {
     w.field("top_cause", rec.topCause)
         .field("top_cause_share", rec.topCauseShare)
         .field("mem_share", rec.memStallShare);
+  }
+  if (rec.hasAttr()) {
+    JsonWriter attr;
+    for (size_t i = 0; i < kAttrCauses; ++i)
+      attr.field(sim::stallCauseName(static_cast<sim::StallCause>(i)),
+                 rec.attrShare[i]);
+    w.field("attr", attr);
   }
   return w.str();
 }
@@ -99,9 +135,12 @@ std::optional<WisdomRecord> WisdomStore::parseRecord(const std::string& line,
 
   double schema = 0;
   if (!num("wisdom_schema", &schema)) return std::nullopt;
-  if (static_cast<int64_t>(schema) != kWisdomSchema) {
+  const int64_t schemaInt = static_cast<int64_t>(schema);
+  if (schemaInt != kWisdomSchema && schemaInt != kWisdomSchemaCompat) {
     // A well-formed record from another schema: drift, not damage.  Never
-    // reinterpreted — a future version's fields may not mean what v1's do.
+    // reinterpreted — a future version's fields may not mean what ours do.
+    // v1 is the exception: a strict subset of v2 (it just lacks the
+    // attribution vector), so old stores keep loading across the bump.
     if (schemaDrift != nullptr) *schemaDrift = true;
     return std::nullopt;
   }
@@ -129,6 +168,16 @@ std::optional<WisdomRecord> WisdomStore::parseRecord(const std::string& line,
     rec.topCause = *cause;
     num("top_cause_share", &rec.topCauseShare);
     num("mem_share", &rec.memStallShare);
+  }
+  if (auto it = obj.find("attr");
+      it != obj.end() && it->second.kind == JsonValue::Kind::Object) {
+    for (size_t i = 0; i < kAttrCauses; ++i) {
+      auto c = it->second.object->find(std::string(
+          sim::stallCauseName(static_cast<sim::StallCause>(i))));
+      if (c != it->second.object->end() &&
+          c->second.kind == JsonValue::Kind::Number)
+        rec.attrShare[i] = c->second.number;
+    }
   }
   return rec;
 }
@@ -207,36 +256,73 @@ const WisdomRecord* WisdomStore::lookup(const WisdomKey& key) const {
   return it == records_.end() ? nullptr : &it->second;
 }
 
-WisdomMatch WisdomStore::find(const WisdomKey& key) const {
+namespace {
+
+/// One fallback candidate's rank: cosine distance to the probe first (2.0
+/// when either side has no vector, so informed candidates always outrank
+/// uninformed ones), N-class exponent distance second, and — the explicit
+/// tie-break the old strict-`<` scan got wrong — the *smaller* class last,
+/// independent of map iteration order ("2^11" sorts before "2^9"
+/// lexicographically, so iteration order used to hand ties to the larger
+/// class).
+struct FallbackRank {
+  double cosDist = 2.0;
+  int nDist = 0;
+  int exp = 0;
+
+  [[nodiscard]] bool betterThan(const FallbackRank& other) const {
+    if (cosDist != other.cosDist) return cosDist < other.cosDist;
+    if (nDist != other.nDist) return nDist < other.nDist;
+    return exp < other.exp;
+  }
+};
+
+}  // namespace
+
+WisdomMatch WisdomStore::find(const WisdomKey& key,
+                              const AttrShares* probe) const {
   if (const WisdomRecord* exact = lookup(key))
     return {exact, MatchKind::Exact};
 
   // Fallback never crosses kernel or machine — a config tuned for another
   // source or another pipeline model is not a near answer, it is a wrong
-  // one.  Among same-context candidates prefer the nearest N-class
-  // (smallest |exponent delta|, ties toward the smaller class).
+  // one.  Same-context candidates always beat other-context ones; within a
+  // tier, FallbackRank prefers the performance-nearest record (cosine over
+  // attribution vectors) and degrades to nearest-N when either the query
+  // or the record carries no vector.
   const int wantExp = nClassExponent(key.nClass);
   const WisdomRecord* bestSameCtx = nullptr;
   const WisdomRecord* bestOtherCtx = nullptr;
-  int bestSameDist = 0, bestOtherDist = 0;
+  FallbackRank bestSameRank, bestOtherRank;
+  bool sameByAttr = false, otherByAttr = false;
   for (const auto& [k, rec] : records_) {
     if (rec.key.sourceHash != key.sourceHash ||
         rec.key.machine != key.machine)
       continue;
-    const int exp = nClassExponent(rec.key.nClass);
-    const int dist = wantExp < 0 || exp < 0 ? 1 << 20 : std::abs(exp - wantExp);
+    FallbackRank rank;
+    rank.exp = nClassExponent(rec.key.nClass);
+    rank.nDist = wantExp < 0 || rank.exp < 0 ? 1 << 20
+                                             : std::abs(rank.exp - wantExp);
+    if (probe != nullptr) rank.cosDist = attrCosineDistance(*probe, rec.attrShare);
+    const bool byAttr = rank.cosDist < 2.0;
     if (rec.key.context == key.context) {
-      if (bestSameCtx == nullptr || dist < bestSameDist) {
+      if (bestSameCtx == nullptr || rank.betterThan(bestSameRank)) {
         bestSameCtx = &rec;
-        bestSameDist = dist;
+        bestSameRank = rank;
+        sameByAttr = byAttr;
       }
-    } else if (bestOtherCtx == nullptr || dist < bestOtherDist) {
+    } else if (bestOtherCtx == nullptr || rank.betterThan(bestOtherRank)) {
       bestOtherCtx = &rec;
-      bestOtherDist = dist;
+      bestOtherRank = rank;
+      otherByAttr = byAttr;
     }
   }
-  if (bestSameCtx != nullptr) return {bestSameCtx, MatchKind::NearNClass};
-  if (bestOtherCtx != nullptr) return {bestOtherCtx, MatchKind::NearContext};
+  if (bestSameCtx != nullptr)
+    return {bestSameCtx,
+            sameByAttr ? MatchKind::AttrSimilar : MatchKind::NearNClass};
+  if (bestOtherCtx != nullptr)
+    return {bestOtherCtx,
+            otherByAttr ? MatchKind::AttrSimilar : MatchKind::NearContext};
   return {nullptr, MatchKind::Exact};
 }
 

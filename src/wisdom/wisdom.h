@@ -21,12 +21,18 @@
 // so export → import → export is byte-identical.
 //
 // Lookup falls back from exact to nearest: an exact (hash, machine,
-// context, N-class) hit first, then the nearest N-class in the same
-// context, then the other timing context — a near answer is still a far
+// context, N-class) hit first, then — same kernel and machine only — the
+// *performance-nearest* record: candidates in the wanted timing context
+// rank by cosine distance between their stored attribution vector and the
+// probe (the querying kernel's own normalized stall-cause shares, measured
+// on its DEFAULTS run), then the other context the same way.  Records or
+// queries without a vector fall back to nearest N-class (smallest exponent
+// delta, ties toward the smaller class) — a near answer is still a far
 // better search seed (and often a better config) than FKO's static
 // defaults.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -39,8 +45,34 @@ struct EvalCounters;  // search/counters.h
 
 namespace ifko::wisdom {
 
-/// Schema version written to (and required of) every wisdom line.
-inline constexpr int64_t kWisdomSchema = 1;
+/// Schema version written to every wisdom line.  v2 adds the winner's
+/// normalized attribution vector (`attr`); v1 lines (kWisdomSchemaCompat)
+/// still load — like the eval cache's v1→v3 path — and simply carry no
+/// vector.  Anything else is drift: skipped and counted, never
+/// reinterpreted.
+inline constexpr int64_t kWisdomSchema = 2;
+inline constexpr int64_t kWisdomSchemaCompat = 1;
+
+/// Length of the attribution vector — one share per sim::StallCause
+/// (mirrors sim::kNumStallCauses; static_assert'd in wisdom.cpp, so the
+/// wisdom format cannot silently drift from the simulator's cause set).
+inline constexpr size_t kAttrCauses = 10;
+
+/// Normalized per-cause cycle shares (sum 1 when present); all-zero means
+/// "no attribution recorded" (a v1 record, or a tune without counters).
+using AttrShares = std::array<double, kAttrCauses>;
+
+/// Normalized shares out of a timed candidate's counters; nullopt when the
+/// counters charge no cycles (nothing to normalize by).
+[[nodiscard]] std::optional<AttrShares> attrSharesFrom(
+    const search::EvalCounters& counters);
+
+/// Cosine distance (1 - cosine similarity) between two share vectors, the
+/// similarity metric of the lookup fallback.  Shares are non-negative, so
+/// real distances live in [0, 1]; an all-zero side returns 2.0 — "no
+/// information" ranks after every informed candidate.
+[[nodiscard]] double attrCosineDistance(const AttrShares& a,
+                                        const AttrShares& b);
 
 /// Problem-size class: sizes within the same power-of-two bucket share one
 /// record ("2^13" covers 4097..8192).  Tuned parameters drift with scale
@@ -78,6 +110,17 @@ struct WisdomRecord {
   std::string topCause;
   double topCauseShare = 0.0;
   double memStallShare = 0.0;
+  /// Full normalized attribution vector of the winner, indexed by
+  /// sim::StallCause — the similarity key of find()'s fallback ranking.
+  /// All-zero when the tune carried no counters (or the record is v1).
+  AttrShares attrShare{};
+
+  /// Whether the record carries an attribution vector.
+  [[nodiscard]] bool hasAttr() const {
+    for (double s : attrShare)
+      if (s != 0.0) return true;
+    return false;
+  }
 
   [[nodiscard]] double speedup() const {
     return bestCycles == 0 ? 0.0
@@ -93,6 +136,7 @@ void applyCounters(WisdomRecord& rec, const search::EvalCounters& counters);
 /// How a lookup was satisfied.
 enum class MatchKind : uint8_t {
   Exact,        ///< same (hash, machine, context, N-class)
+  AttrSimilar,  ///< nearest by attribution-vector cosine distance
   NearNClass,   ///< same context, nearest other N-class
   NearContext,  ///< other timing context (nearest N-class there)
 };
@@ -134,9 +178,16 @@ class WisdomStore {
   /// Exact-key lookup.
   [[nodiscard]] const WisdomRecord* lookup(const WisdomKey& key) const;
 
-  /// Exact lookup, then fallback (same kernel + machine only): nearest
-  /// other N-class in the same context, then the other context.
-  [[nodiscard]] WisdomMatch find(const WisdomKey& key) const;
+  /// Exact lookup, then fallback (same kernel + machine only): candidates
+  /// in the same timing context first, then the other context; within each
+  /// tier the *performance-nearest* record wins — smallest cosine distance
+  /// between its attribution vector and `probe` (the querying kernel's own
+  /// normalized stall shares), with N-class distance breaking cosine ties
+  /// and the smaller class breaking exponent-distance ties.  Without a
+  /// probe — or for v1 records with no vector — ranking degrades to the
+  /// N-class heuristic alone.  Never crosses sourceHash or machine.
+  [[nodiscard]] WisdomMatch find(const WisdomKey& key,
+                                 const AttrShares* probe = nullptr) const;
 
   [[nodiscard]] size_t size() const { return records_.size(); }
   /// Records in key order (the save order).

@@ -90,6 +90,58 @@ TEST(IrParser, RejectsGarbage) {
   EXPECT_FALSE(parse("func f(\n", &error).has_value());
 }
 
+TEST(IrParser, MalformedIntegersFailLoudlyInsteadOfParsingAsZero) {
+  // Every integer field used to go through atoi/strtol, which silently
+  // accepts a numeric prefix (or yields 0 on garbage); all of them are now
+  // strict whole-token parses with a diagnostic.
+  std::string error;
+
+  // Block label.
+  EXPECT_FALSE(parse("func f()\nbbX:\n  ret\n", &error).has_value());
+  EXPECT_NE(error.find("bad block label"), std::string::npos) << error;
+  EXPECT_FALSE(parse("func f()\nbb1x:\n  ret\n", &error).has_value());
+  EXPECT_NE(error.find("bad block label"), std::string::npos) << error;
+
+  // Spill count in the regalloc marker.
+  EXPECT_FALSE(
+      parse("func f() [regalloc, spills=two]\nbb0:\n  ret\n", &error)
+          .has_value());
+  EXPECT_NE(error.find("bad spill count"), std::string::npos) << error;
+  EXPECT_TRUE(
+      parse("func f() [regalloc, spills=2]\nbb0:\n  ret\n", &error)
+          .has_value())
+      << error;
+
+  // Loop-mark block references.
+  EXPECT_FALSE(
+      parse("func f()\n  ; tuned loop: preheader=bb0 header=bbQ latch=bb1 "
+            "exit=bb2 ivar=r0 N=r1 up\nbb0:\n  ret\n",
+            &error)
+          .has_value());
+  EXPECT_NE(error.find("bad loop-mark block"), std::string::npos) << error;
+
+  // Memory-operand scale and displacement.
+  EXPECT_FALSE(
+      parse("func f(f64* X{r}=r0)\nbb0:\n  fld.f64 x0, [r0 + r1*8z + 0]\n"
+            "  ret\n",
+            &error)
+          .has_value());
+  EXPECT_NE(error.find("bad scale"), std::string::npos) << error;
+  EXPECT_FALSE(
+      parse("func f(f64* X{r}=r0)\nbb0:\n  fld.f64 x0, [r0 + 8q]\n  ret\n",
+            &error)
+          .has_value());
+  EXPECT_NE(error.find("bad displacement"), std::string::npos) << error;
+
+  // Immediates and branch targets.
+  EXPECT_FALSE(
+      parse("func f()\nbb0:\n  imovi r0, 1x\n  ret\n", &error).has_value());
+  EXPECT_NE(error.find("bad immediate"), std::string::npos) << error;
+  EXPECT_FALSE(
+      parse("func f()\nbb0:\n  jmp bb1y\nbb1:\n  ret\n", &error).has_value());
+  EXPECT_NE(error.find("bad branch target"), std::string::npos) << error;
+}
+
 TEST(IrParser, ParsesNegativeDisplacementsAndIndexedMem) {
   Function fn;
   fn.name = "m";

@@ -372,5 +372,56 @@ TEST(Strategies, StochasticSearchesImproveOnDefaults) {
   }
 }
 
+// --- attribution-guided search and the bandit portfolio ---------------------
+
+TEST(AttributionStrategy, TargetsTheDominantStallCause) {
+  // daxpy out-of-cache is memory-bound, so the guided climber's first
+  // steps must be targeted ("ATTR mem ..."), not blind.
+  std::string trace = tmpFile("strategy_attr_dims.jsonl");
+  TuneResult r = runTraced(StrategyKind::Attribution, 1, trace, 7, 40);
+  ASSERT_TRUE(r.ok) << r.error;
+  bool sawTargeted = false;
+  for (const auto& [dim, params] : proposalSequence(trace))
+    sawTargeted |= dim.rfind("ATTR mem", 0) == 0 ||
+                   dim.rfind("ATTR fp", 0) == 0 ||
+                   dim.rfind("ATTR pipe", 0) == 0;
+  EXPECT_TRUE(sawTargeted);
+  std::remove(trace.c_str());
+}
+
+TEST(AttributionStrategy, MatchesOrBeatsHillClimbOnMemBoundKernel) {
+  // The equal-budget claim the CI gate enforces fleet-wide, at unit scale:
+  // on a memory-bound kernel the attribution signal must not lose to the
+  // blind climber it extends.
+  KernelSpec spec{BlasOp::Scal, ir::Scal::F64};
+  Budget b;
+  b.maxEvaluations = 32;
+  TuneResult attr = tuneKernelWithStrategy(spec, arch::p4e(), smokeConfig(),
+                                           StrategyKind::Attribution, b);
+  TuneResult hill = tuneKernelWithStrategy(spec, arch::p4e(), smokeConfig(),
+                                           StrategyKind::HillClimb, b);
+  ASSERT_TRUE(attr.ok) << attr.error;
+  ASSERT_TRUE(hill.ok) << hill.error;
+  EXPECT_LE(attr.bestCycles, hill.bestCycles);
+}
+
+TEST(BanditStrategy, PullsArmsAndLabelsTheirProposals) {
+  std::string trace = tmpFile("strategy_bandit_dims.jsonl");
+  TuneResult r = runTraced(StrategyKind::Bandit, 1, trace, 7, 64);
+  ASSERT_TRUE(r.ok) << r.error;
+  std::set<std::string> arms;
+  for (const auto& [dim, params] : proposalSequence(trace)) {
+    if (dim == "DEFAULTS" || dim == "WISDOM") continue;
+    const size_t colon = dim.find(':');
+    ASSERT_NE(colon, std::string::npos) << dim;
+    arms.insert(dim.substr(0, colon));
+  }
+  // The cold-start sweep pulls every live arm at least once before UCB
+  // concentrates the budget.
+  EXPECT_GE(arms.size(), 3u) << "arms seen: " << arms.size();
+  EXPECT_TRUE(arms.count("line") != 0) << "line arm never pulled";
+  std::remove(trace.c_str());
+}
+
 }  // namespace
 }  // namespace ifko::search

@@ -1,6 +1,8 @@
 // The wisdom store: the versioned best-config artifact must round-trip
-// bit-identically, merge keep-best, tolerate damaged lines loudly, refuse
-// other schema versions, and fall back exact -> near-N -> near-context.
+// bit-identically (attribution vector included), merge keep-best, tolerate
+// damaged lines loudly, load old-schema (v1) lines while refusing unknown
+// schemas, and fall back exact -> attribution-similar -> near-N ->
+// near-context without ever crossing kernel or machine.
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -90,10 +92,42 @@ TEST(WisdomRecordFormat, DamagedAndDriftedLines) {
   // A record from a future schema is drift: never reinterpreted.
   WisdomRecord rec = makeRecord("abc", "P4E", "out-of-cache", "2^12", 10);
   std::string future = WisdomStore::formatRecord(rec);
-  const std::string tag = "\"wisdom_schema\":1";
-  future.replace(future.find(tag), tag.size(), "\"wisdom_schema\":2");
+  const std::string tag = "\"wisdom_schema\":2";
+  future.replace(future.find(tag), tag.size(), "\"wisdom_schema\":3");
   EXPECT_FALSE(WisdomStore::parseRecord(future, &drift).has_value());
   EXPECT_TRUE(drift);
+}
+
+TEST(WisdomRecordFormat, OldSchemaStillLoads) {
+  // v1 lines are a strict subset of v2 (no attribution vector): compat,
+  // not drift — a store written before the schema bump keeps working.
+  WisdomRecord rec = makeRecord("abc", "P4E", "out-of-cache", "2^12", 10);
+  std::string v1 = WisdomStore::formatRecord(rec);
+  const std::string tag = "\"wisdom_schema\":2";
+  v1.replace(v1.find(tag), tag.size(), "\"wisdom_schema\":1");
+  bool drift = true;
+  std::optional<WisdomRecord> back = WisdomStore::parseRecord(v1, &drift);
+  ASSERT_TRUE(back.has_value()) << v1;
+  EXPECT_FALSE(drift);
+  EXPECT_FALSE(back->hasAttr());
+  EXPECT_EQ(back->params, rec.params);
+  EXPECT_EQ(back->bestCycles, rec.bestCycles);
+}
+
+TEST(WisdomRecordFormat, AttributionVectorRoundTrips) {
+  WisdomRecord rec = makeRecord("abc", "P4E", "out-of-cache", "2^12", 10);
+  rec.topCause = "mem_main";
+  rec.topCauseShare = 0.5;
+  rec.memStallShare = 0.75;
+  rec.attrShare = {0.1, 0.05, 0.05, 0.0, 0.0, 0.05, 0.1, 0.05, 0.5, 0.1};
+  const std::string line = WisdomStore::formatRecord(rec);
+  EXPECT_NE(line.find("\"attr\":{"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"mem_main\":0.5"), std::string::npos) << line;
+  bool drift = true;
+  std::optional<WisdomRecord> back = WisdomStore::parseRecord(line, &drift);
+  ASSERT_TRUE(back.has_value()) << line;
+  EXPECT_FALSE(drift);
+  EXPECT_EQ(*back, rec);
 }
 
 TEST(WisdomStore, KeepBestRecord) {
@@ -167,7 +201,7 @@ TEST(WisdomStore, LoadCountsDamageAndSchemaDriftSeparately) {
     out << "\n";  // blank lines are fine, not damage
     WisdomRecord future = makeRecord("h9", "P4E", "in-L2", "2^9", 5);
     std::string line = WisdomStore::formatRecord(future);
-    const std::string tag = "\"wisdom_schema\":1";
+    const std::string tag = "\"wisdom_schema\":2";
     line.replace(line.find(tag), tag.size(), "\"wisdom_schema\":99");
     out << line << "\n";
   }
@@ -250,6 +284,101 @@ TEST(WisdomStore, FindFallsBackExactThenNearNThenNearContext) {
   EXPECT_FALSE(m.hit());
   m = store.find({"h", "Opteron", "out-of-cache", "2^12"});
   EXPECT_FALSE(m.hit());
+}
+
+TEST(WisdomStore, NearNTiesBreakTowardSmallerClass) {
+  // Regression: the old scan used strict `<` over lexicographic map order,
+  // and "2^11" sorts before "2^9" as a string — so at equal exponent
+  // distance the larger class used to win by iteration accident.  The
+  // tie-break is now explicit: smaller class.
+  WisdomStore store;
+  store.record(makeRecord("h", "P4E", "out-of-cache", "2^11", 300));
+  store.record(makeRecord("h", "P4E", "out-of-cache", "2^9", 200));
+  WisdomMatch m = store.find({"h", "P4E", "out-of-cache", "2^10"});
+  ASSERT_TRUE(m.hit());
+  EXPECT_EQ(m.kind, MatchKind::NearNClass);
+  EXPECT_EQ(m.record->key.nClass, "2^9");
+
+  // Insertion order must not matter.
+  WisdomStore reversed;
+  reversed.record(makeRecord("h", "P4E", "out-of-cache", "2^9", 200));
+  reversed.record(makeRecord("h", "P4E", "out-of-cache", "2^11", 300));
+  m = reversed.find({"h", "P4E", "out-of-cache", "2^10"});
+  ASSERT_TRUE(m.hit());
+  EXPECT_EQ(m.record->key.nClass, "2^9");
+}
+
+TEST(WisdomStore, FindRanksByAttributionSimilarity) {
+  // Two same-context candidates: a memory-bound winner one class up and an
+  // fp-bound winner three classes up.  An fp-heavy probe must pick the
+  // fp-bound record even though it is numerically farther — that is the
+  // whole point of the performance-derived key.
+  WisdomRecord memBound = makeRecord("h", "P4E", "out-of-cache", "2^13", 100);
+  memBound.attrShare = {0.05, 0.05, 0.0, 0.0, 0.0, 0.0, 0.1, 0.1, 0.6, 0.1};
+  WisdomRecord fpBound = makeRecord("h", "P4E", "out-of-cache", "2^15", 100);
+  fpBound.attrShare = {0.1, 0.7, 0.05, 0.0, 0.0, 0.05, 0.05, 0.0, 0.0, 0.05};
+  WisdomStore store;
+  store.record(memBound);
+  store.record(fpBound);
+
+  AttrShares fpProbe = {0.1, 0.65, 0.05, 0.0, 0.0, 0.1, 0.05, 0.0, 0.0, 0.05};
+  WisdomMatch m = store.find({"h", "P4E", "out-of-cache", "2^12"}, &fpProbe);
+  ASSERT_TRUE(m.hit());
+  EXPECT_EQ(m.kind, MatchKind::AttrSimilar);
+  EXPECT_EQ(matchKindName(m.kind), "attr-similar");
+  EXPECT_EQ(m.record->key.nClass, "2^15");
+
+  AttrShares memProbe = {0.05, 0.1, 0.0, 0.0, 0.0, 0.0, 0.1, 0.1, 0.55, 0.1};
+  m = store.find({"h", "P4E", "out-of-cache", "2^12"}, &memProbe);
+  ASSERT_TRUE(m.hit());
+  EXPECT_EQ(m.kind, MatchKind::AttrSimilar);
+  EXPECT_EQ(m.record->key.nClass, "2^13");
+
+  // Without a probe the ranking degrades to nearest-N.
+  m = store.find({"h", "P4E", "out-of-cache", "2^12"});
+  ASSERT_TRUE(m.hit());
+  EXPECT_EQ(m.kind, MatchKind::NearNClass);
+  EXPECT_EQ(m.record->key.nClass, "2^13");
+
+  // Records without vectors (v1 imports) rank after informed ones but are
+  // still found; the match kind reports the N-heuristic, not similarity.
+  WisdomStore v1only;
+  v1only.record(makeRecord("h", "P4E", "out-of-cache", "2^13", 100));
+  m = v1only.find({"h", "P4E", "out-of-cache", "2^12"}, &fpProbe);
+  ASSERT_TRUE(m.hit());
+  EXPECT_EQ(m.kind, MatchKind::NearNClass);
+
+  // A probe never widens the fallback across kernel or machine.
+  m = store.find({"zzz", "P4E", "out-of-cache", "2^12"}, &fpProbe);
+  EXPECT_FALSE(m.hit());
+  m = store.find({"h", "Opteron", "out-of-cache", "2^12"}, &fpProbe);
+  EXPECT_FALSE(m.hit());
+
+  // Same context still outranks the other context even when the other
+  // context's vector is closer: contexts are tiers, similarity ranks
+  // within a tier.
+  WisdomRecord otherCtx = makeRecord("h", "P4E", "in-L2", "2^12", 90);
+  otherCtx.attrShare = fpBound.attrShare;
+  WisdomStore tiered;
+  tiered.record(memBound);
+  tiered.record(otherCtx);
+  m = tiered.find({"h", "P4E", "out-of-cache", "2^12"}, &fpProbe);
+  ASSERT_TRUE(m.hit());
+  EXPECT_EQ(m.record->key.context, "out-of-cache");
+}
+
+TEST(AttrMath, CosineDistanceBasics) {
+  AttrShares a{}, b{};
+  a[8] = 1.0;  // mem_main only
+  b[8] = 1.0;
+  EXPECT_NEAR(attrCosineDistance(a, b), 0.0, 1e-12);
+  b = {};
+  b[1] = 1.0;  // fp_dep only: orthogonal
+  EXPECT_NEAR(attrCosineDistance(a, b), 1.0, 1e-12);
+  // An all-zero side means "no information": sentinel 2.0, ranked after
+  // any real distance.
+  EXPECT_EQ(attrCosineDistance(a, AttrShares{}), 2.0);
+  EXPECT_EQ(attrCosineDistance(AttrShares{}, AttrShares{}), 2.0);
 }
 
 }  // namespace

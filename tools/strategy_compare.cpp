@@ -2,7 +2,7 @@
 //
 //   strategy_compare [--arch=p4e|opteron] [--context=ooc|inl2] [--n=N]
 //                    [--fast] [--budget=N] [--search-seed=S]
-//                    [--kernel=NAME]...
+//                    [--kernel=NAME]... [--gate] [--gate-tol=PCT]
 //
 // For each registry kernel (or the --kernel subset), the line search runs
 // first — unlimited unless --budget is given — and its proposal count
@@ -10,6 +10,19 @@
 // gets exactly as many observed candidates as the paper's search spent.
 // The table reports best cycles (and proposals used) per kernel x strategy,
 // with the per-kernel winner marked '*'.
+//
+// --gate turns the comparison into a pass/fail search-quality check (the
+// CI step runs it at --fast --budget=32):
+//   1. attribution must match-or-beat hillclimb on every kernel — it
+//      searches a superset of the climber's neighborhood, so any loss
+//      means the guidance regressed — and strictly beat it somewhere,
+//      so the attribution signal is demonstrably pulling its weight;
+//   2. bandit must land within --gate-tol percent (default 5) of the
+//      best constituent arm on every kernel — the exploration tax is
+//      bounded.
+// The simulator and every strategy are deterministic at a fixed seed, so
+// the gate is exactly reproducible locally.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -45,11 +58,16 @@ int main(int argc, char** argv) {
   bool fast = false;
   int64_t budget = 0;
   uint64_t seed = 1;
+  bool gate = false;
+  int64_t gateTol = 5;
   std::vector<std::string> only;
 
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
     if (a == "--fast") fast = true;
+    else if (a == "--gate") gate = true;
+    else if (startsWith(a, "--gate-tol="))
+      gateTol = numFlag("--gate-tol", a.c_str() + 11);
     else if (a == "--arch=opteron") machine = arch::opteron();
     else if (a == "--arch=p4e") machine = arch::p4e();
     else if (a == "--context=inl2") context = sim::TimeContext::InL2;
@@ -82,6 +100,14 @@ int main(int argc, char** argv) {
 
   int kernelsRun = 0;
   std::vector<int> wins(strategies.size(), 0);
+  size_t iHill = 0, iAttr = 0, iBandit = 0;
+  for (size_t s = 0; s < strategies.size(); ++s) {
+    if (strategies[s] == search::StrategyKind::HillClimb) iHill = s;
+    if (strategies[s] == search::StrategyKind::Attribution) iAttr = s;
+    if (strategies[s] == search::StrategyKind::Bandit) iBandit = s;
+  }
+  bool attrStrictWin = false;
+  std::vector<std::string> gateFailures;
   for (const auto& spec : kernels::allKernels()) {
     if (!only.empty()) {
       bool wanted = false;
@@ -127,6 +153,34 @@ int main(int argc, char** argv) {
     ++kernelsRun;
     std::fprintf(stderr, "  %-8s done (budget %d)\n", spec.name().c_str(),
                  matched.maxEvaluations);
+
+    if (gate) {
+      const search::TuneResult& attr = results[iAttr];
+      const search::TuneResult& hill = results[iHill];
+      const search::TuneResult& bandit = results[iBandit];
+      if (attr.ok && hill.ok) {
+        if (attr.bestCycles > hill.bestCycles)
+          gateFailures.push_back(
+              spec.name() + ": attribution " +
+              std::to_string(attr.bestCycles) + " loses to hillclimb " +
+              std::to_string(hill.bestCycles));
+        else if (attr.bestCycles < hill.bestCycles)
+          attrStrictWin = true;
+      }
+      uint64_t constituent = UINT64_MAX;
+      for (size_t s = 0; s < strategies.size(); ++s)
+        if (s != iBandit && results[s].ok)
+          constituent = std::min(constituent, results[s].bestCycles);
+      if (bandit.ok && constituent != UINT64_MAX) {
+        const uint64_t ceiling =
+            constituent + constituent * static_cast<uint64_t>(gateTol) / 100;
+        if (bandit.bestCycles > ceiling)
+          gateFailures.push_back(
+              spec.name() + ": bandit " + std::to_string(bandit.bestCycles) +
+              " beyond " + std::to_string(gateTol) +
+              "% of best constituent " + std::to_string(constituent));
+      }
+    }
   }
 
   std::printf("=== strategy comparison: %s, %s, N=%lld, seed %llu ===\n"
@@ -141,5 +195,20 @@ int main(int argc, char** argv) {
     std::printf("  %s=%d", std::string(search::strategyName(strategies[s])).c_str(),
                 wins[s]);
   std::printf("\n");
+
+  if (gate) {
+    if (kernelsRun > 0 && !attrStrictWin)
+      gateFailures.push_back(
+          "attribution never strictly beat hillclimb on any kernel");
+    if (gateFailures.empty()) {
+      std::printf("gate: PASS (%d kernels, bandit tolerance %lld%%)\n",
+                  kernelsRun, static_cast<long long>(gateTol));
+    } else {
+      std::printf("gate: FAIL\n");
+      for (const auto& f : gateFailures)
+        std::printf("  %s\n", f.c_str());
+      return 1;
+    }
+  }
   return kernelsRun > 0 ? 0 : 1;
 }
